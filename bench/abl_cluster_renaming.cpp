@@ -1,0 +1,39 @@
+// Ablation A1: cluster renaming on/off (Section IV).
+//
+// Renaming statically rotates each thread's clusters; without it every
+// thread's code competes for the compiler's favourite clusters and both
+// CSMT and CCSI lose most merging opportunities.
+#include <iostream>
+
+#include "harness/experiments.hpp"
+#include "stats/table.hpp"
+#include "util/cli.hpp"
+#include "workloads/workloads.hpp"
+
+int main(int argc, char** argv) {
+  using namespace vexsim;
+  const Cli cli(argc, argv);
+  const auto opt = harness::ExperimentOptions::from_cli(cli);
+
+  std::cout << "Ablation: cluster renaming (4-thread machine)\n\n";
+  Table table({"workload", "technique", "IPC renamed", "IPC identity",
+               "renaming gain"});
+  for (const char* wname : {"llll", "mmmm", "hhhh"}) {
+    for (const Technique& t :
+         {Technique::csmt(), Technique::ccsi(CommPolicy::kAlwaysSplit),
+          Technique::smt()}) {
+      MachineConfig on = MachineConfig::paper(4, t);
+      MachineConfig off = on;
+      off.cluster_renaming = false;
+      const RunResult with_ren = harness::run_workload_on(on, wname, opt);
+      const RunResult without = harness::run_workload_on(off, wname, opt);
+      table.add_row({wname, t.name(), Table::fmt(with_ren.ipc()),
+                     Table::fmt(without.ipc()),
+                     Table::pct(speedup(with_ren.ipc(), without.ipc()))});
+    }
+  }
+  std::cout << table.to_text();
+  std::cout << "\nShape check: renaming gains are largest for cluster-level "
+               "merging (CSMT/CCSI), where whole-cluster conflicts dominate.\n";
+  return 0;
+}

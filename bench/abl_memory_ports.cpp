@@ -1,0 +1,44 @@
+// Ablation A2: memory ports per cluster and the buffered-store drain stalls
+// of Section V-D.
+//
+// Split-issue defers stores into buffers that drain at last-part; with one
+// port per cluster the drain can collide with same-cycle memory operations
+// and stall the pipeline. This ablation measures those stalls and what a
+// second port would buy.
+#include <iostream>
+
+#include "harness/experiments.hpp"
+#include "stats/table.hpp"
+#include "util/cli.hpp"
+#include "workloads/workloads.hpp"
+
+int main(int argc, char** argv) {
+  using namespace vexsim;
+  const Cli cli(argc, argv);
+  const auto opt = harness::ExperimentOptions::from_cli(cli);
+
+  std::cout << "Ablation: memory ports vs buffered-store drain stalls "
+               "(4-thread machine)\n\n";
+  Table table({"workload", "technique", "ports", "IPC", "drain-stall cyc",
+               "stall frac"});
+  for (const char* wname : {"llmm", "mmhh", "hhhh"}) {
+    for (const Technique& t : {Technique::ccsi(CommPolicy::kAlwaysSplit),
+                               Technique::oosi(CommPolicy::kAlwaysSplit)}) {
+      for (int ports : {1, 2}) {
+        MachineConfig cfg = MachineConfig::paper(4, t);
+        cfg.cluster.mem_units = ports;
+        const RunResult r = harness::run_workload_on(cfg, wname, opt);
+        table.add_row(
+            {wname, t.name(), std::to_string(ports), Table::fmt(r.ipc()),
+             std::to_string(r.sim.memport_stall_cycles),
+             Table::pct(static_cast<double>(r.sim.memport_stall_cycles) /
+                        static_cast<double>(r.sim.cycles))});
+      }
+    }
+  }
+  std::cout << table.to_text();
+  std::cout << "\nShape check: drain stalls are a small fraction of cycles "
+               "(the paper treats them as rare); a second port removes them "
+               "for a modest IPC gain.\n";
+  return 0;
+}

@@ -1,0 +1,35 @@
+// Ablation A3: timeslice sensitivity (Section VI-A uses 5M cycles).
+//
+// The context-switch drain and the cold-cache effect after a switch shrink
+// as the timeslice grows; results should be stable across reasonable
+// slices, supporting the paper's claim that the respawning scheme does not
+// need FAME-style stabilization.
+#include <iostream>
+
+#include "harness/experiments.hpp"
+#include "stats/table.hpp"
+#include "util/cli.hpp"
+
+int main(int argc, char** argv) {
+  using namespace vexsim;
+  const Cli cli(argc, argv);
+  auto opt = harness::ExperimentOptions::from_cli(cli);
+
+  std::cout << "Ablation: timeslice sensitivity (llhh, 2-thread CCSI AS)\n\n";
+  Table table({"timeslice", "IPC", "drain cycles", "context-switch rate"});
+  for (std::uint64_t slice : {10'000ull, 25'000ull, 50'000ull, 100'000ull,
+                              200'000ull}) {
+    opt.timeslice = slice;
+    const RunResult r = harness::run_workload(
+        "llhh", 2, Technique::ccsi(CommPolicy::kAlwaysSplit), opt);
+    table.add_row({std::to_string(slice), Table::fmt(r.ipc(), 3),
+                   std::to_string(r.sim.drain_cycles),
+                   Table::fmt(static_cast<double>(r.sim.cycles) /
+                                  static_cast<double>(slice),
+                              1)});
+  }
+  std::cout << table.to_text();
+  std::cout << "\nShape check: IPC varies only a few percent across a 20x "
+               "timeslice range.\n";
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Figure 13(a): the benchmark table — ILP class, IPCr (real memory) and
+// IPCp (perfect memory) for each benchmark, single-threaded on the 16-issue
+// 4-cluster machine, next to the paper's reported values.
+//
+// Flags: --scale, --budget, --seed, --quick, --paper, --csv.
+#include <iostream>
+
+#include "harness/experiments.hpp"
+#include "stats/table.hpp"
+#include "util/cli.hpp"
+#include "workloads/registry.hpp"
+
+int main(int argc, char** argv) {
+  using namespace vexsim;
+  const Cli cli(argc, argv);
+  const auto opt = harness::ExperimentOptions::from_cli(cli);
+
+  std::cout << "Figure 13(a): benchmarks — measured vs paper (single thread, "
+               "4 clusters x 4-issue)\n\n";
+
+  Table table({"benchmark", "class", "IPCr", "IPCp", "paper IPCr",
+               "paper IPCp", "IPCr/IPCp", "paper ratio"});
+  for (const wl::BenchmarkInfo& info : wl::benchmark_registry()) {
+    const RunResult real = harness::run_single(info.name, false, opt);
+    const RunResult perfect = harness::run_single(info.name, true, opt);
+    table.add_row({info.name, std::string(1, static_cast<char>(info.ilp)),
+                   Table::fmt(real.ipc()), Table::fmt(perfect.ipc()),
+                   Table::fmt(info.paper_ipcr), Table::fmt(info.paper_ipcp),
+                   Table::fmt(real.ipc() / perfect.ipc()),
+                   Table::fmt(info.paper_ipcr / info.paper_ipcp)});
+  }
+  if (cli.get_bool("csv", false))
+    std::cout << table.to_csv();
+  else
+    std::cout << table.to_text();
+  std::cout << "\nShape check: l < m < h ordering of IPCp; mcf/blowfish/cjpeg "
+               "show the largest IPCr/IPCp gaps.\n";
+  return 0;
+}

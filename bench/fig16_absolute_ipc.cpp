@@ -1,0 +1,63 @@
+// Figure 16: absolute IPC of all eight multithreading techniques, averaged
+// over the nine workload mixes, for the 2-thread and 4-thread machines.
+//
+// Flags: --scale, --budget, --timeslice, --seed, --quick, --paper, --csv,
+//        --per-workload (print each mix's IPC too).
+#include <iostream>
+#include <map>
+#include <vector>
+
+#include "harness/experiments.hpp"
+#include "stats/table.hpp"
+#include "util/cli.hpp"
+#include "workloads/workloads.hpp"
+
+int main(int argc, char** argv) {
+  using namespace vexsim;
+  const Cli cli(argc, argv);
+  const auto opt = harness::ExperimentOptions::from_cli(cli);
+  const bool per_workload = cli.get_bool("per-workload", false);
+
+  std::cout << "Figure 16: absolute IPC of all techniques (avg over the nine "
+               "mixes)\n\n";
+
+  std::vector<std::string> headers{"technique", "2T IPC", "4T IPC"};
+  Table table(headers);
+  std::map<std::string, Table> detail;
+
+  for (const Technique& t : Technique::kAll) {
+    std::vector<std::string> row{t.name()};
+    for (int threads : {2, 4}) {
+      std::vector<double> ipcs;
+      for (const wl::WorkloadSpec& spec : wl::paper_workloads()) {
+        const RunResult r =
+            harness::run_workload(spec.name, threads, t, opt);
+        ipcs.push_back(r.ipc());
+        if (per_workload) {
+          const std::string key =
+              t.name() + " " + std::to_string(threads) + "T";
+          auto [it, inserted] =
+              detail.try_emplace(key, Table({"workload", "IPC"}));
+          it->second.add_row({spec.name, Table::fmt(r.ipc())});
+        }
+      }
+      row.push_back(Table::fmt(mean(ipcs)));
+    }
+    table.add_row(std::move(row));
+  }
+
+  if (cli.get_bool("csv", false))
+    std::cout << table.to_csv();
+  else
+    std::cout << table.to_text();
+
+  for (auto& [key, t] : detail) {
+    std::cout << "\n" << key << "\n" << t.to_text();
+  }
+
+  std::cout << "\nShape check (paper): CCSI AS ~= SMT at 2T; split-issue "
+               "shrinks the CSMT-vs-SMT gap (27% -> 13% at 4T); ordering "
+               "CSMT < CCSI NS < CCSI AS and SMT < COSI < OOSI per comm "
+               "policy.\n";
+  return 0;
+}

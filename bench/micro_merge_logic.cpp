@@ -1,0 +1,107 @@
+// Microbenchmark A5: software cost of one merge decision, per technique.
+//
+// The paper's "low cost" argument is about hardware; the software analogue
+// we can measure is the work per cycle the merge engine does. Cluster-level
+// collision checks (CSMT/CCSI) touch one occupancy word per cluster;
+// operation-level checks (SMT/COSI/OOSI) count FU classes — visibly more
+// work per decision, mirroring the hardware complexity ordering.
+#include <benchmark/benchmark.h>
+
+#include "arch/thread_context.hpp"
+#include "core/merge_engine.hpp"
+#include "isa/config.hpp"
+#include "vasm/assembler.hpp"
+
+namespace {
+
+using namespace vexsim;
+
+std::shared_ptr<const Program> dense_program() {
+  // One instruction using all four clusters with mixed FU classes.
+  Program p = assemble(
+      "c0 add r1 = r2, r3 ; c0 mpyl r4 = r5, r6 ; c0 ldw r7 = 0x200[r0] ; "
+      "c1 add r1 = r2, r3 ; c1 sub r4 = r5, r6 ; "
+      "c2 mpyl r1 = r2, r3 ; c2 xor r4 = r5, r6 ; "
+      "c3 stw 0x200[r0] = r1 ; c3 add r2 = r3, r4\n",
+      "dense");
+  return std::make_shared<const Program>(std::move(p));
+}
+
+void prime(ThreadContext& ctx, const MachineConfig& cfg) {
+  IssueProgress& iss = ctx.issue;
+  iss.active = true;
+  iss.seq = 1;
+  iss.pending_count = 0;
+  for (int c = 0; c < cfg.clusters; ++c) {
+    const Bundle& b = ctx.program().code[0].bundle(c);
+    iss.pending_ops[static_cast<std::size_t>(c)] =
+        static_cast<std::uint8_t>((1u << b.size()) - 1u);
+    iss.pending_count += static_cast<int>(b.size());
+  }
+}
+
+void merge_decision(benchmark::State& state, Technique t) {
+  MachineConfig cfg = MachineConfig::paper(2, t);
+  cfg.validate();
+  MergeEngine engine(cfg);
+  auto prog = dense_program();
+  ThreadContext a(0, prog), b(1, prog);
+  ExecPacket packet;
+  for (auto _ : state) {
+    packet.clear(cfg.clusters);
+    prime(a, cfg);
+    prime(b, cfg);
+    engine.try_select(a, 0, 0, packet);
+    engine.try_select(b, 2, 1, packet);
+    benchmark::DoNotOptimize(packet.ops.size());
+  }
+  state.SetItemsProcessed(state.iterations() * 2);
+}
+
+void BM_MergeDecision_CSMT(benchmark::State& s) {
+  merge_decision(s, Technique::csmt());
+}
+void BM_MergeDecision_CCSI(benchmark::State& s) {
+  merge_decision(s, Technique::ccsi(CommPolicy::kAlwaysSplit));
+}
+void BM_MergeDecision_SMT(benchmark::State& s) {
+  merge_decision(s, Technique::smt());
+}
+void BM_MergeDecision_COSI(benchmark::State& s) {
+  merge_decision(s, Technique::cosi(CommPolicy::kAlwaysSplit));
+}
+void BM_MergeDecision_OOSI(benchmark::State& s) {
+  merge_decision(s, Technique::oosi(CommPolicy::kAlwaysSplit));
+}
+
+BENCHMARK(BM_MergeDecision_CSMT);
+BENCHMARK(BM_MergeDecision_CCSI);
+BENCHMARK(BM_MergeDecision_SMT);
+BENCHMARK(BM_MergeDecision_COSI);
+BENCHMARK(BM_MergeDecision_OOSI);
+
+// Collision-logic primitives in isolation (the CL boxes of Figure 7).
+void BM_ClusterCollision(benchmark::State& state) {
+  std::uint32_t a = 0b0101, b = 0b1010;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cluster_collision(a, b));
+    a = (a * 5) & 0xF;
+    b = (b * 3 + 1) & 0xF;
+  }
+}
+BENCHMARK(BM_ClusterCollision);
+
+void BM_OperationCollision(benchmark::State& state) {
+  ClusterResourceConfig limits;
+  ResourceUse a, b;
+  a.add(ops::alu(Opcode::kAdd, 0, 1, 2, 3));
+  a.add(ops::mpyl(0, 4, 5, 6));
+  b.add(ops::load(Opcode::kLdw, 0, 7, 8, 0));
+  b.add(ops::alu(Opcode::kSub, 0, 1, 2, 3));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(operation_collision(a, b, limits, 1));
+  }
+}
+BENCHMARK(BM_OperationCollision);
+
+}  // namespace

@@ -1,0 +1,47 @@
+// Microbenchmark A6: simulator throughput (simulated cycles and operations
+// per wall-clock second) for representative configurations.
+#include <benchmark/benchmark.h>
+
+#include "sim/driver.hpp"
+#include "workloads/workloads.hpp"
+
+namespace {
+
+using namespace vexsim;
+
+void run_config(benchmark::State& state, int threads, Technique t,
+                const char* workload) {
+  const MachineConfig cfg = MachineConfig::paper(threads, t);
+  auto programs = wl::build_workload(wl::workload(workload), cfg, 0.05);
+  std::uint64_t cycles = 0, ops = 0;
+  for (auto _ : state) {
+    DriverParams params;
+    params.budget = 20'000;
+    params.timeslice = 10'000;
+    params.max_cycles = 10'000'000;
+    MultiprogramDriver driver(cfg, programs, params);
+    const RunResult r = driver.run();
+    cycles += r.sim.cycles;
+    ops += r.sim.ops_issued;
+  }
+  state.counters["sim_cycles/s"] = benchmark::Counter(
+      static_cast<double>(cycles), benchmark::Counter::kIsRate);
+  state.counters["sim_ops/s"] = benchmark::Counter(
+      static_cast<double>(ops), benchmark::Counter::kIsRate);
+}
+
+void BM_Sim_2T_CSMT(benchmark::State& s) {
+  run_config(s, 2, Technique::csmt(), "llmm");
+}
+void BM_Sim_4T_CCSI_AS(benchmark::State& s) {
+  run_config(s, 4, Technique::ccsi(CommPolicy::kAlwaysSplit), "llmm");
+}
+void BM_Sim_4T_OOSI_AS(benchmark::State& s) {
+  run_config(s, 4, Technique::oosi(CommPolicy::kAlwaysSplit), "hhhh");
+}
+
+BENCHMARK(BM_Sim_2T_CSMT)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Sim_4T_CCSI_AS)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Sim_4T_OOSI_AS)->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -1,0 +1,20 @@
+#include "arch/regfile.hpp"
+
+namespace vexsim {
+
+std::uint64_t RegFile::fingerprint(int clusters) const {
+  std::uint64_t h = 1469598103934665603ull;
+  auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xFF;
+      h *= 1099511628211ull;
+    }
+  };
+  for (int c = 0; c < clusters; ++c) {
+    for (int r = 1; r < kNumGprs; ++r) mix(gpr(c, r));
+    for (int b = 0; b < kNumBregs; ++b) mix(breg(c, b) ? 1 : 0);
+  }
+  return h;
+}
+
+}  // namespace vexsim

@@ -1,0 +1,58 @@
+// Per-thread clustered register state.
+//
+// Each cluster has its own general-purpose and branch register files (the
+// defining property of a clustered VLIW: functional units only reach their
+// local file; data moves across clusters via explicit send/recv). GPR 0 of
+// every cluster is hardwired to zero, as in VEX.
+//
+// The simulator models the *partitioned* multithreaded organization of
+// Section V-C: every hardware thread owns a private copy of this state, so
+// simultaneous last-part commits of different threads never contend for
+// write ports.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "isa/operation.hpp"
+
+namespace vexsim {
+
+class RegFile {
+ public:
+  [[nodiscard]] std::uint32_t gpr(int cluster, int idx) const {
+    return idx == 0 ? 0u : gpr_[index(cluster, idx, kNumGprs)];
+  }
+  void set_gpr(int cluster, int idx, std::uint32_t value) {
+    if (idx != 0) gpr_[index(cluster, idx, kNumGprs)] = value;
+  }
+
+  [[nodiscard]] bool breg(int cluster, int idx) const {
+    return breg_[index(cluster, idx, kNumBregs)];
+  }
+  void set_breg(int cluster, int idx, bool value) {
+    breg_[index(cluster, idx, kNumBregs)] = value;
+  }
+
+  void clear() {
+    gpr_.fill(0);
+    breg_.fill(false);
+  }
+
+  // Deterministic digest over the first `clusters` clusters; equivalence
+  // tests compare this across multithreading techniques.
+  [[nodiscard]] std::uint64_t fingerprint(int clusters) const;
+
+  friend bool operator==(const RegFile&, const RegFile&) = default;
+
+ private:
+  static std::size_t index(int cluster, int idx, int per_cluster) {
+    return static_cast<std::size_t>(cluster) *
+               static_cast<std::size_t>(per_cluster) +
+           static_cast<std::size_t>(idx);
+  }
+  std::array<std::uint32_t, kMaxClusters * kNumGprs> gpr_{};
+  std::array<bool, kMaxClusters * kNumBregs> breg_{};
+};
+
+}  // namespace vexsim

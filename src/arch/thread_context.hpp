@@ -1,0 +1,148 @@
+// Per-thread execution state: program position, registers, private memory,
+// issue progress of the current VLIW instruction, NUAL pending writes, and
+// the split-issue delay buffers of Section V-B.
+//
+// This is a data-oriented aggregate: the merge engine (src/core) and the
+// pipeline (src/sim) manipulate it directly. All cluster indices stored here
+// are *logical* (program view); the static cluster renaming of Section IV is
+// applied only when mapping to physical machine resources.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "arch/regfile.hpp"
+#include "isa/program.hpp"
+#include "mem/main_memory.hpp"
+
+namespace vexsim {
+
+enum class RunState : std::uint8_t { kReady, kHalted, kFaulted };
+
+// A register write in flight: issued, becomes visible `visible_at` (NUAL:
+// value lands `latency` cycles after issue; the compiler guarantees no
+// consumer reads earlier).
+struct PendingWrite {
+  std::uint64_t visible_at = 0;
+  std::uint64_t seq = 0;  // sequence number of the producing instruction
+  bool to_breg = false;
+  std::uint8_t cluster = 0;
+  std::uint8_t idx = 0;
+  std::uint32_t value = 0;
+};
+
+// Delay-buffer entries (Figure 9): results of split-issued operations are
+// held here and committed to the register file / memory when the last part
+// of the instruction issues.
+struct BufferedRegWrite {
+  bool to_breg = false;
+  std::uint8_t cluster = 0;
+  std::uint8_t idx = 0;
+  std::uint32_t value = 0;
+};
+
+struct BufferedStore {
+  std::uint8_t cluster = 0;  // logical cluster of the store unit
+  std::uint32_t addr = 0;
+  std::uint8_t size = 0;
+  std::uint32_t value = 0;
+};
+
+// Inter-cluster copy network state for one channel (Section V-E): either the
+// send arrived first (value buffered) or the recv did (destination register
+// remembered; the send then writes it directly).
+struct ChannelState {
+  bool has_value = false;
+  std::uint32_t value = 0;
+  bool recv_waiting = false;
+  std::uint8_t recv_cluster = 0;
+  std::uint8_t recv_dst = 0;
+};
+
+// Issue progress of the thread's current VLIW instruction. pending_ops[c] is
+// a bitmask over bundle positions still to issue on logical cluster c.
+struct IssueProgress {
+  bool active = false;
+  std::uint64_t seq = 0;
+  std::uint64_t started_at = 0;
+  std::array<std::uint8_t, kMaxClusters> pending_ops{};
+  int pending_count = 0;
+  bool was_split = false;  // issued over more than one cycle
+
+  [[nodiscard]] std::uint32_t pending_cluster_mask() const {
+    std::uint32_t m = 0;
+    for (int c = 0; c < kMaxClusters; ++c)
+      if (pending_ops[static_cast<std::size_t>(c)] != 0) m |= 1u << c;
+    return m;
+  }
+};
+
+struct FaultInfo {
+  bool pending = false;
+  std::uint32_t pc = 0;        // instruction index that faulted
+  std::uint32_t addr = 0;      // faulting data address
+};
+
+struct ThreadCounters {
+  std::uint64_t instructions = 0;  // VLIW instructions retired this run
+  std::uint64_t ops = 0;           // operations retired this run
+  std::uint64_t taken_branches = 0;
+  std::uint64_t split_instructions = 0;
+  std::uint64_t dmiss_block_cycles = 0;
+  std::uint64_t imiss_block_cycles = 0;
+};
+
+class ThreadContext {
+ public:
+  ThreadContext(int asid, std::shared_ptr<const Program> program);
+
+  // Restart the program from scratch (respawn): reloads data segments,
+  // clears registers/buffers, keeps `total_instructions` accumulating.
+  void respawn();
+
+  [[nodiscard]] const Program& program() const { return *program_; }
+  [[nodiscard]] std::shared_ptr<const Program> program_ptr() const {
+    return program_;
+  }
+  [[nodiscard]] int asid() const { return asid_; }
+
+  [[nodiscard]] const VliwInstruction& current_instruction() const {
+    return program_->code[pc];
+  }
+  [[nodiscard]] bool at_end() const { return pc >= program_->code.size(); }
+
+  // Architectural fingerprint (registers + memory): the quantity that must
+  // be identical across all multithreading techniques.
+  [[nodiscard]] std::uint64_t arch_fingerprint(int clusters) const;
+
+  // --- mutable execution state, driven by the simulator ---
+  std::uint32_t pc = 0;
+  RunState state = RunState::kReady;
+  std::uint64_t seq = 0;                // instructions started
+  std::uint64_t mem_block_until = 0;    // D-miss: next instruction gated
+  std::uint64_t fetch_ready_at = 0;     // I-miss gate
+  std::uint64_t next_issue_at = 0;      // branch-penalty gate
+  bool fetch_done = false;              // current pc fetched from ICache
+  std::int32_t redirect_target = -1;    // taken branch target, applied at completion
+  bool halt_at_completion = false;
+
+  RegFile regs;
+  MainMemory mem;
+  IssueProgress issue;
+  std::vector<PendingWrite> pending_writes;
+  std::vector<BufferedRegWrite> rf_buffer;
+  std::vector<BufferedStore> store_buffer;
+  std::array<ChannelState, kNumChannels> channels{};
+  FaultInfo fault;
+
+  ThreadCounters counters;
+  std::uint64_t total_instructions = 0;  // across respawns
+  std::uint64_t respawns = 0;
+
+ private:
+  int asid_;
+  std::shared_ptr<const Program> program_;
+};
+
+}  // namespace vexsim

@@ -1,0 +1,513 @@
+#include "cc/cluster_assign.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <array>
+#include <map>
+
+#include "util/check.hpp"
+
+namespace vexsim::cc {
+
+std::vector<VRegInfo> analyze_vregs(const IrFunction& fn) {
+  std::vector<VRegInfo> info(static_cast<std::size_t>(fn.next_vreg));
+  std::vector<int> def_block(static_cast<std::size_t>(fn.next_vreg), -1);
+  std::vector<int> use_outside(static_cast<std::size_t>(fn.next_vreg), 0);
+
+  for (std::size_t b = 0; b < fn.blocks.size(); ++b) {
+    for (const IrOp& op : fn.blocks[b].body) {
+      if (has_dst(op.opc)) {
+        auto& vi = info[static_cast<std::size_t>(op.dst)];
+        ++vi.def_count;
+        vi.is_breg = op.dst_is_breg;
+        if (def_block[static_cast<std::size_t>(op.dst)] == -1)
+          def_block[static_cast<std::size_t>(op.dst)] = static_cast<int>(b);
+        else if (def_block[static_cast<std::size_t>(op.dst)] !=
+                 static_cast<int>(b))
+          vi.global = true;  // defined in several blocks
+      }
+    }
+  }
+  auto mark_use = [&](VReg v, std::size_t b) {
+    if (v < 0) return;
+    if (def_block[static_cast<std::size_t>(v)] != static_cast<int>(b))
+      info[static_cast<std::size_t>(v)].global = true;
+  };
+  for (std::size_t b = 0; b < fn.blocks.size(); ++b) {
+    const IrBlock& blk = fn.blocks[b];
+    for (const IrOp& op : blk.body) {
+      if (reads_src1(op.opc)) mark_use(op.src1, b);
+      if (reads_src2(op.opc) && !op.src2_is_imm) mark_use(op.src2, b);
+      if (op.opc == Opcode::kSlct || op.opc == Opcode::kSlctf)
+        mark_use(op.bsrc, b);
+    }
+    if (blk.term == Terminator::kBranch) mark_use(blk.cond, b);
+  }
+  // Multi-def in one block also makes a vreg "global" for allocation
+  // purposes (it needs a stable register across its redefinitions).
+  for (auto& vi : info)
+    if (vi.def_count > 1) vi.global = true;
+
+  for (std::size_t v = 0; v < info.size(); ++v) {
+    VEXSIM_CHECK_MSG(!(info[v].is_breg && info[v].global),
+                     fn.name << ": breg vreg " << v
+                             << " escapes its block or is multiply defined; "
+                                "recompute the compare per block");
+  }
+  return info;
+}
+
+namespace {
+
+class Assigner {
+ public:
+  Assigner(const IrFunction& fn, const MachineConfig& cfg,
+           const std::vector<int>* preset_homes = nullptr)
+      : fn_(fn), cfg_(cfg) {
+    out_.name = fn.name;
+    out_.next_vreg = fn.next_vreg;
+    out_.info = analyze_vregs(fn);
+    def_cluster_.assign(static_cast<std::size_t>(fn.next_vreg), -1);
+    load_.fill(0.0);
+    if (preset_homes != nullptr) {
+      for (std::size_t v = 0; v < preset_homes->size(); ++v)
+        if ((*preset_homes)[v] >= 0 && out_.info[v].global)
+          out_.info[v].home_cluster = (*preset_homes)[v];
+    }
+  }
+
+  LFunction run() {
+    // Explicit hints always win for global homes.
+    for (const IrBlock& blk : fn_.blocks)
+      for (const IrOp& op : blk.body)
+        if (has_dst(op.opc) &&
+            out_.info[static_cast<std::size_t>(op.dst)].global &&
+            op.cluster_hint >= 0)
+          out_.info[static_cast<std::size_t>(op.dst)].home_cluster =
+              op.cluster_hint % cfg_.clusters;
+
+    for (std::size_t b = 0; b < fn_.blocks.size(); ++b) lower_block(b);
+    return std::move(out_);
+  }
+
+  // Cluster where each original vreg was first read as an operand, -1 if
+  // never. Used by the two-pass homing: a loop-carried value should live
+  // where its consumers compute, not where its init constant happened to
+  // land.
+  [[nodiscard]] const std::vector<int>& first_use_cluster() const {
+    return first_use_;
+  }
+
+  // Clusters that read each original vreg (bitmask), for the replication
+  // pre-pass.
+  [[nodiscard]] const std::vector<std::uint32_t>& use_clusters() const {
+    return use_clusters_;
+  }
+
+  // Induction-variable replication: globals whose every definition is a
+  // constant (movi) or a self-increment (g = g ± imm) are replicated onto
+  // every cluster that reads them — each cluster maintains its own copy with
+  // a cheap local ALU op instead of receiving the value through send/recv
+  // every iteration. This mirrors what clustering compilers do for loop
+  // counters and base pointers, and it is what keeps the static density of
+  // communication instructions low enough for the paper's NS configuration
+  // to matter.
+  void set_replicated(std::vector<std::uint32_t> masks) {
+    replicate_mask_ = std::move(masks);
+    replicate_mask_.resize(static_cast<std::size_t>(fn_.next_vreg), 0);
+  }
+
+ private:
+  // Per-block alias map: (vreg, cluster) → local alias vreg.
+  using AliasKey = std::pair<VReg, int>;
+
+  void lower_block(std::size_t b) {
+    const IrBlock& in = fn_.blocks[b];
+    out_.blocks.emplace_back();
+    LBlock& out = out_.blocks.back();
+    out.term = in.term;
+    out.branch_if_false = in.branch_if_false;
+    out.target = in.target;
+    aliases_.clear();
+    breg_clones_.clear();
+
+    for (const IrOp& op : in.body) {
+      const int cluster = choose_cluster(op);
+      LOp lop;
+      lop.opc = op.opc;
+      lop.dst = op.dst;
+      lop.dst_is_breg = op.dst_is_breg;
+      lop.src2_is_imm = op.src2_is_imm;
+      lop.imm = op.imm;
+      lop.mem_space = op.mem_space;
+      lop.cluster = cluster;
+      lop.src1 = reads_src1(op.opc)
+                     ? localize(op.src1, cluster, out)
+                     : kNoVReg;
+      lop.src2 = (reads_src2(op.opc) && !op.src2_is_imm)
+                     ? localize(op.src2, cluster, out)
+                     : kNoVReg;
+      if (op.opc == Opcode::kSlct || op.opc == Opcode::kSlctf)
+        lop.bsrc = localize_breg(op.bsrc, cluster, out);
+      if (has_dst(op.opc)) {
+        record_def(op.dst, cluster);
+        // Redefinition invalidates existing remote aliases of this vreg and
+        // stale rematerialization recipes that read it.
+        invalidate_aliases(op.dst);
+        for (auto it = remat_recipe_.begin(); it != remat_recipe_.end();) {
+          if (it->second.src1 == op.dst || it->second.src2 == op.dst ||
+              it->first == op.dst)
+            it = remat_recipe_.erase(it);
+          else
+            ++it;
+        }
+      }
+      note_class(lop);
+      out.body.push_back(lop);
+      // Mirror the definition onto every replica cluster.
+      if (has_dst(op.opc) &&
+          static_cast<std::size_t>(op.dst) < replicate_mask_.size() &&
+          replicate_mask_[static_cast<std::size_t>(op.dst)] != 0) {
+        emit_replica_defs(op, lop, cluster, out);
+      }
+      // Register rematerialization recipes: cheap single-output ALU ops
+      // whose register operands are replicated globals can be cloned onto
+      // any cluster instead of copied (address computations, typically).
+      if (has_dst(op.opc) && !op.dst_is_breg &&
+          op_class(op.opc) == OpClass::kAlu && op.opc != Opcode::kSlct &&
+          op.opc != Opcode::kSlctf &&
+          !out_.info[static_cast<std::size_t>(op.dst)].global) {
+        auto replicated_or_absent = [this](VReg v) {
+          return v < 0 ||
+                 (static_cast<std::size_t>(v) < replicate_mask_.size() &&
+                  replicate_mask_[static_cast<std::size_t>(v)] != 0);
+        };
+        const VReg s1 = reads_src1(op.opc) ? op.src1 : kNoVReg;
+        const VReg s2 = (reads_src2(op.opc) && !op.src2_is_imm) ? op.src2
+                                                                : kNoVReg;
+        if (replicated_or_absent(s1) && replicated_or_absent(s2))
+          remat_recipe_[op.dst] = op;
+      }
+    }
+
+    if (in.term == Terminator::kBranch) {
+      // The branch executes on logical cluster 0; its condition must live
+      // there.
+      out.cond = localize_breg(in.cond, 0, out);
+    } else {
+      out.cond = in.cond;
+    }
+  }
+
+  // Chooses the execution cluster for an op: honour hints; otherwise prefer
+  // operand affinity, tie-broken by class-weighted load balance (the greedy
+  // core of Bottom-Up Greedy).
+  int choose_cluster(const IrOp& op) {
+    if (op.cluster_hint >= 0) return op.cluster_hint % cfg_.clusters;
+    if (has_dst(op.opc)) {
+      const auto& vi = out_.info[static_cast<std::size_t>(op.dst)];
+      if (vi.global && vi.home_cluster >= 0) return vi.home_cluster;
+    }
+    std::array<double, kMaxClusters> score{};
+    auto operand_vote = [&](VReg v) {
+      if (v < 0) return;
+      // Values available on every cluster (replicated induction globals and
+      // rematerializable address computations) exert no pull — this is what
+      // lets independent unrolled lanes spread across the machine while
+      // real dataflow chains stay together.
+      if (static_cast<std::size_t>(v) < replicate_mask_.size() &&
+          replicate_mask_[static_cast<std::size_t>(v)] != 0)
+        return;
+      if (remat_recipe_.count(v) != 0) return;
+      const int dc = def_cluster_[static_cast<std::size_t>(v)];
+      if (dc >= 0) score[static_cast<std::size_t>(dc)] += 2.0;
+    };
+    if (reads_src1(op.opc)) operand_vote(op.src1);
+    if (reads_src2(op.opc) && !op.src2_is_imm) operand_vote(op.src2);
+    if (op.opc == Opcode::kSlct || op.opc == Opcode::kSlctf)
+      operand_vote(op.bsrc);
+
+    // Load terms are *relative imbalances* (anchored at the least-loaded
+    // cluster), so they act as graded tie-breakers: absolute counts would
+    // grow without bound over the function and eventually overpower operand
+    // affinity, tearing dependence chains apart. The balance weight mirrors
+    // the Multiflow/BUG behaviour of spreading work across all clusters
+    // when ILP allows (real VEX code touches every cluster, which is what
+    // creates the cluster conflicts the paper's techniques arbitrate).
+    double min_load = 1e30, min_class = 1e30;
+    for (int c = 0; c < cfg_.clusters; ++c) {
+      min_load = std::min(min_load, load_[static_cast<std::size_t>(c)]);
+      min_class = std::min(min_class, class_pressure(op, c));
+    }
+    int best = 0;
+    double best_score = -1e30;
+    for (int c = 0; c < cfg_.clusters; ++c) {
+      const double s = score[static_cast<std::size_t>(c)] -
+                       (load_[static_cast<std::size_t>(c)] - min_load) * 0.05 -
+                       (class_pressure(op, c) - min_class) * 0.3;
+      if (s > best_score + 1e-12) {
+        best_score = s;
+        best = c;
+      }
+    }
+    if (has_dst(op.opc)) {
+      auto& vi = out_.info[static_cast<std::size_t>(op.dst)];
+      if (vi.global && vi.home_cluster == -1) vi.home_cluster = best;
+    }
+    return best;
+  }
+
+  [[nodiscard]] double class_pressure(const IrOp& op, int c) const {
+    const auto cc = static_cast<std::size_t>(c);
+    switch (op_class(op.opc)) {
+      case OpClass::kMem:
+        return mem_count_[cc] / static_cast<double>(cfg_.cluster.mem_units);
+      case OpClass::kMul:
+        return mul_count_[cc] / static_cast<double>(cfg_.cluster.muls);
+      default:
+        return 0.0;
+    }
+  }
+
+  void record_def(VReg v, int cluster) {
+    def_cluster_[static_cast<std::size_t>(v)] = cluster;
+    load_[static_cast<std::size_t>(cluster)] += 1.0;
+  }
+
+  void note_class(const LOp& lop) {
+    const auto c = static_cast<std::size_t>(lop.cluster);
+    if (op_class(lop.opc) == OpClass::kMem) ++mem_count_[c];
+    if (op_class(lop.opc) == OpClass::kMul) ++mul_count_[c];
+  }
+
+  void invalidate_aliases(VReg v) {
+    for (auto it = aliases_.begin(); it != aliases_.end();) {
+      if (it->first.first == v)
+        it = aliases_.erase(it);
+      else
+        ++it;
+    }
+  }
+
+  // Returns (creating on demand) the replica vreg of induction global `v`
+  // on `cluster`.
+  VReg replica_of(VReg v, int cluster) {
+    const auto key = std::make_pair(v, cluster);
+    if (const auto it = replicas_.find(key); it != replicas_.end())
+      return it->second;
+    const VReg r = out_.next_vreg++;
+    out_.info.push_back(VRegInfo{false, /*global=*/true, cluster,
+                                 out_.info[static_cast<std::size_t>(v)]
+                                     .def_count});
+    def_cluster_.push_back(cluster);
+    replicas_[key] = r;
+    return r;
+  }
+
+  // Emits per-cluster clones of an induction-global definition (movi or
+  // self-increment) so every replica stays in lock-step.
+  void emit_replica_defs(const IrOp& op, const LOp& home_lop, int home_cluster,
+                         LBlock& out) {
+    const std::uint32_t mask =
+        replicate_mask_[static_cast<std::size_t>(op.dst)];
+    for (int c = 0; c < cfg_.clusters; ++c) {
+      if ((mask & (1u << c)) == 0 || c == home_cluster) continue;
+      LOp clone = home_lop;
+      clone.cluster = c;
+      clone.dst = replica_of(op.dst, c);
+      if (clone.opc != Opcode::kMovi) {
+        // Self-increment: g_c = g_c ± imm.
+        clone.src1 = replica_of(op.dst, c);
+      }
+      note_class(clone);
+      out.body.push_back(clone);
+    }
+  }
+
+  // Returns a vreg holding `v` on `cluster`, inserting a copy if needed.
+  VReg localize(VReg v, int cluster, LBlock& out) {
+    VEXSIM_CHECK_MSG(v >= 0, fn_.name << ": use of undefined value");
+    if (static_cast<std::size_t>(v) >= first_use_.size())
+      first_use_.resize(static_cast<std::size_t>(v) + 1, -1);
+    if (first_use_[static_cast<std::size_t>(v)] == -1)
+      first_use_[static_cast<std::size_t>(v)] = cluster;
+    if (static_cast<std::size_t>(v) >= use_clusters_.size())
+      use_clusters_.resize(static_cast<std::size_t>(v) + 1, 0);
+    use_clusters_[static_cast<std::size_t>(v)] |= 1u << cluster;
+    // Replicated induction globals resolve to the local copy.
+    if (static_cast<std::size_t>(v) < replicate_mask_.size() &&
+        (replicate_mask_[static_cast<std::size_t>(v)] & (1u << cluster)) !=
+            0) {
+      const auto& vi = out_.info[static_cast<std::size_t>(v)];
+      if (vi.home_cluster == cluster || def_cluster_[static_cast<std::size_t>(v)] == cluster)
+        return v;  // the home copy is the original
+      return replica_of(v, cluster);
+    }
+    int dc = def_cluster_[static_cast<std::size_t>(v)];
+    if (dc == -1) {
+      // Used before any def this pass has seen: a loop-carried global whose
+      // def appears later. Its home cluster decides; if none is pinned yet,
+      // the first use pins it (later defs are forced onto the home cluster).
+      auto& vi = out_.info[static_cast<std::size_t>(v)];
+      VEXSIM_CHECK_MSG(vi.global, fn_.name << ": use before def of local v"
+                                           << v);
+      if (vi.home_cluster < 0) vi.home_cluster = cluster;
+      dc = vi.home_cluster;
+      def_cluster_[static_cast<std::size_t>(v)] = dc;
+    }
+    if (dc == cluster) return v;
+    const AliasKey key{v, cluster};
+    if (const auto it = aliases_.find(key); it != aliases_.end())
+      return it->second;
+    // Prefer rematerialization over communication: clone the defining ALU
+    // op onto the using cluster when its operands are available there.
+    if (const auto rit = remat_recipe_.find(v); rit != remat_recipe_.end()) {
+      const IrOp& r = rit->second;
+      auto covered = [this, cluster](VReg o) {
+        return o < 0 ||
+               (static_cast<std::size_t>(o) < replicate_mask_.size() &&
+                (replicate_mask_[static_cast<std::size_t>(o)] &
+                 (1u << cluster)) != 0);
+      };
+      const VReg s1 = reads_src1(r.opc) ? r.src1 : kNoVReg;
+      const VReg s2 =
+          (reads_src2(r.opc) && !r.src2_is_imm) ? r.src2 : kNoVReg;
+      if (covered(s1) && covered(s2)) {
+        LOp clone;
+        clone.opc = r.opc;
+        clone.src2_is_imm = r.src2_is_imm;
+        clone.imm = r.imm;
+        clone.cluster = cluster;
+        clone.dst = out_.next_vreg++;
+        out_.info.push_back(VRegInfo{});
+        def_cluster_.push_back(cluster);
+        clone.src1 = s1 >= 0 ? localize(s1, cluster, out) : kNoVReg;
+        clone.src2 = s2 >= 0 ? localize(s2, cluster, out) : kNoVReg;
+        note_class(clone);
+        out.body.push_back(clone);
+        aliases_[key] = clone.dst;
+        ++out_.cmps_cloned;
+        return clone.dst;
+      }
+    }
+    LOp copy;
+    copy.opc = Opcode::kSend;  // marker; expanded to send+recv at emission
+    copy.is_copy = true;
+    copy.src1 = v;
+    copy.dst = out_.next_vreg++;
+    copy.cluster = dc;
+    copy.copy_dst_cluster = cluster;
+    out.body.push_back(copy);
+    out_.info.push_back(VRegInfo{});  // alias is a plain local gpr
+    def_cluster_.push_back(cluster);
+    aliases_[key] = copy.dst;
+    ++out_.copies_inserted;
+    return copy.dst;
+  }
+
+  // Returns a breg vreg holding the predicate on `cluster`, cloning the
+  // defining compare if it lives elsewhere.
+  VReg localize_breg(VReg v, int cluster, LBlock& out) {
+    VEXSIM_CHECK_MSG(v >= 0, fn_.name << ": use of undefined predicate");
+    const int dc = def_cluster_[static_cast<std::size_t>(v)];
+    VEXSIM_CHECK_MSG(dc != -1, fn_.name << ": predicate used before def");
+    if (dc == cluster) return v;
+    const AliasKey key{v, cluster};
+    if (const auto it = breg_clones_.find(key); it != breg_clones_.end())
+      return it->second;
+    // Find the defining compare in the lowered block (bregs are block-local
+    // by the analyze_vregs contract).
+    const LOp* def = nullptr;
+    for (const LOp& lop : out.body)
+      if (lop.dst == v && lop.dst_is_breg) def = &lop;
+    VEXSIM_CHECK_MSG(def != nullptr,
+                     fn_.name << ": predicate def not found in block");
+    LOp clone = *def;
+    // Register the clone's id and bookkeeping entries *before* localizing
+    // its operands — localize() may allocate further alias vregs and the
+    // info/def_cluster tables are indexed by vreg id.
+    clone.dst = out_.next_vreg++;
+    out_.info.push_back(VRegInfo{/*is_breg=*/true, false, cluster, 1});
+    def_cluster_.push_back(cluster);
+    clone.cluster = cluster;
+    clone.src1 = clone.src1 >= 0 ? localize(clone.src1, cluster, out)
+                                 : clone.src1;
+    if (!clone.src2_is_imm && clone.src2 >= 0)
+      clone.src2 = localize(clone.src2, cluster, out);
+    out.body.push_back(clone);
+    breg_clones_[key] = clone.dst;
+    ++out_.cmps_cloned;
+    return clone.dst;
+  }
+
+  const IrFunction& fn_;
+  const MachineConfig& cfg_;
+  LFunction out_;
+  std::vector<int> def_cluster_;
+  std::vector<int> first_use_;
+  std::vector<std::uint32_t> use_clusters_;
+  std::vector<std::uint32_t> replicate_mask_;
+  std::map<std::pair<VReg, int>, VReg> replicas_;
+  std::map<VReg, IrOp> remat_recipe_;
+  std::map<AliasKey, VReg> aliases_;
+  std::map<AliasKey, VReg> breg_clones_;
+  std::array<double, kMaxClusters> load_{};
+  std::array<int, kMaxClusters> mem_count_{};
+  std::array<int, kMaxClusters> mul_count_{};
+};
+
+}  // namespace
+
+LFunction assign_clusters(const IrFunction& fn, const MachineConfig& cfg) {
+  fn.validate();
+  // Two-pass Bottom-Up-Greedy flavour: the first pass discovers where each
+  // loop-carried (global) value is actually consumed; the second pass homes
+  // globals there, which keeps serial recurrences on one cluster instead of
+  // ping-ponging through inter-cluster copies.
+  Assigner discovery(fn, cfg);
+  (void)discovery.run();
+  std::vector<int> homes = discovery.first_use_cluster();
+  homes.resize(static_cast<std::size_t>(fn.next_vreg), -1);
+
+  // Induction-variable replication eligibility: globals whose every def is
+  // a constant load or a self-increment by an immediate, read on more than
+  // one cluster.
+  const std::vector<VRegInfo> info = analyze_vregs(fn);
+  std::vector<bool> eligible(static_cast<std::size_t>(fn.next_vreg), false);
+  for (VReg v = 0; v < fn.next_vreg; ++v)
+    eligible[static_cast<std::size_t>(v)] =
+        info[static_cast<std::size_t>(v)].global &&
+        !info[static_cast<std::size_t>(v)].is_breg;
+  for (const IrBlock& blk : fn.blocks) {
+    for (const IrOp& op : blk.body) {
+      if (!has_dst(op.opc)) continue;
+      const bool self_inc =
+          (op.opc == Opcode::kAdd || op.opc == Opcode::kSub) &&
+          op.src2_is_imm && op.src1 == op.dst;
+      if (op.opc != Opcode::kMovi && !self_inc)
+        eligible[static_cast<std::size_t>(op.dst)] = false;
+    }
+  }
+  std::vector<std::uint32_t> use_masks = discovery.use_clusters();
+  use_masks.resize(static_cast<std::size_t>(fn.next_vreg), 0);
+  std::vector<std::uint32_t> replicate(static_cast<std::size_t>(fn.next_vreg),
+                                       0);
+  for (VReg v = 0; v < fn.next_vreg; ++v) {
+    const std::uint32_t mask = use_masks[static_cast<std::size_t>(v)];
+    if (eligible[static_cast<std::size_t>(v)] &&
+        std::popcount(mask) >= 2) {
+      replicate[static_cast<std::size_t>(v)] = mask;
+      // Home the original on one of its use clusters.
+      if (homes[static_cast<std::size_t>(v)] >= 0 &&
+          (mask & (1u << homes[static_cast<std::size_t>(v)])) == 0)
+        homes[static_cast<std::size_t>(v)] =
+            std::countr_zero(mask);
+    }
+  }
+
+  Assigner final_pass(fn, cfg, &homes);
+  final_pass.set_replicated(std::move(replicate));
+  return final_pass.run();
+}
+
+}  // namespace vexsim::cc

@@ -1,0 +1,71 @@
+// Cluster assignment (Bottom-Up-Greedy-inspired) and inter-cluster copy
+// insertion.
+//
+// Output is the lowered function: every op carries a cluster, and every
+// cross-cluster value use goes through an explicit copy pseudo-op that the
+// backend later expands into a co-scheduled send/recv pair (VEX semantics:
+// both halves issue in the same VLIW instruction).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cc/ir.hpp"
+#include "isa/config.hpp"
+
+namespace vexsim::cc {
+
+struct VRegInfo {
+  bool is_breg = false;
+  bool global = false;      // multi-def or used outside its defining block
+  int home_cluster = -1;    // cluster of the (first) definition
+  int def_count = 0;
+};
+
+struct LOp {
+  Opcode opc = Opcode::kNop;
+  VReg dst = kNoVReg;
+  bool dst_is_breg = false;
+  VReg src1 = kNoVReg;
+  VReg src2 = kNoVReg;
+  bool src2_is_imm = false;
+  std::int32_t imm = 0;
+  VReg bsrc = kNoVReg;
+  int mem_space = kMemSpaceDefault;
+  int cluster = 0;              // execution cluster (send side for copies)
+  bool is_copy = false;         // expands to send(cluster) + recv(dst side)
+  int copy_dst_cluster = -1;
+
+  // Cluster whose register file holds the destination value.
+  [[nodiscard]] int def_cluster() const {
+    return is_copy ? copy_dst_cluster : cluster;
+  }
+};
+
+struct LBlock {
+  std::vector<LOp> body;
+  Terminator term = Terminator::kFallthrough;
+  VReg cond = kNoVReg;
+  bool branch_if_false = false;
+  int target = -1;
+};
+
+struct LFunction {
+  std::string name;
+  std::vector<LBlock> blocks;
+  VReg next_vreg = 0;
+  std::vector<VRegInfo> info;  // indexed by vreg
+  int copies_inserted = 0;
+  int cmps_cloned = 0;
+};
+
+// Classifies vregs (local vs global, breg vs gpr). Throws CheckError on
+// breg vregs that escape their defining block (unsupported; recompute the
+// compare per block instead).
+[[nodiscard]] std::vector<VRegInfo> analyze_vregs(const IrFunction& fn);
+
+[[nodiscard]] LFunction assign_clusters(const IrFunction& fn,
+                                        const MachineConfig& cfg);
+
+}  // namespace vexsim::cc

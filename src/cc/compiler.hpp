@@ -1,0 +1,37 @@
+// Compiler driver: IR → clustered, scheduled, register-allocated VLIW code.
+//
+// Pipeline (stand-in for the VEX / Multiflow toolchain of Section IV):
+//   1. analyze + assign_clusters  (BUG-style affinity + copy insertion)
+//   2. build_ddg + schedule       (latency/resource-exact list scheduling)
+//   3. allocate                   (stable globals + linear-scan locals)
+//   4. emit                       (send/recv expansion, branch patching,
+//                                  vertical-nop materialization, finalize)
+#pragma once
+
+#include "cc/ir.hpp"
+#include "isa/config.hpp"
+#include "isa/program.hpp"
+
+namespace vexsim::cc {
+
+struct CompileStats {
+  int instructions = 0;
+  int empty_instructions = 0;  // vertical nops
+  int operations = 0;
+  int copies_inserted = 0;
+  int cmps_cloned = 0;
+  int max_gpr_pressure = 0;
+
+  [[nodiscard]] double ops_per_instruction() const {
+    return instructions == 0
+               ? 0.0
+               : static_cast<double>(operations) / instructions;
+  }
+};
+
+// Compiles `fn` for the machine in `cfg`. The returned program is finalized
+// and validated. Throws CheckError on IR errors or register exhaustion.
+[[nodiscard]] Program compile(const IrFunction& fn, const MachineConfig& cfg,
+                              CompileStats* stats = nullptr);
+
+}  // namespace vexsim::cc

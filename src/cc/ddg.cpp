@@ -1,0 +1,112 @@
+#include "cc/ddg.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "util/check.hpp"
+
+namespace vexsim::cc {
+
+int producer_latency(const LOp& op, const LatencyConfig& lat) {
+  if (op.is_copy) return lat.comm;
+  if (op.dst_is_breg) return lat.cmp_to_branch;
+  return lat.for_class(op_class(op.opc));
+}
+
+BlockDdg build_ddg(const LBlock& block, const LatencyConfig& lat) {
+  const int n = static_cast<int>(block.body.size());
+  BlockDdg g;
+  g.num_nodes = n + 1;
+  g.succ.assign(static_cast<std::size_t>(g.num_nodes), {});
+  g.pred_count.assign(static_cast<std::size_t>(g.num_nodes), 0);
+
+  auto add_edge = [&g](int from, int to, int latency) {
+    if (from == to) return;
+    // Keep only the strongest edge between a pair (cheap linear check: DDG
+    // fan-outs are small).
+    for (DdgEdge& e : g.succ[static_cast<std::size_t>(from)]) {
+      if (e.to == to) {
+        e.latency = std::max(e.latency, latency);
+        return;
+      }
+    }
+    g.succ[static_cast<std::size_t>(from)].push_back(DdgEdge{to, latency});
+    ++g.pred_count[static_cast<std::size_t>(to)];
+  };
+
+  // Last def / uses-since-last-def per vreg (bregs tracked separately by the
+  // vreg id space being shared — dst_is_breg only matters for latency).
+  std::map<VReg, int> last_def;
+  std::map<VReg, std::vector<int>> uses_since_def;
+  // Memory ordering state per alias space.
+  std::map<int, int> last_store;
+  std::map<int, std::vector<int>> loads_since_store;
+
+  auto raw_use = [&](VReg v, int node) {
+    if (v < 0) return;
+    if (const auto it = last_def.find(v); it != last_def.end())
+      add_edge(it->second, node,
+               producer_latency(block.body[static_cast<std::size_t>(it->second)],
+                                lat));
+    uses_since_def[v].push_back(node);
+  };
+
+  for (int i = 0; i < n; ++i) {
+    const LOp& op = block.body[i];
+    // RAW on register operands.
+    if (op.is_copy) {
+      raw_use(op.src1, i);
+    } else {
+      if (reads_src1(op.opc)) raw_use(op.src1, i);
+      if (reads_src2(op.opc) && !op.src2_is_imm) raw_use(op.src2, i);
+      if (op.opc == Opcode::kSlct || op.opc == Opcode::kSlctf)
+        raw_use(op.bsrc, i);
+    }
+    // Memory ordering.
+    if (!op.is_copy && is_mem(op.opc) && op.mem_space != kMemSpaceReadOnly) {
+      if (is_store(op.opc)) {
+        if (const auto it = last_store.find(op.mem_space);
+            it != last_store.end())
+          add_edge(it->second, i, 1);  // store→store
+        for (int ld : loads_since_store[op.mem_space])
+          add_edge(ld, i, 0);  // load→store (WAR)
+        last_store[op.mem_space] = i;
+        loads_since_store[op.mem_space].clear();
+      } else {
+        if (const auto it = last_store.find(op.mem_space);
+            it != last_store.end())
+          add_edge(it->second, i, 1);  // store→load (RAW through memory)
+        loads_since_store[op.mem_space].push_back(i);
+      }
+    }
+    // Register output dependences.
+    const bool defines = op.is_copy || has_dst(op.opc);
+    if (defines) {
+      const VReg d = op.dst;
+      if (const auto it = last_def.find(d); it != last_def.end()) {
+        const int prev_lat = producer_latency(
+            block.body[static_cast<std::size_t>(it->second)], lat);
+        const int my_lat = producer_latency(op, lat);
+        add_edge(it->second, i, std::max(1, prev_lat - my_lat + 1));  // WAW
+      }
+      for (int use : uses_since_def[d]) add_edge(use, i, 0);  // WAR
+      last_def[d] = i;
+      uses_since_def[d].clear();
+    }
+  }
+
+  // Terminator reads its condition (compare-to-branch contract).
+  if (block.term == Terminator::kBranch) raw_use(block.cond, n);
+
+  // Priorities: longest path to any sink (critical-path list scheduling).
+  g.priority.assign(static_cast<std::size_t>(g.num_nodes), 0);
+  for (int i = g.num_nodes - 1; i >= 0; --i) {
+    int h = 0;
+    for (const DdgEdge& e : g.succ[static_cast<std::size_t>(i)])
+      h = std::max(h, e.latency + g.priority[static_cast<std::size_t>(e.to)]);
+    g.priority[static_cast<std::size_t>(i)] = h;
+  }
+  return g;
+}
+
+}  // namespace vexsim::cc

@@ -1,0 +1,38 @@
+// Data-dependence graph over one lowered block.
+//
+// Nodes are the block's ops plus one terminator node (index = body.size()).
+// Edge latencies encode the ISA contract the scheduler must honour:
+//   RAW gpr:   producer class latency (mem/mul = 2, alu = 1, copy = 1)
+//   RAW breg:  compare-to-branch delay (2) — applies to branches and slct
+//   WAR:       0 (same-cycle def is legal: reads observe old values)
+//   WAW:       max(1, lat(first) - lat(second) + 1) so writes land in order
+//   memory:    store→load / store→store = 1; load→store = 0; only within
+//              the same alias space (read-only space has no edges)
+#pragma once
+
+#include <vector>
+
+#include "cc/cluster_assign.hpp"
+
+namespace vexsim::cc {
+
+struct DdgEdge {
+  int to = 0;
+  int latency = 0;
+};
+
+struct BlockDdg {
+  int num_nodes = 0;  // body.size() + 1 (terminator node last)
+  std::vector<std::vector<DdgEdge>> succ;
+  std::vector<int> pred_count;
+  std::vector<int> priority;  // critical-path height (for list scheduling)
+
+  [[nodiscard]] int terminator_node() const { return num_nodes - 1; }
+};
+
+[[nodiscard]] BlockDdg build_ddg(const LBlock& block, const LatencyConfig& lat);
+
+// Latency of the value produced by `op` as seen by a consumer.
+[[nodiscard]] int producer_latency(const LOp& op, const LatencyConfig& lat);
+
+}  // namespace vexsim::cc

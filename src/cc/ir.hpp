@@ -1,0 +1,114 @@
+// Compiler intermediate representation.
+//
+// Stands in for the VEX C compiler front-end: benchmark kernels are written
+// against the Builder API below, then lowered by the backend passes
+// (cluster assignment → inter-cluster copy insertion → list scheduling →
+// register allocation → emission).
+//
+// Virtual registers are function-scoped and unbounded; the DDG and the
+// allocator distinguish *local* vregs (single block, single definition —
+// the common case for generator-unrolled loop bodies) from *global* vregs
+// (loop-carried or cross-block), which receive a stable physical register.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/opcode.hpp"
+
+namespace vexsim::cc {
+
+using VReg = std::int32_t;
+inline constexpr VReg kNoVReg = -1;
+
+// Memory alias spaces: ops in different spaces never alias; kReadOnly loads
+// may reorder freely with everything.
+inline constexpr int kMemSpaceDefault = 0;
+inline constexpr int kMemSpaceReadOnly = -1;
+
+struct IrOp {
+  Opcode opc = Opcode::kNop;
+  VReg dst = kNoVReg;
+  bool dst_is_breg = false;
+  VReg src1 = kNoVReg;
+  VReg src2 = kNoVReg;
+  bool src2_is_imm = false;
+  std::int32_t imm = 0;
+  VReg bsrc = kNoVReg;  // breg operand of slct/slctf
+  int mem_space = kMemSpaceDefault;
+  int cluster_hint = -1;  // fixed cluster when >= 0 (kernel placement hints)
+};
+
+enum class Terminator : std::uint8_t { kFallthrough, kBranch, kGoto, kHalt };
+
+struct IrBlock {
+  std::vector<IrOp> body;
+  Terminator term = Terminator::kFallthrough;
+  VReg cond = kNoVReg;        // breg vreg for kBranch
+  bool branch_if_false = false;
+  int target = -1;            // taken-path block index for kBranch / kGoto
+};
+
+struct IrFunction {
+  std::string name;
+  std::vector<IrBlock> blocks;
+  VReg next_vreg = 0;
+
+  [[nodiscard]] VReg fresh() { return next_vreg++; }
+  // Structural sanity: operands defined, targets in range, breg/gpr uses
+  // consistent. Throws CheckError.
+  void validate() const;
+};
+
+// Convenience construction layer used by the benchmark kernels and tests.
+class Builder {
+ public:
+  explicit Builder(std::string name);
+
+  [[nodiscard]] IrFunction take() &&;
+  [[nodiscard]] IrFunction& fn() { return fn_; }
+
+  // Blocks.
+  int new_block();                // returns block index; does not switch
+  void switch_to(int block);
+  [[nodiscard]] int current() const { return cur_; }
+
+  // Values.
+  VReg movi(std::int32_t value, int cluster = -1);
+  VReg alu(Opcode opc, VReg a, VReg b, int cluster = -1);
+  VReg alui(Opcode opc, VReg a, std::int32_t imm, int cluster = -1);
+  VReg mov(VReg a, int cluster = -1);
+  VReg mpy(VReg a, VReg b, int cluster = -1);
+  VReg mpyi(VReg a, std::int32_t imm, int cluster = -1);
+  VReg load(Opcode opc, VReg base, std::int32_t off,
+            int space = kMemSpaceDefault, int cluster = -1);
+  void store(Opcode opc, VReg base, std::int32_t off, VReg value,
+             int space = kMemSpaceDefault, int cluster = -1);
+  VReg cmp(Opcode opc, VReg a, VReg b, int cluster = -1);      // GPR 0/1
+  VReg cmpi(Opcode opc, VReg a, std::int32_t imm, int cluster = -1);
+  VReg cmp_b(Opcode opc, VReg a, VReg b, int cluster = -1);    // breg result
+  VReg cmpi_b(Opcode opc, VReg a, std::int32_t imm, int cluster = -1);
+  VReg slct(VReg b, VReg t, VReg f, int cluster = -1);
+
+  // Explicit multi-definition (loop-carried) assignment: dst must come from
+  // fresh_global(); generates a mov.
+  VReg fresh_global() { return fn_.fresh(); }
+  void assign(VReg dst, VReg src, int cluster = -1);
+  void assign_i(VReg dst, std::int32_t value, int cluster = -1);
+  void assign_alu(VReg dst, Opcode opc, VReg a, VReg b, int cluster = -1);
+  void assign_alui(VReg dst, Opcode opc, VReg a, std::int32_t imm,
+                   int cluster = -1);
+
+  // Terminators.
+  void branch(VReg cond_breg, int target_block, bool if_false = false);
+  void jump(int target_block);
+  void halt();
+
+ private:
+  IrOp& emit(IrOp op);
+  IrFunction fn_;
+  int cur_ = 0;
+};
+
+}  // namespace vexsim::cc

@@ -1,0 +1,115 @@
+#include "cc/irgen.hpp"
+
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace vexsim::cc {
+
+GeneratedIr generate_ir(std::uint64_t seed, const IrGenParams& params) {
+  Rng rng(seed);
+  GeneratedIr out;
+  out.data_base = params.data_base;
+
+  Builder b("irgen_" + std::to_string(seed));
+
+  // Scratch buffer contents (read-only half + read-write half).
+  out.init_words.resize(static_cast<std::size_t>(params.mem_words));
+  for (auto& w : out.init_words) w = rng.next_u32();
+
+  // Prologue: base pointer + loop-carried globals.
+  const VReg base = b.movi(static_cast<std::int32_t>(params.data_base));
+  std::vector<VReg> globals;
+  for (int g = 0; g < params.globals; ++g) {
+    const VReg v = b.fresh_global();
+    b.assign_i(v, static_cast<std::int32_t>(rng.below(1000)) - 500,
+               params.cluster_hints ? g % 4 : -1);
+    globals.push_back(v);
+  }
+  // Base must be visible everywhere; it is global by multi-block use.
+
+  const Opcode alu_ops[] = {Opcode::kAdd, Opcode::kSub,  Opcode::kAnd,
+                            Opcode::kOr,  Opcode::kXor,  Opcode::kMin,
+                            Opcode::kMax, Opcode::kShl,  Opcode::kShru,
+                            Opcode::kMpyl};
+  const Opcode cmp_ops[] = {Opcode::kCmpeq, Opcode::kCmpne, Opcode::kCmplt,
+                            Opcode::kCmpge, Opcode::kCmpltu};
+
+  for (int blk = 0; blk < params.blocks; ++blk) {
+    // Counted loop: counter counts down to zero.
+    const VReg counter = b.fresh_global();
+    const int trips = 1 + static_cast<int>(rng.below(
+                              static_cast<std::uint32_t>(params.trip_count_max)));
+    b.assign_i(counter, trips);
+    const int body = b.new_block();
+    b.jump(body);
+    b.switch_to(body);
+
+    // Pool of values usable as operands in this block.
+    std::vector<VReg> pool = globals;
+    pool.push_back(counter);
+
+    for (int i = 0; i < params.ops_per_block; ++i) {
+      const int hint =
+          params.cluster_hints && rng.chance(0.3)
+              ? static_cast<int>(rng.below(4))
+              : -1;
+      const double dice = rng.below(100) / 100.0;
+      if (params.use_memory && dice < 0.15) {
+        // Load from anywhere in the buffer.
+        const std::int32_t off = static_cast<std::int32_t>(
+            rng.below(static_cast<std::uint32_t>(params.mem_words))) * 4;
+        pool.push_back(b.load(Opcode::kLdw, base, off, kMemSpaceDefault,
+                              hint));
+      } else if (params.use_memory && dice < 0.25) {
+        // Store into the upper half of the buffer.
+        const std::int32_t off = static_cast<std::int32_t>(
+            params.mem_words / 2 +
+            static_cast<int>(rng.below(
+                static_cast<std::uint32_t>(params.mem_words / 2)))) * 4;
+        const VReg v = pool[rng.below(static_cast<std::uint32_t>(pool.size()))];
+        b.store(Opcode::kStw, base, off, v, kMemSpaceDefault, hint);
+      } else if (params.use_selects && dice < 0.35) {
+        const VReg x = pool[rng.below(static_cast<std::uint32_t>(pool.size()))];
+        const VReg y = pool[rng.below(static_cast<std::uint32_t>(pool.size()))];
+        const VReg p = b.cmpi_b(cmp_ops[rng.below(5)], x,
+                                static_cast<std::int32_t>(rng.below(64)),
+                                hint);
+        pool.push_back(b.slct(p, x, y, hint));
+      } else if (dice < 0.5) {
+        const VReg x = pool[rng.below(static_cast<std::uint32_t>(pool.size()))];
+        pool.push_back(b.alui(alu_ops[rng.below(10)], x,
+                              static_cast<std::int32_t>(rng.below(256)) - 128,
+                              hint));
+      } else {
+        const VReg x = pool[rng.below(static_cast<std::uint32_t>(pool.size()))];
+        const VReg y = pool[rng.below(static_cast<std::uint32_t>(pool.size()))];
+        pool.push_back(b.alu(alu_ops[rng.below(10)], x, y, hint));
+      }
+    }
+    // Fold a few values back into the accumulators.
+    for (std::size_t g = 0; g < globals.size(); ++g) {
+      if (!rng.chance(0.7)) continue;
+      const VReg x = pool[rng.below(static_cast<std::uint32_t>(pool.size()))];
+      b.assign_alu(globals[g], Opcode::kAdd, globals[g], x);
+    }
+    // Decrement and loop.
+    b.assign_alui(counter, Opcode::kAdd, counter, -1);
+    const VReg done = b.cmpi_b(Opcode::kCmpgt, counter, 0);
+    b.branch(done, body);
+
+    const int next = b.new_block();
+    b.switch_to(next);
+  }
+
+  // Epilogue: spill the accumulators so the memory fingerprint captures
+  // the whole computation, then halt.
+  for (std::size_t g = 0; g < globals.size(); ++g)
+    b.store(Opcode::kStw, base, static_cast<std::int32_t>(g) * 4, globals[g]);
+  b.halt();
+
+  out.fn = std::move(b).take();
+  return out;
+}
+
+}  // namespace vexsim::cc

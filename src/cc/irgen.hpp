@@ -1,0 +1,38 @@
+// Seeded random IR generator.
+//
+// Produces valid IR functions with loops, stores, loads, selects and
+// cross-cluster traffic. Used by the property tests (compile → run under
+// every multithreading technique → identical architectural state) and by
+// the compiler fuzz tests.
+#pragma once
+
+#include <cstdint>
+
+#include "cc/ir.hpp"
+#include "isa/program.hpp"
+
+namespace vexsim::cc {
+
+struct IrGenParams {
+  int blocks = 3;            // loop bodies (each becomes a counted loop)
+  int ops_per_block = 24;
+  int globals = 6;           // loop-carried accumulators
+  int trip_count_max = 6;
+  int mem_words = 64;        // size of the scratch buffer (loads/stores)
+  std::uint32_t data_base = 0x2000;
+  bool use_memory = true;
+  bool use_selects = true;
+  bool cluster_hints = false;  // occasionally pin ops to clusters
+};
+
+// Generated program = IR plus the data segment the loads expect.
+struct GeneratedIr {
+  IrFunction fn;
+  std::vector<std::uint32_t> init_words;  // at params.data_base
+  std::uint32_t data_base = 0;
+};
+
+[[nodiscard]] GeneratedIr generate_ir(std::uint64_t seed,
+                                      const IrGenParams& params = {});
+
+}  // namespace vexsim::cc

@@ -1,0 +1,158 @@
+#include "cc/regalloc.hpp"
+
+#include <algorithm>
+#include <array>
+#include <map>
+#include <queue>
+#include <set>
+
+#include "util/check.hpp"
+
+namespace vexsim::cc {
+
+namespace {
+
+struct Lifetime {
+  VReg v = kNoVReg;
+  int def_cycle = 0;
+  int free_cycle = 0;  // first cycle the register may be redefined
+  int def_index = 0;   // body index, for deterministic tie-breaking
+};
+
+}  // namespace
+
+Allocation allocate(const LFunction& fn, const FunctionSchedule& sched,
+                    const MachineConfig& cfg) {
+  Allocation alloc;
+  alloc.gpr_of.assign(static_cast<std::size_t>(fn.next_vreg), -1);
+  alloc.breg_of.assign(static_cast<std::size_t>(fn.next_vreg), -1);
+
+  // --- Globals: stable registers per home cluster, r62 downward. ---
+  std::array<int, kMaxClusters> next_global{};
+  next_global.fill(kNumGprs - 2);  // r62
+  for (VReg v = 0; v < fn.next_vreg; ++v) {
+    const VRegInfo& vi = fn.info[static_cast<std::size_t>(v)];
+    if (!vi.global) continue;
+    VEXSIM_CHECK_MSG(!vi.is_breg, fn.name << ": global breg vreg " << v);
+    const int c = vi.home_cluster >= 0 ? vi.home_cluster : 0;
+    VEXSIM_CHECK_MSG(next_global[static_cast<std::size_t>(c)] >= 1,
+                     fn.name << ": out of global registers on cluster " << c);
+    alloc.gpr_of[static_cast<std::size_t>(v)] =
+        next_global[static_cast<std::size_t>(c)]--;
+  }
+
+  // --- Locals: per block, per cluster, linear scan. ---
+  for (std::size_t b = 0; b < fn.blocks.size(); ++b) {
+    const LBlock& block = fn.blocks[b];
+    const BlockSchedule& bs = sched.blocks[b];
+    const int n = static_cast<int>(block.body.size());
+
+    // Gather lifetimes of locals defined in this block, keyed by def
+    // cluster; record last-use cycles.
+    std::map<VReg, Lifetime> life;
+    auto note_use = [&](VReg v, int cycle) {
+      if (v < 0) return;
+      const auto it = life.find(v);
+      if (it != life.end())
+        it->second.free_cycle = std::max(it->second.free_cycle, cycle + 1);
+    };
+    for (int i = 0; i < n; ++i) {
+      const LOp& op = block.body[static_cast<std::size_t>(i)];
+      const int cycle = bs.cycle_of[static_cast<std::size_t>(i)];
+      // Uses first (an op may read a local and define another).
+      if (op.is_copy) {
+        note_use(op.src1, cycle);
+      } else {
+        if (reads_src1(op.opc)) note_use(op.src1, cycle);
+        if (reads_src2(op.opc) && !op.src2_is_imm) note_use(op.src2, cycle);
+        if (op.opc == Opcode::kSlct || op.opc == Opcode::kSlctf)
+          note_use(op.bsrc, cycle);
+      }
+      const bool defines = op.is_copy || has_dst(op.opc);
+      if (!defines) continue;
+      const VRegInfo& vi = fn.info[static_cast<std::size_t>(op.dst)];
+      if (vi.global) continue;  // already allocated
+      Lifetime lt;
+      lt.v = op.dst;
+      lt.def_cycle = cycle;
+      // Dead values still hold the register until their write lands.
+      lt.free_cycle = cycle + producer_latency(op, cfg.lat);
+      lt.def_index = i;
+      life[op.dst] = lt;
+    }
+    if (block.term == Terminator::kBranch)
+      note_use(block.cond, bs.term_cycle);
+
+    // Partition by (cluster, breg?) and run the scans.
+    struct Scan {
+      std::vector<Lifetime> items;
+    };
+    std::map<std::pair<int, bool>, Scan> scans;
+    for (const auto& [v, lt] : life) {
+      const VRegInfo& vi = fn.info[static_cast<std::size_t>(v)];
+      // Find def cluster: copies define on copy_dst_cluster.
+      const LOp& def_op =
+          block.body[static_cast<std::size_t>(lt.def_index)];
+      scans[{def_op.def_cluster(), vi.is_breg}].items.push_back(lt);
+    }
+
+    for (auto& [key, scan] : scans) {
+      const bool is_breg = key.second;
+      std::sort(scan.items.begin(), scan.items.end(),
+                [](const Lifetime& a, const Lifetime& b) {
+                  return a.def_cycle != b.def_cycle
+                             ? a.def_cycle < b.def_cycle
+                             : a.def_index < b.def_index;
+                });
+      const int lo = is_breg ? 0 : 1;
+      const int hi = is_breg
+                         ? kNumBregs - 1
+                         : next_global[static_cast<std::size_t>(key.first)];
+      // Free list ordered by register index; busy set ordered by free cycle.
+      std::set<int> free_regs;
+      for (int r = lo; r <= hi; ++r) free_regs.insert(r);
+      using Busy = std::pair<int, int>;  // (free_cycle, reg)
+      std::priority_queue<Busy, std::vector<Busy>, std::greater<>> busy;
+      int in_use = 0;
+      for (const Lifetime& lt : scan.items) {
+        while (!busy.empty() && busy.top().first <= lt.def_cycle) {
+          free_regs.insert(busy.top().second);
+          busy.pop();
+          --in_use;
+        }
+        VEXSIM_CHECK_MSG(
+            !free_regs.empty(),
+            fn.name << ": register pressure too high on cluster " << key.first
+                    << (is_breg ? " (bregs)" : " (gprs)") << " in block " << b);
+        const int r = *free_regs.begin();
+        free_regs.erase(free_regs.begin());
+        busy.emplace(lt.free_cycle, r);
+        ++in_use;
+        alloc.max_gpr_pressure = std::max(alloc.max_gpr_pressure, in_use);
+        if (is_breg)
+          alloc.breg_of[static_cast<std::size_t>(lt.v)] = r;
+        else
+          alloc.gpr_of[static_cast<std::size_t>(lt.v)] = r;
+      }
+    }
+  }
+
+  // Breg-writing compares whose vreg is "local" were allocated above; any
+  // remaining unallocated breg vregs indicate an IR bug.
+  for (std::size_t b = 0; b < fn.blocks.size(); ++b) {
+    for (const LOp& op : fn.blocks[b].body) {
+      if (!op.is_copy && has_dst(op.opc) && op.dst_is_breg)
+        VEXSIM_CHECK_MSG(
+            alloc.breg_of[static_cast<std::size_t>(op.dst)] >= 0,
+            fn.name << " block " << b << ": breg vreg v" << op.dst
+                    << " unallocated (opc " << opcode_name(op.opc)
+                    << ", is_breg info "
+                    << fn.info[static_cast<std::size_t>(op.dst)].is_breg
+                    << ", global "
+                    << fn.info[static_cast<std::size_t>(op.dst)].global << ")");
+    }
+  }
+  return alloc;
+}
+
+}  // namespace vexsim::cc

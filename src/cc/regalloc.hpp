@@ -1,0 +1,34 @@
+// Register allocation over a scheduled, lowered function.
+//
+// Two vreg classes per cluster:
+//   - global vregs (loop-carried / cross-block): a stable physical register
+//     for the whole function, handed out from the top of the file (r62 down;
+//     r63 is reserved scratch, r0 is the hardwired zero);
+//   - local vregs (single block, single def): linear scan in schedule order
+//     with reuse, from r1 up. A register frees one cycle after
+//     max(last use, def + latency - 1), which keeps every reuse outside the
+//     producer's latency window (NUAL-safe under split-issue delays).
+// Branch registers (8 per cluster) are block-local by construction and are
+// allocated with the same linear scan.
+#pragma once
+
+#include <vector>
+
+#include "cc/schedule.hpp"
+
+namespace vexsim::cc {
+
+struct Allocation {
+  // Physical register per vreg (-1 = not a gpr / not allocated).
+  std::vector<int> gpr_of;
+  std::vector<int> breg_of;
+  int max_gpr_pressure = 0;  // diagnostics
+};
+
+// Throws CheckError when a cluster runs out of registers (the kernel must
+// be restructured or its unroll factor reduced).
+[[nodiscard]] Allocation allocate(const LFunction& fn,
+                                  const FunctionSchedule& sched,
+                                  const MachineConfig& cfg);
+
+}  // namespace vexsim::cc

@@ -1,0 +1,39 @@
+// Resource- and latency-exact list scheduling of a lowered function.
+//
+// Each block is scheduled independently (region scheduling; the kernels
+// provide ILP through generator-side unrolling, standing in for Trace
+// Scheduling's role in the VEX toolchain). Guarantees:
+//   - all DDG latencies respected within the block;
+//   - per-cycle, per-cluster resources respected (issue slots, ALUs, MULs,
+//     memory units, branch units); copies occupy a slot on both clusters of
+//     the pair in the same cycle and get a channel id (≤ kNumChannels per
+//     cycle);
+//   - conditional/unconditional branches are placed in the block's last
+//     instruction, at least cmp_to_branch cycles after their compare;
+//   - values live-out of the block (global vregs) are fully written before
+//     the block ends (the block is padded so def_cycle + latency - 1 ≤ end),
+//     which makes cross-block NUAL timing safe under any issue delay.
+#pragma once
+
+#include <vector>
+
+#include "cc/cluster_assign.hpp"
+#include "cc/ddg.hpp"
+
+namespace vexsim::cc {
+
+struct BlockSchedule {
+  std::vector<int> cycle_of;  // per body op
+  std::vector<int> chan_of;   // per body op; -1 unless a copy
+  int term_cycle = -1;        // cycle of the branch/goto/halt (if any)
+  int length = 0;             // instructions emitted for this block
+};
+
+struct FunctionSchedule {
+  std::vector<BlockSchedule> blocks;
+};
+
+[[nodiscard]] FunctionSchedule schedule(const LFunction& fn,
+                                        const MachineConfig& cfg);
+
+}  // namespace vexsim::cc

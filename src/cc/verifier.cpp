@@ -1,0 +1,79 @@
+#include "cc/verifier.hpp"
+
+#include <array>
+#include <sstream>
+
+#include "core/resources.hpp"
+#include "util/check.hpp"
+
+namespace vexsim::cc {
+
+std::vector<VerifyIssue> verify_program(const Program& prog,
+                                        const MachineConfig& cfg) {
+  std::vector<VerifyIssue> issues;
+  auto report = [&issues](std::size_t i, const std::string& what) {
+    issues.push_back(VerifyIssue{i, what});
+  };
+
+  for (std::size_t i = 0; i < prog.code.size(); ++i) {
+    const VliwInstruction& insn = prog.code[i];
+    int branches = 0;
+    std::array<int, kNumChannels> sends{};
+    std::array<int, kNumChannels> recvs{};
+
+    for (int c = 0; c < cfg.clusters; ++c) {
+      const Bundle& bundle = insn.bundle(c);
+      if (bundle.empty()) continue;
+      ResourceUse use;
+      for (const Operation& op : bundle) {
+        use.add(op);
+        if (static_cast<int>(op.cluster) != c)
+          report(i, "operation filed under wrong bundle");
+        if (is_branch(op.opc)) ++branches;
+        if (op.opc == Opcode::kSend) ++sends[op.chan];
+        if (op.opc == Opcode::kRecv) ++recvs[op.chan];
+        if (op.writes_gpr() && op.dst >= kNumGprs)
+          report(i, "gpr index out of range");
+        if (op.writes_breg() && op.dst >= kNumBregs)
+          report(i, "breg index out of range");
+        if (reads_bsrc(op.opc) && op.bsrc >= kNumBregs)
+          report(i, "bsrc index out of range");
+        if ((op.opc == Opcode::kBr || op.opc == Opcode::kBrf ||
+             op.opc == Opcode::kGoto) &&
+            (op.imm < 0 ||
+             static_cast<std::size_t>(op.imm) >= prog.code.size()))
+          report(i, "branch target out of range");
+      }
+      ResourceUse empty;
+      if (!empty.fits_with(use, cfg.cluster, cfg.branch_units_at(c))) {
+        std::ostringstream os;
+        os << "cluster " << c << " overcommitted: slots=" << int(use.slots)
+           << " alu=" << int(use.alu) << " mul=" << int(use.mul)
+           << " mem=" << int(use.mem) << " br=" << int(use.br);
+        report(i, os.str());
+      }
+    }
+    // A bundle on a cluster beyond the machine's cluster count is illegal.
+    for (int c = cfg.clusters; c < kMaxClusters; ++c)
+      if (!insn.bundle(c).empty())
+        report(i, "bundle on nonexistent cluster");
+
+    if (branches > 1) report(i, "multiple control-flow ops in instruction");
+    for (int ch = 0; ch < kNumChannels; ++ch) {
+      if (sends[ch] != recvs[ch])
+        report(i, "unpaired send/recv on channel " + std::to_string(ch));
+      if (sends[ch] > 1) report(i, "channel reused within instruction");
+    }
+  }
+  return issues;
+}
+
+void verify_or_throw(const Program& prog, const MachineConfig& cfg) {
+  const auto issues = verify_program(prog, cfg);
+  if (issues.empty()) return;
+  VEXSIM_CHECK_MSG(false, prog.name << "[" << issues.front().instr
+                                    << "]: " << issues.front().what << " ("
+                                    << issues.size() << " issue(s) total)");
+}
+
+}  // namespace vexsim::cc

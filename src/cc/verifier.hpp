@@ -1,0 +1,35 @@
+// Static legality verifier for compiled programs.
+//
+// Checks the properties the merging/split-issue hardware and the simulator
+// rely on:
+//   - per-instruction, per-cluster resource legality (slots and FU classes);
+//   - at most one control-flow operation per instruction;
+//   - send/recv pairing: every channel used by a send has exactly one recv
+//     in the same instruction and vice versa;
+//   - branch targets inside the program;
+//   - register indices in range.
+// (Latency/NUAL legality is enforced dynamically by the simulator's
+// latency-window checker, which sees the actual issue cycles.)
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "isa/config.hpp"
+#include "isa/program.hpp"
+
+namespace vexsim::cc {
+
+struct VerifyIssue {
+  std::size_t instr = 0;
+  std::string what;
+};
+
+// Returns all violations (empty = legal).
+[[nodiscard]] std::vector<VerifyIssue> verify_program(const Program& prog,
+                                                      const MachineConfig& cfg);
+
+// Convenience: throws CheckError listing the first violation.
+void verify_or_throw(const Program& prog, const MachineConfig& cfg);
+
+}  // namespace vexsim::cc

@@ -1,0 +1,144 @@
+#include "core/merge_engine.hpp"
+
+#include "util/check.hpp"
+
+namespace vexsim {
+
+bool MergeEngine::bundle_fits(const ResourceUse& use, int physical,
+                              const ExecPacket& packet) const {
+  const auto p = static_cast<std::size_t>(physical);
+  if (cfg_->technique.merge == MergeLevel::kCluster) {
+    // Cluster-level CL: the physical cluster must be completely unused.
+    return packet.used[p].empty();
+  }
+  return packet.used[p].fits_with(use, cfg_->cluster,
+                                  cfg_->branch_units_at(physical));
+}
+
+void MergeEngine::take(ThreadContext& ctx, int cluster, std::uint8_t mask,
+                       int rotation, ExecPacket& packet) {
+  const Bundle& bundle = ctx.current_instruction().bundle(cluster);
+  const int physical = physical_cluster(cluster, rotation);
+  const auto p = static_cast<std::size_t>(physical);
+  for (std::size_t i = 0; i < bundle.size(); ++i) {
+    if ((mask & (1u << i)) == 0) continue;
+    packet.used[p].add(bundle[i]);
+    SelectedOp sel;
+    sel.op = bundle[i];
+    sel.hw_slot = static_cast<std::int8_t>(hw_slot_);
+    sel.logical_cluster = static_cast<std::uint8_t>(cluster);
+    sel.physical_cluster = static_cast<std::uint8_t>(physical);
+    packet.ops.push_back(sel);
+    --ctx.issue.pending_count;
+  }
+  ctx.issue.pending_ops[static_cast<std::size_t>(cluster)] &=
+      static_cast<std::uint8_t>(~mask);
+  if (packet.owner[p] == -1) packet.owner[p] = static_cast<std::int8_t>(hw_slot_);
+}
+
+bool MergeEngine::select_whole(ThreadContext& ctx, int rotation,
+                               ExecPacket& packet) {
+  const VliwInstruction& insn = ctx.current_instruction();
+  // First pass: every pending bundle must fit simultaneously. Accumulate
+  // hypothetical use per physical cluster so two bundles of this thread that
+  // rename onto the same physical cluster are rejected coherently (cannot
+  // happen with rotation renaming, but keeps the check airtight).
+  for (int c = 0; c < cfg_->clusters; ++c) {
+    const std::uint8_t mask = ctx.issue.pending_ops[static_cast<std::size_t>(c)];
+    if (mask == 0) continue;
+    const ResourceUse use = bundle_use(insn.bundle(c), mask);
+    if (!bundle_fits(use, physical_cluster(c, rotation), packet)) return false;
+  }
+  for (int c = 0; c < cfg_->clusters; ++c) {
+    const std::uint8_t mask = ctx.issue.pending_ops[static_cast<std::size_t>(c)];
+    if (mask != 0) take(ctx, c, mask, rotation, packet);
+  }
+  return true;
+}
+
+int MergeEngine::select_bundles(ThreadContext& ctx, int rotation,
+                                ExecPacket& packet) {
+  const VliwInstruction& insn = ctx.current_instruction();
+  int selected = 0;
+  for (int c = 0; c < cfg_->clusters; ++c) {
+    const std::uint8_t mask = ctx.issue.pending_ops[static_cast<std::size_t>(c)];
+    if (mask == 0) continue;
+    const ResourceUse use = bundle_use(insn.bundle(c), mask);
+    if (!bundle_fits(use, physical_cluster(c, rotation), packet)) continue;
+    const int before = ctx.issue.pending_count;
+    take(ctx, c, mask, rotation, packet);
+    selected += before - ctx.issue.pending_count;
+  }
+  return selected;
+}
+
+int MergeEngine::select_operations(ThreadContext& ctx, int rotation,
+                                   ExecPacket& packet) {
+  const VliwInstruction& insn = ctx.current_instruction();
+  int selected = 0;
+  for (int c = 0; c < cfg_->clusters; ++c) {
+    const std::uint8_t mask = ctx.issue.pending_ops[static_cast<std::size_t>(c)];
+    if (mask == 0) continue;
+    const Bundle& bundle = insn.bundle(c);
+    const int physical = physical_cluster(c, rotation);
+    for (std::size_t i = 0; i < bundle.size(); ++i) {
+      if ((mask & (1u << i)) == 0) continue;
+      ResourceUse use;
+      use.add(bundle[i]);
+      if (!bundle_fits(use, physical, packet)) continue;
+      take(ctx, c, static_cast<std::uint8_t>(1u << i), rotation, packet);
+      ++selected;
+    }
+  }
+  return selected;
+}
+
+SelectResult MergeEngine::try_select(ThreadContext& ctx, int rotation,
+                                     int hw_slot, ExecPacket& packet) {
+  SelectResult result;
+  if (!ctx.issue.active || ctx.issue.pending_count == 0) return result;
+  hw_slot_ = hw_slot;
+
+  const int pending_before = ctx.issue.pending_count;
+  const bool whole_instruction_pending =
+      ctx.issue.pending_count == ctx.current_instruction().op_count();
+
+  SplitLevel split = cfg_->technique.split;
+  if (split != SplitLevel::kNone &&
+      cfg_->technique.comm == CommPolicy::kNoSplit &&
+      ctx.current_instruction().has_comm()) {
+    split = SplitLevel::kNone;  // NS: never split communication instructions
+    ++stats_.comm_nosplit_forced;
+  }
+
+  switch (split) {
+    case SplitLevel::kNone:
+      if (select_whole(ctx, rotation, packet))
+        result.ops_selected = pending_before;
+      break;
+    case SplitLevel::kCluster:
+      result.ops_selected = select_bundles(ctx, rotation, packet);
+      break;
+    case SplitLevel::kOperation:
+      result.ops_selected = select_operations(ctx, rotation, packet);
+      break;
+  }
+
+  result.selected_any = result.ops_selected > 0;
+  result.last_part = ctx.issue.pending_count == 0;
+  if (result.selected_any && !result.last_part) ctx.issue.was_split = true;
+  // An instruction that completes now but issued parts in earlier cycles was
+  // also split.
+  if (result.last_part && !whole_instruction_pending)
+    ctx.issue.was_split = true;
+
+  if (!result.selected_any)
+    ++stats_.blocked_selections;
+  else if (result.last_part && whole_instruction_pending)
+    ++stats_.full_selections;
+  else
+    ++stats_.partial_selections;
+  return result;
+}
+
+}  // namespace vexsim

@@ -1,0 +1,79 @@
+// The merge engine: the paper's merging hardware (Figure 7) for every
+// technique point in (merge level) × (split level) × (comm policy).
+//
+// Each cycle the simulator walks the hardware threads in priority order and
+// calls try_select() for each; the engine adds as much of the thread's
+// pending work to the execution packet as the technique permits:
+//
+//   split = none      → the whole remaining instruction merges or nothing
+//                        does (classic SMT / CSMT);
+//   split = cluster   → each pending *bundle* merges independently into its
+//                        cluster (CCSI / COSI) — no intra-bundle splitting;
+//   split = operation → each pending *operation* merges independently
+//                        (OOSI), one FU slot at a time.
+//
+// Under CommPolicy::kNoSplit, instructions containing send/recv operations
+// are forced back to all-or-nothing regardless of the split level.
+//
+// The engine also produces the paper's per-thread "last-part" signal: true
+// when the selection completed the thread's instruction this cycle, which is
+// when the delay buffers drain to the register file and memory.
+#pragma once
+
+#include "arch/thread_context.hpp"
+#include "core/exec_packet.hpp"
+#include "isa/config.hpp"
+
+namespace vexsim {
+
+struct SelectResult {
+  int ops_selected = 0;
+  bool selected_any = false;
+  bool last_part = false;   // thread's instruction fully issued this cycle
+};
+
+struct MergeEngineStats {
+  std::uint64_t full_selections = 0;     // instruction issued in one piece
+  std::uint64_t partial_selections = 0;  // at least one bundle/op deferred
+  std::uint64_t blocked_selections = 0;  // nothing could merge this cycle
+  std::uint64_t comm_nosplit_forced = 0; // NS forced all-or-nothing
+};
+
+class MergeEngine {
+ public:
+  explicit MergeEngine(const MachineConfig& cfg) : cfg_(&cfg) {}
+
+  // Adds pending work of the thread to `packet` according to the technique.
+  // `rotation` is the thread's static cluster-renaming rotation; `hw_slot`
+  // identifies the hardware thread context for the packet bookkeeping.
+  SelectResult try_select(ThreadContext& ctx, int rotation, int hw_slot,
+                          ExecPacket& packet);
+
+  [[nodiscard]] const MergeEngineStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = MergeEngineStats{}; }
+
+  [[nodiscard]] int physical_cluster(int logical, int rotation) const {
+    return (logical + rotation) % cfg_->clusters;
+  }
+
+ private:
+  // All-or-nothing selection (split disabled or NS-forced).
+  bool select_whole(ThreadContext& ctx, int rotation, ExecPacket& packet);
+  // Independent per-bundle selection (cluster-level split).
+  int select_bundles(ThreadContext& ctx, int rotation, ExecPacket& packet);
+  // Independent per-operation selection (operation-level split).
+  int select_operations(ThreadContext& ctx, int rotation, ExecPacket& packet);
+
+  [[nodiscard]] bool bundle_fits(const ResourceUse& use, int physical,
+                                 const ExecPacket& packet) const;
+
+  void take(ThreadContext& ctx, int cluster, std::uint8_t mask, int rotation,
+            ExecPacket& packet);
+
+  int hw_slot_ = -1;  // slot of the thread currently being selected
+
+  const MachineConfig* cfg_;
+  MergeEngineStats stats_;
+};
+
+}  // namespace vexsim

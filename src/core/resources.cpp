@@ -1,0 +1,42 @@
+#include "core/resources.hpp"
+
+namespace vexsim {
+
+void ResourceUse::add(const Operation& op) {
+  ++slots;
+  switch (op.cls()) {
+    case OpClass::kAlu: ++alu; break;
+    case OpClass::kMul: ++mul; break;
+    case OpClass::kMem: ++mem; break;
+    case OpClass::kBranch: ++br; break;
+    case OpClass::kComm:   // network ports are not a merge-limited resource
+    case OpClass::kNop:
+      break;
+  }
+}
+
+void ResourceUse::add(const ResourceUse& other) {
+  slots = static_cast<std::uint8_t>(slots + other.slots);
+  alu = static_cast<std::uint8_t>(alu + other.alu);
+  mul = static_cast<std::uint8_t>(mul + other.mul);
+  mem = static_cast<std::uint8_t>(mem + other.mem);
+  br = static_cast<std::uint8_t>(br + other.br);
+}
+
+bool ResourceUse::fits_with(const ResourceUse& extra,
+                            const ClusterResourceConfig& limits,
+                            int branch_units) const {
+  return slots + extra.slots <= limits.issue_slots &&
+         alu + extra.alu <= limits.alus && mul + extra.mul <= limits.muls &&
+         mem + extra.mem <= limits.mem_units &&
+         br + extra.br <= branch_units;
+}
+
+ResourceUse bundle_use(const Bundle& bundle, std::uint8_t mask) {
+  ResourceUse use;
+  for (std::size_t i = 0; i < bundle.size(); ++i)
+    if (mask & (1u << i)) use.add(bundle[i]);
+  return use;
+}
+
+}  // namespace vexsim

@@ -1,0 +1,68 @@
+#include "harness/experiments.hpp"
+
+#include "workloads/registry.hpp"
+#include "workloads/workloads.hpp"
+
+namespace vexsim::harness {
+
+ExperimentOptions ExperimentOptions::from_cli(const Cli& cli) {
+  ExperimentOptions opt;
+  if (cli.get_bool("paper", false)) {
+    opt.scale = 1.0;
+    opt.budget = 200'000'000;
+    opt.timeslice = 5'000'000;
+    opt.max_cycles = ~0ull;
+  }
+  if (cli.get_bool("quick", false)) {
+    opt.scale = 0.05;
+    opt.budget = 80'000;
+    opt.timeslice = 40'000;
+  }
+  opt.scale = cli.get_double("scale", opt.scale);
+  opt.budget = static_cast<std::uint64_t>(cli.get_int(
+      "budget", static_cast<std::int64_t>(opt.budget)));
+  opt.timeslice = static_cast<std::uint64_t>(cli.get_int(
+      "timeslice", static_cast<std::int64_t>(opt.timeslice)));
+  opt.seed = static_cast<std::uint64_t>(cli.get_int(
+      "seed", static_cast<std::int64_t>(opt.seed)));
+  return opt;
+}
+
+RunResult run_workload_on(const MachineConfig& cfg,
+                          const std::string& workload_name,
+                          const ExperimentOptions& opt) {
+  const wl::WorkloadSpec& spec = wl::workload(workload_name);
+  auto programs = wl::build_workload(spec, cfg, opt.scale);
+  DriverParams params;
+  params.timeslice = opt.timeslice;
+  params.budget = opt.budget;
+  params.max_cycles = opt.max_cycles;
+  params.seed = opt.seed;
+  params.respawn = true;
+  MultiprogramDriver driver(cfg, std::move(programs), params);
+  return driver.run();
+}
+
+RunResult run_workload(const std::string& workload_name, int threads,
+                       Technique technique, const ExperimentOptions& opt) {
+  const MachineConfig cfg = MachineConfig::paper(threads, technique);
+  return run_workload_on(cfg, workload_name, opt);
+}
+
+RunResult run_single(const std::string& benchmark, bool perfect_memory,
+                     const ExperimentOptions& opt) {
+  MachineConfig cfg = MachineConfig::paper_single();
+  cfg.icache.perfect = perfect_memory;
+  cfg.dcache.perfect = perfect_memory;
+  auto program = wl::make_benchmark(benchmark, cfg, opt.scale);
+  DriverParams params;
+  params.timeslice = ~0ull;  // single program: no switching
+  params.budget = opt.budget;
+  params.max_cycles = opt.max_cycles;
+  params.seed = opt.seed;
+  params.respawn = true;
+  MultiprogramDriver driver(cfg, {std::move(program)}, params);
+  return driver.run();
+}
+
+}  // namespace vexsim::harness

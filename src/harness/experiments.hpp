@@ -1,0 +1,47 @@
+// Experiment orchestration shared by the bench/ binaries.
+//
+// Scaling: the paper runs 200 M VLIW instructions per workload with 5 M-cycle
+// timeslices. Every experiment here accepts a scaled budget (default ≈ 1/800
+// of paper scale, minutes for the full suite) and `--paper` to restore the
+// original parameters. Workload mixes reach steady state well within the
+// scaled budgets thanks to the respawning scheme.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "isa/config.hpp"
+#include "sim/driver.hpp"
+#include "util/cli.hpp"
+
+namespace vexsim::harness {
+
+struct ExperimentOptions {
+  double scale = 0.1;                 // kernel outer-loop scaling
+  std::uint64_t budget = 250'000;     // VLIW instructions ending the run
+  std::uint64_t timeslice = 100'000;  // cycles between context switches
+  std::uint64_t max_cycles = 80'000'000;
+  std::uint64_t seed = 42;
+
+  // Applies --budget/--timeslice/--seed/--scale/--paper/--quick.
+  static ExperimentOptions from_cli(const Cli& cli);
+};
+
+// Runs one Figure-13(b) workload mix on the paper machine with `threads`
+// hardware contexts under `technique`.
+[[nodiscard]] RunResult run_workload(const std::string& workload_name,
+                                     int threads, Technique technique,
+                                     const ExperimentOptions& opt);
+
+// Runs one benchmark alone on the single-threaded paper machine, with real
+// or perfect memory (Figure 13(a) IPCr / IPCp).
+[[nodiscard]] RunResult run_single(const std::string& benchmark,
+                                   bool perfect_memory,
+                                   const ExperimentOptions& opt);
+
+// As run_workload but with an arbitrary machine config (ablations).
+[[nodiscard]] RunResult run_workload_on(const MachineConfig& cfg,
+                                        const std::string& workload_name,
+                                        const ExperimentOptions& opt);
+
+}  // namespace vexsim::harness

@@ -1,0 +1,93 @@
+#include "isa/config.hpp"
+
+#include "util/check.hpp"
+
+namespace vexsim {
+
+std::string to_string(MergeLevel m) {
+  return m == MergeLevel::kOperation ? "operation" : "cluster";
+}
+std::string to_string(SplitLevel s) {
+  switch (s) {
+    case SplitLevel::kNone: return "none";
+    case SplitLevel::kCluster: return "cluster";
+    case SplitLevel::kOperation: return "operation";
+  }
+  return "?";
+}
+std::string to_string(CommPolicy c) {
+  return c == CommPolicy::kNoSplit ? "NS" : "AS";
+}
+
+std::string Technique::name() const {
+  if (split == SplitLevel::kNone)
+    return merge == MergeLevel::kCluster ? "CSMT" : "SMT";
+  std::string base;
+  if (merge == MergeLevel::kCluster) {
+    base = "CCSI";
+  } else {
+    base = split == SplitLevel::kCluster ? "COSI" : "OOSI";
+  }
+  return base + " " + to_string(comm);
+}
+
+const Technique Technique::kAll[8] = {
+    Technique::csmt(),
+    Technique::ccsi(CommPolicy::kNoSplit),
+    Technique::ccsi(CommPolicy::kAlwaysSplit),
+    Technique::smt(),
+    Technique::cosi(CommPolicy::kNoSplit),
+    Technique::cosi(CommPolicy::kAlwaysSplit),
+    Technique::oosi(CommPolicy::kNoSplit),
+    Technique::oosi(CommPolicy::kAlwaysSplit),
+};
+
+int LatencyConfig::for_class(OpClass cls) const {
+  switch (cls) {
+    case OpClass::kAlu: return alu;
+    case OpClass::kMul: return mul;
+    case OpClass::kMem: return mem;
+    case OpClass::kComm: return comm;
+    case OpClass::kBranch:
+    case OpClass::kNop: return 1;
+  }
+  return 1;
+}
+
+void MachineConfig::validate() const {
+  VEXSIM_CHECK_MSG(clusters >= 1 && clusters <= kMaxClusters,
+                   "clusters out of range");
+  VEXSIM_CHECK_MSG(cluster.issue_slots >= 1 &&
+                       cluster.issue_slots <= kMaxIssuePerCluster,
+                   "issue slots out of range");
+  VEXSIM_CHECK_MSG(hw_threads >= 1, "need at least one hardware thread");
+  VEXSIM_CHECK_MSG(cluster.mem_units >= 0 && cluster.alus >= 0, "bad FUs");
+  // Operation-level split-issue only makes sense with operation-level
+  // merging (Figure 4 of the paper).
+  if (technique.split == SplitLevel::kOperation)
+    VEXSIM_CHECK_MSG(technique.merge == MergeLevel::kOperation,
+                     "operation-level split requires operation-level merging");
+  // A shared register file cannot supply the write ports split-issue needs
+  // (Section V-C): simultaneous last-parts of several threads.
+  if (technique.split != SplitLevel::kNone && hw_threads > 1)
+    VEXSIM_CHECK_MSG(rf_org == RegFileOrg::kPartitioned,
+                     "split-issue requires the partitioned register file");
+  VEXSIM_CHECK(lat.alu >= 1 && lat.mul >= 1 && lat.mem >= 1);
+}
+
+MachineConfig MachineConfig::paper(int threads, Technique t) {
+  MachineConfig cfg;
+  cfg.clusters = 4;
+  cfg.cluster = ClusterResourceConfig{};  // 4-issue: 4 ALU, 2 MUL, 1 LS
+  cfg.hw_threads = threads;
+  cfg.technique = t;
+  cfg.validate();
+  return cfg;
+}
+
+MachineConfig MachineConfig::paper_single() {
+  MachineConfig cfg = paper(1, Technique::smt());
+  return cfg;
+}
+
+}  // namespace vexsim

@@ -1,0 +1,121 @@
+// Machine configuration: geometry, latencies, caches, and the multithreading
+// technique axes studied by the paper.
+//
+// A technique is a point in (merge level) × (split level) × (comm policy):
+//
+//                     merge=operation      merge=cluster
+//   split=none        SMT                  CSMT
+//   split=cluster     COSI                 CCSI
+//   split=operation   OOSI                 —  (not meaningful, Fig. 4)
+//
+// with comm ∈ {NS: never split instructions containing send/recv,
+//              AS: always allow splitting them}.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "isa/operation.hpp"
+
+namespace vexsim {
+
+enum class MergeLevel : std::uint8_t { kOperation, kCluster };
+enum class SplitLevel : std::uint8_t { kNone, kCluster, kOperation };
+enum class CommPolicy : std::uint8_t { kNoSplit, kAlwaysSplit };
+enum class RegFileOrg : std::uint8_t { kPartitioned, kShared };
+
+[[nodiscard]] std::string to_string(MergeLevel m);
+[[nodiscard]] std::string to_string(SplitLevel s);
+[[nodiscard]] std::string to_string(CommPolicy c);
+
+struct Technique {
+  MergeLevel merge = MergeLevel::kOperation;
+  SplitLevel split = SplitLevel::kNone;
+  CommPolicy comm = CommPolicy::kNoSplit;
+
+  friend bool operator==(const Technique&, const Technique&) = default;
+
+  [[nodiscard]] std::string name() const;
+
+  static Technique smt() { return {MergeLevel::kOperation, SplitLevel::kNone, CommPolicy::kNoSplit}; }
+  static Technique csmt() { return {MergeLevel::kCluster, SplitLevel::kNone, CommPolicy::kNoSplit}; }
+  static Technique ccsi(CommPolicy c) { return {MergeLevel::kCluster, SplitLevel::kCluster, c}; }
+  static Technique cosi(CommPolicy c) { return {MergeLevel::kOperation, SplitLevel::kCluster, c}; }
+  static Technique oosi(CommPolicy c) { return {MergeLevel::kOperation, SplitLevel::kOperation, c}; }
+
+  // The eight techniques of Figure 16, in the paper's presentation order.
+  static const Technique kAll[8];
+};
+
+struct CacheConfig {
+  std::uint32_t size_bytes = 64 * 1024;
+  std::uint32_t assoc = 4;
+  std::uint32_t line_bytes = 64;
+  std::uint32_t miss_penalty = 20;
+  bool perfect = false;  // all accesses hit (the paper's IPCp configuration)
+};
+
+struct LatencyConfig {
+  int alu = 1;
+  int mul = 2;
+  int mem = 2;
+  int comm = 1;                 // recv write becomes visible next cycle
+  int cmp_to_branch = 2;        // ISA contract enforced by the compiler
+  int taken_branch_penalty = 1; // squashed fall-through fetch
+
+  [[nodiscard]] int for_class(OpClass cls) const;
+};
+
+// Per-cluster resources. The paper's 4-issue cluster: 4 ALUs, 2 multipliers,
+// 1 load/store unit; branches execute on cluster 0's branch unit.
+struct ClusterResourceConfig {
+  int issue_slots = 4;
+  int alus = 4;
+  int muls = 2;
+  int mem_units = 1;  // also the number of data-memory ports per cluster
+  int branch_units = 1;
+};
+
+struct MachineConfig {
+  int clusters = 4;
+  ClusterResourceConfig cluster;
+  // The compiler places control flow on *logical* cluster 0 (ST200
+  // convention), but cluster renaming rotates each thread's logical clusters
+  // across the machine, so every physical cluster carries a branch unit by
+  // default. Set this for single-thread / no-renaming studies.
+  bool branch_on_cluster0_only = false;
+  LatencyConfig lat;
+  CacheConfig icache;
+  CacheConfig dcache;
+  int hw_threads = 1;
+  Technique technique;        // ignored when hw_threads == 1
+  bool cluster_renaming = true;
+  RegFileOrg rf_org = RegFileOrg::kPartitioned;
+  bool stall_on_store_miss = false;  // ST200-style write buffer by default
+
+  [[nodiscard]] int total_issue_width() const {
+    return clusters * cluster.issue_slots;
+  }
+  [[nodiscard]] int branch_units_at(int c) const {
+    return (branch_on_cluster0_only && c != 0) ? 0 : cluster.branch_units;
+  }
+  // Static cluster-renaming rotation for hardware thread `tid`. Section IV:
+  // "Thread 0 is rotated by 0, Thread 1 by 1, Thread 2 by 2, and Thread 3
+  // by 3" — i.e. thread i rotates by i. Note this leaves 2-thread machines
+  // with *partially* overlapping footprints (rotations 0 and 1), which is
+  // precisely the contention cluster-level split-issue arbitrates.
+  [[nodiscard]] int renaming_rotation(int tid) const {
+    if (!cluster_renaming || hw_threads <= 1) return 0;
+    return tid % clusters;
+  }
+
+  // Throws CheckError when inconsistent (e.g. OOSI with cluster merging).
+  void validate() const;
+
+  // The paper's evaluation machine: 4 clusters × 4-issue, 64 KB 4-way I/D
+  // caches with a 20-cycle miss penalty, mem/mul latency 2.
+  static MachineConfig paper(int threads, Technique t);
+  static MachineConfig paper_single();  // 1 thread, no merging
+};
+
+}  // namespace vexsim

@@ -1,0 +1,36 @@
+// Binary encoding of VLIW instructions.
+//
+// Each operation encodes to one 64-bit word; immediates that do not fit in
+// 16 bits take one 64-bit extension word. The last operation word of an
+// instruction carries a stop bit (Lx/IA-64 style). An empty instruction
+// (compiler-emitted vertical nop cycle) encodes as a single nop word.
+//
+// The encoding exists for two reasons: it fixes the byte footprint of each
+// instruction (the ICache model indexes by real byte addresses) and it gives
+// tests a round-trip surface for the ISA.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "isa/program.hpp"
+
+namespace vexsim {
+
+// Encoded size of one instruction in bytes (multiple of 8, minimum 8).
+[[nodiscard]] std::uint32_t encoded_size_bytes(const VliwInstruction& insn);
+
+// Appends the encoding of `insn` to `out`.
+void encode(const VliwInstruction& insn, std::vector<std::uint64_t>& out);
+
+// Decodes one instruction starting at out[pos]; advances pos past it.
+[[nodiscard]] VliwInstruction decode(std::span<const std::uint64_t> words,
+                                     std::size_t& pos);
+
+[[nodiscard]] std::vector<std::uint64_t> encode_program(const Program& prog);
+// Decodes a full code stream (labels and data are not part of the encoding).
+[[nodiscard]] std::vector<VliwInstruction> decode_program(
+    std::span<const std::uint64_t> words);
+
+}  // namespace vexsim

@@ -1,0 +1,19 @@
+#include "isa/instruction.hpp"
+
+#include <sstream>
+
+namespace vexsim {
+
+std::string to_string(const VliwInstruction& insn) {
+  if (insn.empty()) return "nop";
+  std::ostringstream os;
+  bool first = true;
+  insn.for_each_op([&](const Operation& op) {
+    if (!first) os << " ; ";
+    first = false;
+    os << to_string(op);
+  });
+  return os.str();
+}
+
+}  // namespace vexsim

@@ -1,0 +1,86 @@
+// VLIW instruction = one bundle per cluster (Lx/VEX terminology).
+//
+// An *operation* is the basic execution unit; the operations scheduled to
+// execute at a given cluster in a given cycle form a *bundle*; the set of
+// bundles forms the *VLIW instruction*. Merging and split-issue act on this
+// structure: CSMT/CCSI at bundle granularity, SMT/COSI/OOSI at operation
+// granularity.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "isa/operation.hpp"
+#include "util/inline_vec.hpp"
+
+namespace vexsim {
+
+using Bundle = InlineVec<Operation, kMaxIssuePerCluster>;
+
+struct VliwInstruction {
+  std::array<Bundle, kMaxClusters> bundles;
+
+  // Appends `op` to the bundle of its own cluster.
+  void add(const Operation& op) { bundles[op.cluster].push_back(op); }
+
+  [[nodiscard]] const Bundle& bundle(int cluster) const {
+    return bundles[static_cast<std::size_t>(cluster)];
+  }
+  [[nodiscard]] Bundle& bundle(int cluster) {
+    return bundles[static_cast<std::size_t>(cluster)];
+  }
+
+  // Bitmask of clusters with a non-empty bundle.
+  [[nodiscard]] std::uint32_t used_cluster_mask() const {
+    std::uint32_t mask = 0;
+    for (int c = 0; c < kMaxClusters; ++c)
+      if (!bundles[static_cast<std::size_t>(c)].empty()) mask |= 1u << c;
+    return mask;
+  }
+
+  [[nodiscard]] int op_count() const {
+    int n = 0;
+    for (const Bundle& b : bundles) n += static_cast<int>(b.size());
+    return n;
+  }
+
+  [[nodiscard]] bool empty() const { return op_count() == 0; }
+
+  // True if any operation is a send or recv: such instructions are the
+  // subject of the paper's NS ("no split communication") configuration.
+  [[nodiscard]] bool has_comm() const {
+    for (const Bundle& b : bundles)
+      for (const Operation& op : b)
+        if (op.cls() == OpClass::kComm) return true;
+    return false;
+  }
+
+  [[nodiscard]] bool has_branch() const {
+    for (const Bundle& b : bundles)
+      for (const Operation& op : b)
+        if (is_branch(op.opc)) return true;
+    return false;
+  }
+
+  [[nodiscard]] bool has_mem() const {
+    for (const Bundle& b : bundles)
+      for (const Operation& op : b)
+        if (is_mem(op.opc)) return true;
+    return false;
+  }
+
+  template <typename Fn>
+  void for_each_op(Fn&& fn) const {
+    for (const Bundle& b : bundles)
+      for (const Operation& op : b) fn(op);
+  }
+
+  friend bool operator==(const VliwInstruction&,
+                         const VliwInstruction&) = default;
+};
+
+// Renders as one assembler line: ops joined by " ; ", "nop" when empty.
+[[nodiscard]] std::string to_string(const VliwInstruction& insn);
+
+}  // namespace vexsim

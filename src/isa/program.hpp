@@ -1,0 +1,50 @@
+// A program: finalized VLIW code plus initial data segments.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "isa/instruction.hpp"
+
+namespace vexsim {
+
+struct DataSegment {
+  std::uint32_t addr = 0;
+  std::vector<std::uint8_t> bytes;
+};
+
+struct Program {
+  std::string name;
+  std::vector<VliwInstruction> code;
+  std::vector<DataSegment> data;
+  std::uint32_t code_base = 0x0000'1000;  // byte address of instruction 0
+  std::map<std::uint32_t, std::string> labels;  // instr index -> label
+
+  // Derived by finalize(): byte address of each instruction (for the ICache
+  // model) computed from the binary encoding sizes.
+  std::vector<std::uint32_t> instr_addr;
+  std::uint32_t code_bytes = 0;
+
+  void finalize();
+  [[nodiscard]] bool finalized() const {
+    return instr_addr.size() == code.size();
+  }
+
+  [[nodiscard]] std::size_t size() const { return code.size(); }
+
+  // Data-segment builders.
+  void add_data(std::uint32_t addr, std::vector<std::uint8_t> bytes);
+  void add_data_words(std::uint32_t addr,
+                      const std::vector<std::uint32_t>& words);
+
+  // Sanity checks: branch targets in range, cluster indices within the given
+  // cluster count, register indices in range. Throws CheckError on violation.
+  void validate(int num_clusters) const;
+};
+
+// Multi-line disassembly with labels and instruction indices.
+[[nodiscard]] std::string to_string(const Program& prog);
+
+}  // namespace vexsim

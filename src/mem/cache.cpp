@@ -1,0 +1,65 @@
+#include "mem/cache.hpp"
+
+#include <bit>
+
+#include "util/check.hpp"
+
+namespace vexsim {
+
+Cache::Cache(const CacheConfig& cfg) : cfg_(cfg) {
+  VEXSIM_CHECK_MSG(std::has_single_bit(cfg.line_bytes), "line size not 2^n");
+  VEXSIM_CHECK(cfg.assoc >= 1);
+  VEXSIM_CHECK(cfg.size_bytes % (cfg.line_bytes * cfg.assoc) == 0);
+  sets_ = cfg.size_bytes / (cfg.line_bytes * cfg.assoc);
+  VEXSIM_CHECK_MSG(std::has_single_bit(sets_), "set count not 2^n");
+  line_shift_ = static_cast<std::uint32_t>(std::countr_zero(cfg.line_bytes));
+  ways_.assign(static_cast<std::size_t>(sets_) * cfg.assoc, Way{});
+}
+
+std::uint64_t Cache::tag_of(std::uint32_t asid, std::uint32_t addr) const {
+  return (static_cast<std::uint64_t>(asid) << 32) | (addr >> line_shift_);
+}
+
+std::uint32_t Cache::set_of(std::uint32_t addr) const {
+  return (addr >> line_shift_) & (sets_ - 1);
+}
+
+bool Cache::access(std::uint32_t asid, std::uint32_t addr) {
+  if (cfg_.perfect) {
+    ++stats_.hits;
+    return true;
+  }
+  ++tick_;
+  const std::uint64_t tag = tag_of(asid, addr);
+  Way* set = &ways_[static_cast<std::size_t>(set_of(addr)) * cfg_.assoc];
+  Way* victim = set;
+  for (std::uint32_t w = 0; w < cfg_.assoc; ++w) {
+    if (set[w].tag == tag) {
+      set[w].stamp = tick_;
+      ++stats_.hits;
+      return true;
+    }
+    if (set[w].stamp < victim->stamp) victim = &set[w];
+  }
+  victim->tag = tag;
+  victim->stamp = tick_;
+  ++stats_.misses;
+  return false;
+}
+
+bool Cache::would_hit(std::uint32_t asid, std::uint32_t addr) const {
+  if (cfg_.perfect) return true;
+  const std::uint64_t tag = tag_of(asid, addr);
+  const Way* set = &ways_[static_cast<std::size_t>(set_of(addr)) * cfg_.assoc];
+  for (std::uint32_t w = 0; w < cfg_.assoc; ++w)
+    if (set[w].tag == tag) return true;
+  return false;
+}
+
+void Cache::reset() {
+  for (Way& w : ways_) w = Way{};
+  tick_ = 0;
+  stats_ = CacheStats{};
+}
+
+}  // namespace vexsim

@@ -1,0 +1,63 @@
+// Set-associative LRU cache timing model.
+//
+// Pure timing: data lives in MainMemory; the cache only decides hit/miss and
+// accounts statistics. Tags carry an address-space id so the threads of a
+// multiprogrammed workload interfere in the shared cache exactly as they
+// would on the real SMT machine (the paper's single-level 64 KB 4-way
+// configuration for both ICache and DCache, 20-cycle miss penalty, no L2).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/config.hpp"
+
+namespace vexsim {
+
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  [[nodiscard]] std::uint64_t accesses() const { return hits + misses; }
+  [[nodiscard]] double miss_rate() const {
+    return accesses() == 0 ? 0.0
+                           : static_cast<double>(misses) /
+                                 static_cast<double>(accesses());
+  }
+};
+
+class Cache {
+ public:
+  explicit Cache(const CacheConfig& cfg);
+
+  // Returns true on hit. On miss the line is filled (write-allocate) with
+  // LRU replacement. Perfect caches always hit.
+  bool access(std::uint32_t asid, std::uint32_t addr);
+
+  // Hit/miss probe without side effects.
+  [[nodiscard]] bool would_hit(std::uint32_t asid, std::uint32_t addr) const;
+
+  [[nodiscard]] const CacheStats& stats() const { return stats_; }
+  [[nodiscard]] const CacheConfig& config() const { return cfg_; }
+  [[nodiscard]] std::uint32_t num_sets() const { return sets_; }
+  void reset();
+
+ private:
+  struct Way {
+    std::uint64_t tag = kInvalid;
+    std::uint64_t stamp = 0;
+  };
+  static constexpr std::uint64_t kInvalid = ~0ull;
+
+  [[nodiscard]] std::uint64_t tag_of(std::uint32_t asid,
+                                     std::uint32_t addr) const;
+  [[nodiscard]] std::uint32_t set_of(std::uint32_t addr) const;
+
+  CacheConfig cfg_;
+  std::uint32_t sets_ = 0;
+  std::uint32_t line_shift_ = 0;
+  std::vector<Way> ways_;  // sets_ × assoc
+  std::uint64_t tick_ = 0;
+  CacheStats stats_;
+};
+
+}  // namespace vexsim

@@ -1,0 +1,95 @@
+#include "mem/main_memory.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "util/check.hpp"
+
+namespace vexsim {
+
+const MainMemory::Page* MainMemory::find_page(std::uint32_t addr) const {
+  const auto it = pages_.find(addr >> kPageBits);
+  return it == pages_.end() ? nullptr : &it->second;
+}
+
+MainMemory::Page& MainMemory::page_for(std::uint32_t addr) {
+  Page& p = pages_[addr >> kPageBits];
+  if (p.empty()) p.resize(kPageSize, 0);
+  return p;
+}
+
+bool MainMemory::load(std::uint32_t addr, int size, std::uint32_t& out) const {
+  VEXSIM_CHECK(size == 1 || size == 2 || size == 4);
+  if (addr < kGuardLimit) return false;
+  if ((addr & (static_cast<std::uint32_t>(size) - 1)) != 0) return false;
+  const Page* p = find_page(addr);
+  // A whole access never crosses a page: pages are 64 KiB and aligned.
+  std::uint32_t v = 0;
+  if (p != nullptr) {
+    const std::uint32_t off = addr & (kPageSize - 1);
+    for (int i = size - 1; i >= 0; --i)
+      v = (v << 8) | (*p)[off + static_cast<std::uint32_t>(i)];
+  }
+  out = v;
+  return true;
+}
+
+bool MainMemory::store(std::uint32_t addr, int size, std::uint32_t value) {
+  VEXSIM_CHECK(size == 1 || size == 2 || size == 4);
+  if (addr < kGuardLimit) return false;
+  if ((addr & (static_cast<std::uint32_t>(size) - 1)) != 0) return false;
+  Page& p = page_for(addr);
+  const std::uint32_t off = addr & (kPageSize - 1);
+  for (int i = 0; i < size; ++i)
+    p[off + static_cast<std::uint32_t>(i)] =
+        static_cast<std::uint8_t>(value >> (8 * i));
+  return true;
+}
+
+void MainMemory::poke_bytes(std::uint32_t addr, const std::uint8_t* bytes,
+                            std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    Page& p = page_for(addr + static_cast<std::uint32_t>(i));
+    p[(addr + static_cast<std::uint32_t>(i)) & (kPageSize - 1)] = bytes[i];
+  }
+}
+
+void MainMemory::poke_u32(std::uint32_t addr, std::uint32_t value) {
+  const std::uint8_t bytes[4] = {
+      static_cast<std::uint8_t>(value), static_cast<std::uint8_t>(value >> 8),
+      static_cast<std::uint8_t>(value >> 16),
+      static_cast<std::uint8_t>(value >> 24)};
+  poke_bytes(addr, bytes, 4);
+}
+
+std::uint32_t MainMemory::peek_u32(std::uint32_t addr) const {
+  std::uint32_t v = 0;
+  if (load(addr, 4, v)) return v;
+  return 0;
+}
+
+std::uint64_t MainMemory::fingerprint() const {
+  // FNV-1a over (page index, page contents), pages visited in sorted order
+  // so the digest is independent of hash-map iteration order.
+  std::map<std::uint32_t, const Page*> ordered;
+  for (const auto& [idx, page] : pages_) ordered.emplace(idx, &page);
+  std::uint64_t h = 1469598103934665603ull;
+  auto mix = [&h](std::uint8_t b) {
+    h ^= b;
+    h *= 1099511628211ull;
+  };
+  for (const auto& [idx, page] : ordered) {
+    bool all_zero = true;
+    for (std::uint8_t b : *page)
+      if (b != 0) { all_zero = false; break; }
+    if (all_zero) continue;  // untouched-but-allocated pages don't count
+    mix(static_cast<std::uint8_t>(idx));
+    mix(static_cast<std::uint8_t>(idx >> 8));
+    mix(static_cast<std::uint8_t>(idx >> 16));
+    mix(static_cast<std::uint8_t>(idx >> 24));
+    for (std::uint8_t b : *page) mix(b);
+  }
+  return h;
+}
+
+}  // namespace vexsim

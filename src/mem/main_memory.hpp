@@ -1,0 +1,50 @@
+// Functional main memory: sparse, paged, little-endian, zero-initialized.
+//
+// Each benchmark thread owns a private address space (the evaluation runs
+// multiprogrammed workloads, not shared-memory ones). Accesses below
+// kGuardLimit or misaligned accesses fault — used by the precise-exception
+// machinery and its tests.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+namespace vexsim {
+
+class MainMemory {
+ public:
+  static constexpr std::uint32_t kPageBits = 16;  // 64 KiB pages
+  static constexpr std::uint32_t kPageSize = 1u << kPageBits;
+  static constexpr std::uint32_t kGuardLimit = 0x100;  // null-page guard
+
+  MainMemory() = default;
+
+  // size ∈ {1,2,4}. Returns false on fault (misaligned / guard page); the
+  // value is sign- or zero-extended by the caller (ISA level), not here.
+  [[nodiscard]] bool load(std::uint32_t addr, int size,
+                          std::uint32_t& out) const;
+  [[nodiscard]] bool store(std::uint32_t addr, int size, std::uint32_t value);
+
+  // Unchecked helpers for program loading and test setup.
+  void poke_bytes(std::uint32_t addr, const std::uint8_t* bytes,
+                  std::size_t n);
+  void poke_u32(std::uint32_t addr, std::uint32_t value);
+  [[nodiscard]] std::uint32_t peek_u32(std::uint32_t addr) const;
+
+  void clear() { pages_.clear(); }
+
+  // Deterministic digest of all touched pages — used by equivalence tests to
+  // compare final memory states across techniques.
+  [[nodiscard]] std::uint64_t fingerprint() const;
+
+ private:
+  using Page = std::vector<std::uint8_t>;
+  [[nodiscard]] const Page* find_page(std::uint32_t addr) const;
+  Page& page_for(std::uint32_t addr);
+
+  std::unordered_map<std::uint32_t, Page> pages_;
+};
+
+}  // namespace vexsim

@@ -1,0 +1,79 @@
+// Multiprogrammed workload driver (Section VI-A).
+//
+// The hardware thread slots are exposed as virtual CPUs; the driver
+// schedules as many benchmark instances as there are slots, with a fixed
+// timeslice. At timeslice expiry the pipeline drains, a context switch
+// replaces the running set with instances picked at random (seeded), and
+// execution continues. Benchmarks that finish are respawned. The run ends
+// when any instance has retired `budget` VLIW instructions in total.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "arch/thread_context.hpp"
+#include "isa/config.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace vexsim {
+
+struct DriverParams {
+  std::uint64_t timeslice = 5'000'000;  // cycles (paper value)
+  std::uint64_t budget = 200'000'000;   // VLIW instructions (paper value)
+  std::uint64_t max_cycles = ~0ull;     // safety valve
+  std::uint64_t seed = 12345;
+  bool respawn = true;  // restart finished benchmarks (paper behaviour)
+};
+
+struct InstanceResult {
+  std::string name;
+  std::uint64_t instructions = 0;  // VLIW, cumulative over respawns
+  std::uint64_t respawns = 0;
+  std::uint64_t arch_fingerprint = 0;
+  bool faulted = false;
+  ThreadCounters counters;
+};
+
+struct RunResult {
+  SimStats sim;
+  CacheStats icache;
+  CacheStats dcache;
+  MergeEngineStats merge;
+  std::vector<InstanceResult> instances;
+  int issue_width = 0;
+
+  [[nodiscard]] double ipc() const { return sim.ipc(); }
+};
+
+class MultiprogramDriver {
+ public:
+  MultiprogramDriver(const MachineConfig& cfg,
+                     std::vector<std::shared_ptr<const Program>> programs,
+                     DriverParams params);
+
+  // Runs the workload to the termination condition and returns statistics.
+  RunResult run();
+
+  // Access to contexts after run() — used by equivalence tests.
+  [[nodiscard]] const ThreadContext& instance(std::size_t i) const {
+    return *instances_[i];
+  }
+  [[nodiscard]] std::size_t num_instances() const { return instances_.size(); }
+
+ private:
+  void schedule_initial();
+  void context_switch();
+  [[nodiscard]] bool budget_reached() const;
+
+  MachineConfig cfg_;
+  DriverParams params_;
+  Simulator sim_;
+  Rng rng_;
+  std::vector<std::unique_ptr<ThreadContext>> instances_;
+  std::vector<int> running_;  // instance index per slot, -1 = empty
+};
+
+}  // namespace vexsim

@@ -1,0 +1,27 @@
+// Functional semantics of individual operations, shared by the
+// cycle-accurate simulator and the architectural reference interpreter.
+#pragma once
+
+#include <cstdint>
+
+#include "isa/opcode.hpp"
+#include "isa/operation.hpp"
+
+namespace vexsim {
+
+// Scalar result of ALU / MUL opcodes. `a` = src1 value, `b` = src2 value
+// (register or immediate, resolved by the caller), `bv` = branch-register
+// value for slct/slctf. Comparisons return 0/1.
+[[nodiscard]] std::uint32_t eval_scalar(Opcode opc, std::uint32_t a,
+                                        std::uint32_t b, bool bv);
+
+// Access size in bytes for a memory opcode.
+[[nodiscard]] int mem_access_size(Opcode opc);
+
+// Sign/zero extension of a raw loaded value according to the load opcode.
+[[nodiscard]] std::uint32_t extend_loaded(Opcode opc, std::uint32_t raw);
+
+// Branch decision for br/brf/goto given the branch-register value.
+[[nodiscard]] bool branch_taken(Opcode opc, bool bv);
+
+}  // namespace vexsim

@@ -1,0 +1,41 @@
+// Architectural reference interpreter.
+//
+// Executes a program one VLIW instruction at a time with *immediate* write
+// visibility: all operations of an instruction read the pre-instruction
+// state, then all effects apply at once. For compiler-legal programs (no
+// register read inside a producer's latency window — the LEQ contract) this
+// yields exactly the architectural state the cycle-accurate simulator must
+// reach under every multithreading technique; the equivalence property tests
+// are built on this.
+#pragma once
+
+#include <cstdint>
+
+#include "arch/thread_context.hpp"
+
+namespace vexsim {
+
+struct RefResult {
+  std::uint64_t instructions = 0;
+  std::uint64_t ops = 0;
+  bool halted = false;
+  bool faulted = false;
+  std::uint32_t fault_pc = 0;
+};
+
+class ReferenceInterpreter {
+ public:
+  explicit ReferenceInterpreter(int clusters) : clusters_(clusters) {}
+
+  // Runs until halt, fault, or `max_instructions` VLIW instructions.
+  RefResult run(ThreadContext& ctx, std::uint64_t max_instructions) const;
+
+  // Executes exactly one instruction (the one at ctx.pc). Returns false if
+  // the thread is not in a runnable state afterwards.
+  bool step(ThreadContext& ctx, RefResult& result) const;
+
+ private:
+  int clusters_;
+};
+
+}  // namespace vexsim

@@ -1,0 +1,465 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+
+#include "sim/exec.hpp"
+#include "util/check.hpp"
+
+namespace vexsim {
+
+namespace {
+// A store staged during the execute phase; applied after all operand reads
+// of the cycle so that same-instruction loads observe pre-instruction memory.
+struct StagedStore {
+  ThreadContext* ctx;
+  std::uint8_t cluster;
+  std::uint32_t addr;
+  std::uint8_t size;
+  std::uint32_t value;
+  bool buffered;  // split-issued: goes to the delay buffer, not memory
+};
+}  // namespace
+
+Simulator::Simulator(const MachineConfig& cfg)
+    : cfg_(cfg), merge_(cfg_), icache_(cfg.icache), dcache_(cfg.dcache) {
+  cfg_.validate();
+  packet_.clear(cfg_.clusters);
+}
+
+void Simulator::attach(int slot, ThreadContext* ctx) {
+  VEXSIM_CHECK(slot >= 0 && slot < cfg_.hw_threads);
+  VEXSIM_CHECK_MSG(slots_[static_cast<std::size_t>(slot)] == nullptr,
+                   "slot " << slot << " already occupied");
+  slots_[static_cast<std::size_t>(slot)] = ctx;
+  if (ctx != nullptr) {
+    ctx->program().validate(cfg_.clusters);
+    // A freshly (re)attached thread re-fetches its current instruction.
+    ctx->fetch_done = false;
+  }
+}
+
+ThreadContext* Simulator::detach(int slot) {
+  VEXSIM_CHECK(slot >= 0 && slot < cfg_.hw_threads);
+  ThreadContext* ctx = slots_[static_cast<std::size_t>(slot)];
+  slots_[static_cast<std::size_t>(slot)] = nullptr;
+  if (ctx == nullptr) return nullptr;
+  VEXSIM_CHECK_MSG(!ctx->issue.active,
+                   "detach requires a drained pipeline (instruction in flight)");
+  VEXSIM_CHECK(ctx->rf_buffer.empty() && ctx->store_buffer.empty());
+  // In-flight NUAL writes are architecturally determined; commit them now so
+  // the context can be rescheduled later (the switched-out thread's state
+  // must be precise).
+  for (const PendingWrite& w : ctx->pending_writes) {
+    if (w.to_breg)
+      ctx->regs.set_breg(w.cluster, w.idx, w.value != 0);
+    else
+      ctx->regs.set_gpr(w.cluster, w.idx, w.value);
+  }
+  ctx->pending_writes.clear();
+  return ctx;
+}
+
+bool Simulator::quiesced() const {
+  for (int s = 0; s < cfg_.hw_threads; ++s) {
+    const ThreadContext* ctx = slots_[static_cast<std::size_t>(s)];
+    if (ctx != nullptr && ctx->issue.active) return false;
+  }
+  return true;
+}
+
+void Simulator::commit_pending_writes(ThreadContext& ctx) {
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < ctx.pending_writes.size(); ++i) {
+    const PendingWrite& w = ctx.pending_writes[i];
+    if (w.visible_at > cycle_) {
+      ctx.pending_writes[kept++] = w;
+      continue;
+    }
+    if (ctx.issue.active && ctx.issue.seq == w.seq) {
+      // The producing instruction is still partially issued: the result goes
+      // to the split delay buffer (Figure 8) and drains at last-part.
+      ctx.rf_buffer.push_back(
+          BufferedRegWrite{w.to_breg, w.cluster, w.idx, w.value});
+    } else if (w.to_breg) {
+      ctx.regs.set_breg(w.cluster, w.idx, w.value != 0);
+    } else {
+      ctx.regs.set_gpr(w.cluster, w.idx, w.value);
+    }
+  }
+  ctx.pending_writes.resize(kept);
+}
+
+void Simulator::refill_slot(int slot) {
+  ThreadContext* ctx = slots_[static_cast<std::size_t>(slot)];
+  if (ctx == nullptr || ctx->state != RunState::kReady) return;
+  if (ctx->issue.active) return;
+  if (drain_) return;
+  if (cycle_ < ctx->mem_block_until) {
+    ++ctx->counters.dmiss_block_cycles;
+    return;
+  }
+  if (cycle_ < ctx->next_issue_at) return;
+  if (cycle_ < ctx->fetch_ready_at) {
+    ++ctx->counters.imiss_block_cycles;
+    return;
+  }
+  if (!ctx->fetch_done) {
+    const std::uint32_t addr = ctx->program().instr_addr[ctx->pc];
+    const bool hit =
+        icache_.access(static_cast<std::uint32_t>(ctx->asid()), addr);
+    ctx->fetch_done = true;
+    if (!hit) {
+      ctx->fetch_ready_at = cycle_ + cfg_.icache.miss_penalty;
+      ++ctx->counters.imiss_block_cycles;
+      return;
+    }
+  }
+  const VliwInstruction& insn = ctx->program().code[ctx->pc];
+  IssueProgress& iss = ctx->issue;
+  iss.active = true;
+  iss.seq = ++ctx->seq;
+  iss.started_at = cycle_;
+  iss.was_split = false;
+  iss.pending_count = 0;
+  for (int c = 0; c < cfg_.clusters; ++c) {
+    const Bundle& b = insn.bundle(c);
+    iss.pending_ops[static_cast<std::size_t>(c)] =
+        static_cast<std::uint8_t>((1u << b.size()) - 1u);
+    iss.pending_count += static_cast<int>(b.size());
+  }
+}
+
+void Simulator::assert_no_pending_write(const ThreadContext& ctx, bool to_breg,
+                                        int cluster, int idx) const {
+  // Less-than-or-equal machine contract: reading a register while a write to
+  // it is still in its latency window is a compiler scheduling bug. Writes of
+  // the *same* instruction are exempt — same-cycle reads legally observe the
+  // old value (Figure 3 swap semantics).
+  for (const PendingWrite& w : ctx.pending_writes) {
+    if (w.to_breg == to_breg && w.cluster == cluster && w.idx == idx &&
+        w.visible_at > cycle_ && w.seq != ctx.issue.seq) {
+      VEXSIM_CHECK_MSG(false, "NUAL violation: read of "
+                                  << (to_breg ? "b" : "r") << idx
+                                  << " on cluster " << cluster
+                                  << " during latency window (pc=" << ctx.pc
+                                  << ")");
+    }
+  }
+}
+
+void Simulator::write_result(ThreadContext& ctx, const Operation& op,
+                             std::uint32_t value, int latency) {
+  PendingWrite w;
+  w.visible_at = cycle_ + static_cast<std::uint64_t>(latency);
+  w.seq = ctx.issue.seq;
+  w.to_breg = op.dst_is_breg;
+  w.cluster = op.cluster;
+  w.idx = op.dst;
+  w.value = value;
+  ctx.pending_writes.push_back(w);
+}
+
+void Simulator::execute_op(const SelectedOp& sel, ThreadContext& ctx) {
+  if (ctx.fault.pending) return;  // instruction already faulted this cycle
+  const Operation& op = sel.op;
+  const int c = sel.logical_cluster;
+
+  auto read_gpr = [&](int idx) {
+    assert_no_pending_write(ctx, false, c, idx);
+    return ctx.regs.gpr(c, idx);
+  };
+  auto read_breg = [&](int idx) {
+    assert_no_pending_write(ctx, true, c, idx);
+    return ctx.regs.breg(c, idx);
+  };
+
+  switch (op.cls()) {
+    case OpClass::kNop:
+      break;
+    case OpClass::kAlu:
+    case OpClass::kMul: {
+      const std::uint32_t a = reads_src1(op.opc) ? read_gpr(op.src1) : 0;
+      const std::uint32_t b =
+          op.opc == Opcode::kMovi
+              ? static_cast<std::uint32_t>(op.imm)
+              : (reads_src2(op.opc)
+                     ? (op.src2_is_imm ? static_cast<std::uint32_t>(op.imm)
+                                       : read_gpr(op.src2))
+                     : 0);
+      const bool bv = reads_bsrc(op.opc) ? read_breg(op.bsrc) : false;
+      const std::uint32_t result = eval_scalar(op.opc, a, b, bv);
+      // Branch-register results obey the compare-to-branch delay (the ISA
+      // contract the compiler schedules against); GPR results use the
+      // functional-unit latency.
+      const int latency = op.dst_is_breg ? cfg_.lat.cmp_to_branch
+                                         : cfg_.lat.for_class(op.cls());
+      write_result(ctx, op, result, latency);
+      break;
+    }
+    case OpClass::kMem: {
+      const std::uint32_t addr =
+          read_gpr(op.src1) + static_cast<std::uint32_t>(op.imm);
+      const int size = mem_access_size(op.opc);
+      ++mem_port_use_[sel.physical_cluster];
+      const bool hit =
+          dcache_.access(static_cast<std::uint32_t>(ctx.asid()), addr);
+      if (is_load(op.opc)) {
+        std::uint32_t raw = 0;
+        if (!ctx.mem.load(addr, size, raw)) {
+          ctx.fault = FaultInfo{true, ctx.pc, addr};
+          return;
+        }
+        write_result(ctx, op, extend_loaded(op.opc, raw), cfg_.lat.mem);
+        if (!hit)
+          ctx.mem_block_until =
+              std::max(ctx.mem_block_until, cycle_ + cfg_.dcache.miss_penalty);
+      } else {
+        const std::uint32_t value = read_gpr(op.src2);
+        // Fault detection happens at issue; the actual write is staged and
+        // applied after all reads so same-cycle loads see old memory.
+        if (addr < MainMemory::kGuardLimit ||
+            (addr & (static_cast<std::uint32_t>(size) - 1)) != 0) {
+          ctx.fault = FaultInfo{true, ctx.pc, addr};
+          return;
+        }
+        if (!hit && cfg_.stall_on_store_miss)
+          ctx.mem_block_until =
+              std::max(ctx.mem_block_until, cycle_ + cfg_.dcache.miss_penalty);
+        staged_store_ = StagedStoreData{true, op.cluster, addr,
+                                        static_cast<std::uint8_t>(size), value};
+      }
+      break;
+    }
+    case OpClass::kBranch: {
+      if (op.opc == Opcode::kHalt) {
+        ctx.halt_at_completion = true;
+        break;
+      }
+      const bool bv = reads_bsrc(op.opc) ? read_breg(op.bsrc) : false;
+      if (branch_taken(op.opc, bv)) ctx.redirect_target = op.imm;
+      break;
+    }
+    case OpClass::kComm: {
+      ChannelState& ch = ctx.channels[op.chan];
+      if (op.opc == Opcode::kSend) {
+        const std::uint32_t v = read_gpr(op.src1);
+        if (ch.recv_waiting) {
+          // Recv issued first (Figure 12d): the buffered destination
+          // register is written directly when the data arrives.
+          Operation dst_op;
+          dst_op.cluster = ch.recv_cluster;
+          dst_op.dst = ch.recv_dst;
+          write_result(ctx, dst_op, v, cfg_.lat.comm);
+          ch = ChannelState{};
+        } else {
+          ch.has_value = true;
+          ch.value = v;
+        }
+      } else {  // recv
+        if (ch.has_value) {
+          write_result(ctx, op, ch.value, cfg_.lat.comm);
+          ch = ChannelState{};
+        } else {
+          ch.recv_waiting = true;
+          ch.recv_cluster = op.cluster;
+          ch.recv_dst = op.dst;
+        }
+      }
+      break;
+    }
+  }
+}
+
+void Simulator::rollback_fault(ThreadContext& ctx) {
+  // Split-issued parts never touched the architectural state: discarding
+  // the delay buffers and the faulting instruction's in-flight writes
+  // restores the boundary before the instruction (Section V-B).
+  ctx.rf_buffer.clear();
+  ctx.store_buffer.clear();
+  std::erase_if(ctx.pending_writes, [&](const PendingWrite& w) {
+    return w.seq == ctx.issue.seq;
+  });
+  // Earlier instructions' in-flight writes are architecturally committed.
+  for (const PendingWrite& w : ctx.pending_writes) {
+    if (w.to_breg)
+      ctx.regs.set_breg(w.cluster, w.idx, w.value != 0);
+    else
+      ctx.regs.set_gpr(w.cluster, w.idx, w.value);
+  }
+  ctx.pending_writes.clear();
+  ctx.channels.fill(ChannelState{});
+  ctx.issue = IssueProgress{};
+  ctx.redirect_target = -1;
+  ctx.halt_at_completion = false;
+  ctx.fetch_done = false;
+  ctx.state = RunState::kFaulted;
+  ++stats_.faults;
+}
+
+void Simulator::complete_instruction(int slot, ThreadContext& ctx) {
+  const int rotation = cfg_.renaming_rotation(slot);
+  // Drain the delay buffers (last-part commit, Figure 8/9).
+  for (const BufferedRegWrite& w : ctx.rf_buffer) {
+    if (w.to_breg)
+      ctx.regs.set_breg(w.cluster, w.idx, w.value != 0);
+    else
+      ctx.regs.set_gpr(w.cluster, w.idx, w.value);
+  }
+  ctx.rf_buffer.clear();
+  for (const BufferedStore& s : ctx.store_buffer) {
+    // Buffered stores contend for the cluster's memory ports when they
+    // finally commit (Figure 11).
+    ++mem_port_use_[merge_.physical_cluster(s.cluster, rotation)];
+    const bool ok = ctx.mem.store(s.addr, s.size, s.value);
+    VEXSIM_CHECK(ok);  // faults were detected at issue
+  }
+  ctx.store_buffer.clear();
+  ctx.channels.fill(ChannelState{});
+
+  const VliwInstruction& insn = ctx.program().code[ctx.pc];
+  ++ctx.counters.instructions;
+  ++ctx.total_instructions;
+  ctx.counters.ops += static_cast<std::uint64_t>(insn.op_count());
+  ++stats_.instructions_retired;
+  if (ctx.issue.was_split) {
+    ++stats_.split_instructions;
+    ++ctx.counters.split_instructions;
+  }
+
+  std::uint32_t next = ctx.pc + 1;
+  if (ctx.redirect_target >= 0) {
+    next = static_cast<std::uint32_t>(ctx.redirect_target);
+    ctx.next_issue_at =
+        cycle_ + 1 + static_cast<std::uint64_t>(cfg_.lat.taken_branch_penalty);
+    ++stats_.taken_branches;
+    ++ctx.counters.taken_branches;
+  }
+  ctx.redirect_target = -1;
+  ctx.issue.active = false;
+  ctx.fetch_done = false;
+
+  if (ctx.halt_at_completion || next >= ctx.program().code.size()) {
+    // The final instruction's in-flight writes are architecturally
+    // determined; commit them so the halted state is precise.
+    for (const PendingWrite& w : ctx.pending_writes) {
+      if (w.to_breg)
+        ctx.regs.set_breg(w.cluster, w.idx, w.value != 0);
+      else
+        ctx.regs.set_gpr(w.cluster, w.idx, w.value);
+    }
+    ctx.pending_writes.clear();
+    ctx.state = RunState::kHalted;
+    return;
+  }
+  ctx.pc = next;
+}
+
+int Simulator::step() {
+  ++cycle_;
+
+  // Global structural stall: buffered stores draining through too few
+  // memory ports ("the pipeline is stalled till all the memory operations
+  // have been performed", Section V-D).
+  if (cycle_ < stall_until_) {
+    packet_.clear(cfg_.clusters);  // nothing issues this cycle
+    ++stats_.cycles;
+    ++stats_.memport_stall_cycles;
+    ++stats_.vertical_waste_cycles;
+    return 0;
+  }
+
+  for (int s = 0; s < cfg_.hw_threads; ++s)
+    if (ThreadContext* ctx = slots_[static_cast<std::size_t>(s)])
+      commit_pending_writes(*ctx);
+
+  for (int s = 0; s < cfg_.hw_threads; ++s) refill_slot(s);
+
+  // Merge: rotating thread priority (Section VI-A).
+  packet_.clear(cfg_.clusters);
+  const int n = cfg_.hw_threads;
+  for (int k = 0; k < n; ++k) {
+    const int s = (priority_base_ + k) % n;
+    ThreadContext* ctx = slots_[static_cast<std::size_t>(s)];
+    if (ctx == nullptr || ctx->state != RunState::kReady) continue;
+    merge_.try_select(*ctx, cfg_.renaming_rotation(s), s, packet_);
+  }
+  priority_base_ = (priority_base_ + 1) % n;
+
+  // Execute.
+  mem_port_use_.fill(0);
+  std::array<bool, kMaxHwThreads> thread_in_packet{};
+  static thread_local std::vector<StagedStore> staged;
+  staged.clear();
+  for (const SelectedOp& sel : packet_.ops) {
+    ThreadContext& ctx = *slots_[static_cast<std::size_t>(sel.hw_slot)];
+    thread_in_packet[static_cast<std::size_t>(sel.hw_slot)] = true;
+    staged_store_ = StagedStoreData{};
+    execute_op(sel, ctx);
+    if (staged_store_.valid) {
+      const bool buffered = ctx.issue.pending_count > 0;  // not the last part
+      staged.push_back(StagedStore{&ctx, staged_store_.cluster,
+                                   staged_store_.addr, staged_store_.size,
+                                   staged_store_.value, buffered});
+    }
+  }
+  for (const StagedStore& st : staged) {
+    if (st.ctx->fault.pending) continue;
+    if (st.buffered) {
+      st.ctx->store_buffer.push_back(
+          BufferedStore{st.cluster, st.addr, st.size, st.value});
+    } else {
+      const bool ok = st.ctx->mem.store(st.addr, st.size, st.value);
+      VEXSIM_CHECK(ok);
+    }
+  }
+
+  // Complete / fault.
+  for (int s = 0; s < n; ++s) {
+    ThreadContext* ctx = slots_[static_cast<std::size_t>(s)];
+    if (ctx == nullptr) continue;
+    if (ctx->fault.pending) {
+      rollback_fault(*ctx);
+      continue;
+    }
+    if (ctx->issue.active && ctx->issue.pending_count == 0)
+      complete_instruction(s, *ctx);
+  }
+
+  // Memory-port pressure beyond the per-cluster port count stalls issue for
+  // the excess cycles.
+  int excess = 0;
+  for (int c = 0; c < cfg_.clusters; ++c)
+    excess += std::max(0, mem_port_use_[static_cast<std::size_t>(c)] -
+                              cfg_.cluster.mem_units);
+  if (excess > 0) stall_until_ = cycle_ + 1 + static_cast<std::uint64_t>(excess);
+
+  // Accounting.
+  const int ops = packet_.op_count();
+  ++stats_.cycles;
+  stats_.ops_issued += static_cast<std::uint64_t>(ops);
+  if (ops == 0) {
+    ++stats_.vertical_waste_cycles;
+    if (drain_) ++stats_.drain_cycles;
+  }
+  int threads_active = 0;
+  for (int s = 0; s < n; ++s)
+    if (thread_in_packet[static_cast<std::size_t>(s)]) ++threads_active;
+  if (threads_active > 1) ++stats_.multi_thread_cycles;
+  return ops;
+}
+
+bool Simulator::run_to_halt(std::uint64_t max_cycles) {
+  const std::uint64_t limit = cycle_ + max_cycles;
+  while (cycle_ < limit) {
+    bool any_live = false;
+    for (int s = 0; s < cfg_.hw_threads; ++s) {
+      const ThreadContext* ctx = slots_[static_cast<std::size_t>(s)];
+      if (ctx != nullptr && ctx->state == RunState::kReady) any_live = true;
+    }
+    if (!any_live) return true;
+    step();
+  }
+  return false;
+}
+
+}  // namespace vexsim

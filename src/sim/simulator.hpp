@@ -1,0 +1,108 @@
+// The cycle-accurate SMT clustered VLIW machine.
+//
+// Pipeline model per cycle:
+//   1. commit NUAL pending writes that become visible this cycle;
+//   2. refill hardware slots whose thread can start its next instruction
+//      (gated by branch penalty, D-miss block and ICache fetch);
+//   3. merge: walk slots in rotating priority order, each contributing as
+//      much pending work as the configured technique allows (MergeEngine);
+//   4. execute the packet: operand read at issue, result write scheduled
+//      `latency` cycles out (into the split delay buffer while the owning
+//      instruction is still partially issued), D-cache timing, send/recv
+//      channel transfers, branch resolution;
+//   5. complete instructions whose last part issued: flush delay buffers
+//      (counting memory-port conflicts for buffered stores → global stall),
+//      retire, redirect PC, handle halt/fault.
+//
+// Faults (e.g. a load touching the guard page) roll the thread back to the
+// instruction boundary: split-issued parts only ever wrote the delay
+// buffers, so rollback = discard buffers (Section V-B).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+
+#include "arch/thread_context.hpp"
+#include "core/exec_packet.hpp"
+#include "core/merge_engine.hpp"
+#include "isa/config.hpp"
+#include "mem/cache.hpp"
+#include "sim/run_stats.hpp"
+
+namespace vexsim {
+
+class Simulator {
+ public:
+  explicit Simulator(const MachineConfig& cfg);
+
+  // Slot management (contexts are owned by the caller / driver).
+  void attach(int slot, ThreadContext* ctx);
+  // Detaching flushes the context's in-flight pending writes (the drained
+  // pipeline state is architecturally committed at a context switch).
+  ThreadContext* detach(int slot);
+  [[nodiscard]] ThreadContext* slot(int i) const {
+    return slots_[static_cast<std::size_t>(i)];
+  }
+  [[nodiscard]] int num_slots() const { return cfg_.hw_threads; }
+
+  // Advance one cycle. Returns the number of operations issued.
+  int step();
+
+  // When true, no slot starts a *new* instruction (in-flight ones finish);
+  // used by the driver to drain before a context switch.
+  void set_drain(bool on) { drain_ = on; }
+  [[nodiscard]] bool quiesced() const;
+
+  [[nodiscard]] std::uint64_t cycle() const { return cycle_; }
+  [[nodiscard]] const MachineConfig& config() const { return cfg_; }
+  [[nodiscard]] const SimStats& stats() const { return stats_; }
+  [[nodiscard]] SimStats& stats() { return stats_; }
+  [[nodiscard]] const MergeEngine& merge_engine() const { return merge_; }
+  [[nodiscard]] Cache& icache() { return icache_; }
+  [[nodiscard]] Cache& dcache() { return dcache_; }
+
+  // Last cycle's packet, for tracing tools and the figure tests.
+  [[nodiscard]] const ExecPacket& last_packet() const { return packet_; }
+
+  // Convenience: run until all attached threads halt or `max_cycles` pass.
+  // Returns true if everything halted.
+  bool run_to_halt(std::uint64_t max_cycles);
+
+ private:
+  void commit_pending_writes(ThreadContext& ctx);
+  void refill_slot(int slot);
+  void execute_op(const SelectedOp& sel, ThreadContext& ctx);
+  void complete_instruction(int slot, ThreadContext& ctx);
+  void rollback_fault(ThreadContext& ctx);
+  void write_result(ThreadContext& ctx, const Operation& op,
+                    std::uint32_t value, int latency);
+  void assert_no_pending_write(const ThreadContext& ctx, bool to_breg,
+                               int cluster, int idx) const;
+
+  // A store captured during execute_op; applied after all reads of the cycle.
+  struct StagedStoreData {
+    bool valid = false;
+    std::uint8_t cluster = 0;
+    std::uint32_t addr = 0;
+    std::uint8_t size = 0;
+    std::uint32_t value = 0;
+  };
+
+  MachineConfig cfg_;
+  MergeEngine merge_;
+  Cache icache_;
+  Cache dcache_;
+  StagedStoreData staged_store_;
+  std::array<ThreadContext*, kMaxHwThreads> slots_{};  // ≤ hw_threads used
+  ExecPacket packet_;
+  std::uint64_t cycle_ = 0;
+  std::uint64_t stall_until_ = 0;  // global memory-port drain stall
+  int priority_base_ = 0;
+  bool drain_ = false;
+  // Per-cycle memory-port pressure per physical cluster.
+  std::array<int, kMaxClusters> mem_port_use_{};
+  SimStats stats_;
+};
+
+}  // namespace vexsim

@@ -1,0 +1,90 @@
+#include "stats/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <iostream>
+#include <numeric>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace vexsim {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+Table& Table::add_row(std::vector<std::string> cells) {
+  VEXSIM_CHECK_MSG(cells.size() == headers_.size(),
+                   "row width " << cells.size() << " != header width "
+                                << headers_.size());
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+std::string Table::fmt(double v, int decimals) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(decimals) << v;
+  return os.str();
+}
+
+std::string Table::pct(double fraction, int decimals) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(decimals) << fraction * 100.0 << "%";
+  return os.str();
+}
+
+std::string Table::to_text() const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t i = 0; i < headers_.size(); ++i)
+    width[i] = headers_[i].size();
+  for (const auto& row : rows_)
+    for (std::size_t i = 0; i < row.size(); ++i)
+      width[i] = std::max(width[i], row[i].size());
+
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      if (i > 0) os << "  ";
+      if (i == 0)
+        os << std::left << std::setw(static_cast<int>(width[i])) << cells[i];
+      else
+        os << std::right << std::setw(static_cast<int>(width[i])) << cells[i];
+    }
+    os << "\n";
+  };
+  emit_row(headers_);
+  std::size_t total = 0;
+  for (std::size_t w : width) total += w + 2;
+  os << std::string(total > 2 ? total - 2 : total, '-') << "\n";
+  for (const auto& row : rows_) emit_row(row);
+  return os.str();
+}
+
+std::string Table::to_csv() const {
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      if (i > 0) os << ",";
+      os << cells[i];
+    }
+    os << "\n";
+  };
+  emit(headers_);
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+void Table::print(std::ostream& os) const { os << to_text(); }
+
+double mean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  return std::accumulate(values.begin(), values.end(), 0.0) /
+         static_cast<double>(values.size());
+}
+
+double speedup(double ipc, double base) {
+  VEXSIM_CHECK(base > 0.0);
+  return ipc / base - 1.0;
+}
+
+}  // namespace vexsim

@@ -1,0 +1,37 @@
+// Aligned text tables and CSV emission for the benchmark harness.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace vexsim {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  Table& add_row(std::vector<std::string> cells);
+
+  // Formatting helpers for numeric cells.
+  static std::string fmt(double v, int decimals = 2);
+  static std::string pct(double fraction, int decimals = 1);  // 0.061 → "6.1%"
+
+  // Render with aligned columns (first column left-aligned, rest right).
+  [[nodiscard]] std::string to_text() const;
+  [[nodiscard]] std::string to_csv() const;
+
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Arithmetic-mean helper used for the paper's "avg" columns.
+[[nodiscard]] double mean(const std::vector<double>& values);
+
+// Speedup of `ipc` over `base` as a fraction (0.061 = +6.1%).
+[[nodiscard]] double speedup(double ipc, double base);
+
+}  // namespace vexsim

@@ -1,0 +1,58 @@
+// Lightweight invariant checking used across vexsim.
+//
+// VEXSIM_CHECK is active in all build types: simulator correctness depends on
+// these invariants and the cost is negligible next to the cycle loop.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace vexsim {
+
+// Thrown on invariant violation so tests can assert on failures instead of
+// aborting the whole process.
+class CheckError : public std::runtime_error {
+ public:
+  explicit CheckError(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* cond, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << file << ":" << line << ": check failed: " << cond;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+}  // namespace detail
+
+#define VEXSIM_CHECK(cond)                                              \
+  do {                                                                  \
+    if (!(cond))                                                        \
+      ::vexsim::detail::check_failed(#cond, __FILE__, __LINE__, "");    \
+  } while (0)
+
+#define VEXSIM_CHECK_MSG(cond, msg)                                     \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      std::ostringstream os_;                                           \
+      os_ << msg;                                                       \
+      ::vexsim::detail::check_failed(#cond, __FILE__, __LINE__,         \
+                                     os_.str());                        \
+    }                                                                   \
+  } while (0)
+
+// Checked narrowing conversion (C++ Core Guidelines ES.46 flavour).
+template <typename To, typename From>
+constexpr To narrow(From value) {
+  const To result = static_cast<To>(value);
+  if (static_cast<From>(result) != value)
+    throw CheckError("narrowing conversion lost information");
+  return result;
+}
+
+}  // namespace vexsim

@@ -1,0 +1,35 @@
+// Minimal command-line parsing shared by bench/example binaries.
+//
+// Supports `--name value`, `--name=value`, and boolean `--flag` forms.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace vexsim {
+
+class Cli {
+ public:
+  Cli(int argc, const char* const* argv);
+
+  [[nodiscard]] bool has(const std::string& name) const;
+  [[nodiscard]] std::string get(const std::string& name,
+                                const std::string& def) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& name,
+                                     std::int64_t def) const;
+  [[nodiscard]] double get_double(const std::string& name, double def) const;
+  [[nodiscard]] bool get_bool(const std::string& name, bool def) const;
+
+  // Positional (non --option) arguments, in order.
+  [[nodiscard]] const std::vector<std::string>& positional() const {
+    return positional_;
+  }
+
+ private:
+  std::map<std::string, std::string> options_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace vexsim

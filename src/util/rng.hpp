@@ -1,0 +1,71 @@
+// Deterministic PRNG (xoshiro128++) used everywhere randomness is needed:
+// workload replacement, data-segment initialization, property-test program
+// generation. Seeded streams keep every experiment bit-reproducible.
+#pragma once
+
+#include <cstdint>
+
+namespace vexsim {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull) {
+    // splitmix64 seeding, as recommended by the xoshiro authors.
+    std::uint64_t z = seed;
+    for (auto& word : state_) {
+      z += 0x9E3779B97F4A7C15ull;
+      std::uint64_t x = z;
+      x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+      x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+      word = static_cast<std::uint32_t>((x ^ (x >> 31)) >> 16) | 1u;
+    }
+  }
+
+  std::uint32_t next_u32() {
+    const std::uint32_t result = rotl(state_[0] + state_[3], 7) + state_[0];
+    const std::uint32_t t = state_[1] << 9;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 11);
+    return result;
+  }
+
+  std::uint64_t next_u64() {
+    return (static_cast<std::uint64_t>(next_u32()) << 32) | next_u32();
+  }
+
+  // Uniform in [0, bound). bound must be > 0.
+  std::uint32_t below(std::uint32_t bound) {
+    // Lemire's multiply-shift rejection method.
+    std::uint64_t m = static_cast<std::uint64_t>(next_u32()) * bound;
+    auto lo = static_cast<std::uint32_t>(m);
+    if (lo < bound) {
+      const std::uint32_t threshold = (0u - bound) % bound;
+      while (lo < threshold) {
+        m = static_cast<std::uint64_t>(next_u32()) * bound;
+        lo = static_cast<std::uint32_t>(m);
+      }
+    }
+    return static_cast<std::uint32_t>(m >> 32);
+  }
+
+  // Uniform in [lo, hi] inclusive.
+  int range(int lo, int hi) {
+    return lo + static_cast<int>(below(static_cast<std::uint32_t>(hi - lo + 1)));
+  }
+
+  bool chance(double p) {
+    return next_u32() < static_cast<std::uint32_t>(p * 4294967296.0);
+  }
+
+ private:
+  static std::uint32_t rotl(std::uint32_t x, int k) {
+    return (x << k) | (x >> (32 - k));
+  }
+  std::uint32_t state_[4];
+};
+
+}  // namespace vexsim

@@ -1,0 +1,31 @@
+// Text assembler for vexsim programs.
+//
+// One line = one VLIW instruction; operations separated by ';'. Syntax
+// (mirrors the disassembler output, so print → parse round-trips):
+//
+//   # comment to end of line
+//   loop:                          # label
+//     c0 add r1 = r2, r3 ; c1 ldw r4 = 8[r5]
+//     c0 movi r1 = 42
+//     c0 cmplt b0 = r1, 100       # compare into branch register
+//     c0 slct r1 = b0, r2, r3
+//     c0 stw 4[r2] = r3
+//     c0 send ch0 = r5 ; c1 recv r7 = ch0
+//     nop                          # empty instruction (vertical nop)
+//     c0 br b0, loop               # or a numeric target: br b0, @12
+//     c0 halt
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "isa/program.hpp"
+
+namespace vexsim {
+
+// Parses `source` into a finalized Program. Throws CheckError with a line
+// number on syntax errors or unresolved labels.
+[[nodiscard]] Program assemble(std::string_view source,
+                               std::string name = "asm");
+
+}  // namespace vexsim

@@ -1,0 +1,45 @@
+// The twelve benchmark kernels of Figure 13(a).
+//
+// Each kernel is a stand-in for the corresponding MediaBench / SPECint /
+// production application: it implements the application's characteristic
+// inner computation and is engineered to land in the paper's ILP class
+// (low ≈ 0.8-1.5 IPC, medium ≈ 1.7, high ≈ 4-9 on the 16-issue machine) and
+// cache profile (the IPCr vs IPCp gap). See DESIGN.md §2 for the
+// substitution rationale.
+//
+// All kernels follow the same shape: initialize data segments, run an outer
+// work loop long enough to dominate startup, then halt (the driver respawns
+// finished benchmarks). `scale` multiplies the outer trip count.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "isa/config.hpp"
+#include "isa/program.hpp"
+
+namespace vexsim::wl {
+
+struct KernelScale {
+  double outer = 1.0;  // multiplies the outer loop trip count
+};
+
+// High ILP (paper IPCp ≈ 4.0 – 8.9).
+[[nodiscard]] Program make_colorspace(const MachineConfig& cfg, KernelScale s);
+[[nodiscard]] Program make_idct(const MachineConfig& cfg, KernelScale s);
+[[nodiscard]] Program make_imgpipe(const MachineConfig& cfg, KernelScale s);
+[[nodiscard]] Program make_x264(const MachineConfig& cfg, KernelScale s);
+
+// Medium ILP (paper IPCp ≈ 1.7).
+[[nodiscard]] Program make_cjpeg(const MachineConfig& cfg, KernelScale s);
+[[nodiscard]] Program make_djpeg(const MachineConfig& cfg, KernelScale s);
+[[nodiscard]] Program make_g721encode(const MachineConfig& cfg, KernelScale s);
+[[nodiscard]] Program make_g721decode(const MachineConfig& cfg, KernelScale s);
+
+// Low ILP (paper IPCp ≈ 0.8 – 1.5).
+[[nodiscard]] Program make_mcf(const MachineConfig& cfg, KernelScale s);
+[[nodiscard]] Program make_bzip2(const MachineConfig& cfg, KernelScale s);
+[[nodiscard]] Program make_blowfish(const MachineConfig& cfg, KernelScale s);
+[[nodiscard]] Program make_gsmencode(const MachineConfig& cfg, KernelScale s);
+
+}  // namespace vexsim::wl

@@ -1,0 +1,58 @@
+#include "workloads/registry.hpp"
+
+#include <map>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace vexsim::wl {
+
+const std::vector<BenchmarkInfo>& benchmark_registry() {
+  static const std::vector<BenchmarkInfo> registry = {
+      {"mcf", IlpClass::kLow, 0.96, 1.34, "Minimum Cost Flow", &make_mcf},
+      {"bzip2", IlpClass::kLow, 0.81, 0.83, "Bzip2 Compression", &make_bzip2},
+      {"blowfish", IlpClass::kLow, 1.11, 1.47, "Encryption", &make_blowfish},
+      {"gsmencode", IlpClass::kLow, 1.07, 1.07, "GSM Encoder",
+       &make_gsmencode},
+      {"g721encode", IlpClass::kMedium, 1.75, 1.76, "G721 Encoder",
+       &make_g721encode},
+      {"g721decode", IlpClass::kMedium, 1.75, 1.76, "G721 Decoder",
+       &make_g721decode},
+      {"cjpeg", IlpClass::kMedium, 1.12, 1.66, "Jpeg Encoder", &make_cjpeg},
+      {"djpeg", IlpClass::kMedium, 1.76, 1.77, "Jpeg Decoder", &make_djpeg},
+      {"imgpipe", IlpClass::kHigh, 3.81, 4.05, "Imaging pipeline",
+       &make_imgpipe},
+      {"x264", IlpClass::kHigh, 3.89, 4.04, "H.264 encoder", &make_x264},
+      {"idct", IlpClass::kHigh, 4.79, 5.27, "Inverse DCT", &make_idct},
+      {"colorspace", IlpClass::kHigh, 5.47, 8.88, "Colorspace Conversion",
+       &make_colorspace},
+  };
+  return registry;
+}
+
+const BenchmarkInfo& benchmark_info(const std::string& name) {
+  for (const BenchmarkInfo& info : benchmark_registry())
+    if (info.name == name) return info;
+  VEXSIM_CHECK_MSG(false, "unknown benchmark: " << name);
+  static BenchmarkInfo dummy{};
+  return dummy;
+}
+
+std::shared_ptr<const Program> make_benchmark(const std::string& name,
+                                              const MachineConfig& cfg,
+                                              double scale) {
+  static std::map<std::string, std::shared_ptr<const Program>> cache;
+  std::ostringstream key;
+  key << name << "/" << cfg.clusters << "x" << cfg.cluster.issue_slots << "/"
+      << scale;
+  if (const auto it = cache.find(key.str()); it != cache.end())
+    return it->second;
+  const BenchmarkInfo& info = benchmark_info(name);
+  KernelScale ks;
+  ks.outer = scale;
+  auto prog = std::make_shared<Program>(info.factory(cfg, ks));
+  cache[key.str()] = prog;
+  return prog;
+}
+
+}  // namespace vexsim::wl

@@ -1,0 +1,35 @@
+// Benchmark registry: Figure 13(a) metadata plus program factories.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "workloads/kernels.hpp"
+
+namespace vexsim::wl {
+
+enum class IlpClass : char { kLow = 'l', kMedium = 'm', kHigh = 'h' };
+
+struct BenchmarkInfo {
+  std::string name;
+  IlpClass ilp;
+  double paper_ipcr;  // Figure 13(a), real memory
+  double paper_ipcp;  // Figure 13(a), perfect memory
+  std::string description;
+  Program (*factory)(const MachineConfig&, KernelScale);
+};
+
+// The twelve benchmarks in Figure 13(a) order.
+[[nodiscard]] const std::vector<BenchmarkInfo>& benchmark_registry();
+
+[[nodiscard]] const BenchmarkInfo& benchmark_info(const std::string& name);
+
+// Builds (and memoizes per (name, clusters, issue, scale)) a benchmark
+// program. Compilation is deterministic, so sharing is safe: ThreadContexts
+// hold const Program pointers.
+[[nodiscard]] std::shared_ptr<const Program> make_benchmark(
+    const std::string& name, const MachineConfig& cfg, double scale = 1.0);
+
+}  // namespace vexsim::wl

@@ -1,0 +1,40 @@
+#include "workloads/workloads.hpp"
+
+#include "util/check.hpp"
+#include "workloads/registry.hpp"
+
+namespace vexsim::wl {
+
+const std::vector<WorkloadSpec>& paper_workloads() {
+  static const std::vector<WorkloadSpec> specs = {
+      {"llll", {"mcf", "bzip2", "blowfish", "gsmencode"}},
+      {"lmmh", {"bzip2", "cjpeg", "djpeg", "imgpipe"}},
+      {"mmmm", {"g721encode", "g721decode", "cjpeg", "djpeg"}},
+      {"llmm", {"gsmencode", "blowfish", "g721encode", "djpeg"}},
+      {"llmh", {"mcf", "blowfish", "cjpeg", "x264"}},
+      {"llhh", {"mcf", "blowfish", "x264", "idct"}},
+      {"lmhh", {"gsmencode", "g721encode", "imgpipe", "colorspace"}},
+      {"mmhh", {"djpeg", "g721decode", "idct", "colorspace"}},
+      {"hhhh", {"x264", "idct", "imgpipe", "colorspace"}},
+  };
+  return specs;
+}
+
+const WorkloadSpec& workload(const std::string& name) {
+  for (const WorkloadSpec& spec : paper_workloads())
+    if (spec.name == name) return spec;
+  VEXSIM_CHECK_MSG(false, "unknown workload: " << name);
+  static WorkloadSpec dummy{};
+  return dummy;
+}
+
+std::vector<std::shared_ptr<const Program>> build_workload(
+    const WorkloadSpec& spec, const MachineConfig& cfg, double scale) {
+  std::vector<std::shared_ptr<const Program>> programs;
+  programs.reserve(spec.benchmarks.size());
+  for (const std::string& name : spec.benchmarks)
+    programs.push_back(make_benchmark(name, cfg, scale));
+  return programs;
+}
+
+}  // namespace vexsim::wl

@@ -1,0 +1,28 @@
+// The nine multiprogrammed workload mixes of Figure 13(b).
+#pragma once
+
+#include <array>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "isa/config.hpp"
+#include "isa/program.hpp"
+
+namespace vexsim::wl {
+
+struct WorkloadSpec {
+  std::string name;  // ILP combination label, e.g. "llhh"
+  std::array<std::string, 4> benchmarks;
+};
+
+// Figure 13(b): llll, lmmh, mmmm, llmm, llmh, llhh, lmhh, mmhh, hhhh.
+[[nodiscard]] const std::vector<WorkloadSpec>& paper_workloads();
+
+[[nodiscard]] const WorkloadSpec& workload(const std::string& name);
+
+// Builds the four benchmark programs of a mix (memoized underneath).
+[[nodiscard]] std::vector<std::shared_ptr<const Program>> build_workload(
+    const WorkloadSpec& spec, const MachineConfig& cfg, double scale = 1.0);
+
+}  // namespace vexsim::wl

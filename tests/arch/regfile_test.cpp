@@ -1,0 +1,68 @@
+#include "arch/regfile.hpp"
+
+#include <gtest/gtest.h>
+
+namespace vexsim {
+namespace {
+
+TEST(RegFile, StartsZero) {
+  const RegFile rf;
+  EXPECT_EQ(rf.gpr(0, 5), 0u);
+  EXPECT_FALSE(rf.breg(3, 7));
+}
+
+TEST(RegFile, WriteRead) {
+  RegFile rf;
+  rf.set_gpr(1, 10, 42);
+  EXPECT_EQ(rf.gpr(1, 10), 42u);
+  EXPECT_EQ(rf.gpr(0, 10), 0u);  // clusters are separate files
+  rf.set_breg(2, 3, true);
+  EXPECT_TRUE(rf.breg(2, 3));
+  EXPECT_FALSE(rf.breg(2, 2));
+}
+
+TEST(RegFile, Register0HardwiredToZero) {
+  RegFile rf;
+  rf.set_gpr(0, 0, 123);
+  EXPECT_EQ(rf.gpr(0, 0), 0u);
+  rf.set_gpr(3, 0, 123);
+  EXPECT_EQ(rf.gpr(3, 0), 0u);
+}
+
+TEST(RegFile, ClustersIndependent) {
+  RegFile rf;
+  for (int c = 0; c < 4; ++c) rf.set_gpr(c, 1, static_cast<std::uint32_t>(c + 1));
+  for (int c = 0; c < 4; ++c)
+    EXPECT_EQ(rf.gpr(c, 1), static_cast<std::uint32_t>(c + 1));
+}
+
+TEST(RegFile, ClearResets) {
+  RegFile rf;
+  rf.set_gpr(2, 7, 9);
+  rf.set_breg(1, 1, true);
+  rf.clear();
+  EXPECT_EQ(rf.gpr(2, 7), 0u);
+  EXPECT_FALSE(rf.breg(1, 1));
+}
+
+TEST(RegFile, FingerprintSensitivity) {
+  RegFile a, b;
+  EXPECT_EQ(a.fingerprint(4), b.fingerprint(4));
+  a.set_gpr(0, 1, 5);
+  EXPECT_NE(a.fingerprint(4), b.fingerprint(4));
+  b.set_gpr(0, 1, 5);
+  EXPECT_EQ(a.fingerprint(4), b.fingerprint(4));
+  // Breg changes are visible too.
+  a.set_breg(3, 0, true);
+  EXPECT_NE(a.fingerprint(4), b.fingerprint(4));
+}
+
+TEST(RegFile, FingerprintScopedToClusterCount) {
+  RegFile a, b;
+  a.set_gpr(3, 1, 77);
+  EXPECT_EQ(a.fingerprint(2), b.fingerprint(2));  // cluster 3 out of scope
+  EXPECT_NE(a.fingerprint(4), b.fingerprint(4));
+}
+
+}  // namespace
+}  // namespace vexsim

@@ -1,0 +1,74 @@
+#include "arch/thread_context.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/test_util.hpp"
+#include "vasm/assembler.hpp"
+
+namespace vexsim {
+namespace {
+
+std::shared_ptr<const Program> tiny_program() {
+  Program p = assemble(
+      "c0 movi r1 = 7\n"
+      "c0 halt\n",
+      "tiny");
+  p.add_data_words(0x2000, {11, 22});
+  p.finalize();
+  return std::make_shared<const Program>(std::move(p));
+}
+
+TEST(ThreadContext, LoadsDataSegmentsOnConstruction) {
+  ThreadContext ctx(0, tiny_program());
+  EXPECT_EQ(ctx.mem.peek_u32(0x2000), 11u);
+  EXPECT_EQ(ctx.mem.peek_u32(0x2004), 22u);
+  EXPECT_EQ(ctx.pc, 0u);
+  EXPECT_EQ(ctx.state, RunState::kReady);
+  EXPECT_EQ(ctx.respawns, 0u);
+}
+
+TEST(ThreadContext, RespawnRestoresInitialState) {
+  ThreadContext ctx(0, tiny_program());
+  ctx.regs.set_gpr(0, 1, 99);
+  ASSERT_TRUE(ctx.mem.store(0x2000, 4, 777));
+  ctx.pc = 1;
+  ctx.state = RunState::kHalted;
+  ctx.total_instructions = 50;
+  ctx.respawn();
+  EXPECT_EQ(ctx.pc, 0u);
+  EXPECT_EQ(ctx.state, RunState::kReady);
+  EXPECT_EQ(ctx.regs.gpr(0, 1), 0u);
+  EXPECT_EQ(ctx.mem.peek_u32(0x2000), 11u);
+  EXPECT_EQ(ctx.total_instructions, 50u);  // cumulative across respawns
+  EXPECT_EQ(ctx.respawns, 1u);
+}
+
+TEST(ThreadContext, RequiresFinalizedProgram) {
+  auto p = std::make_shared<Program>();
+  p->name = "unfinalized";
+  p->code.push_back(VliwInstruction{});
+  EXPECT_THROW(ThreadContext(0, p), CheckError);
+}
+
+TEST(ThreadContext, ArchFingerprintCoversRegsAndMemory) {
+  ThreadContext a(0, tiny_program());
+  ThreadContext b(1, tiny_program());
+  EXPECT_EQ(a.arch_fingerprint(4), b.arch_fingerprint(4));
+  a.regs.set_gpr(1, 2, 3);
+  EXPECT_NE(a.arch_fingerprint(4), b.arch_fingerprint(4));
+  b.regs.set_gpr(1, 2, 3);
+  EXPECT_EQ(a.arch_fingerprint(4), b.arch_fingerprint(4));
+  ASSERT_TRUE(a.mem.store(0x3000, 4, 1));
+  EXPECT_NE(a.arch_fingerprint(4), b.arch_fingerprint(4));
+}
+
+TEST(ThreadContext, IssueProgressMask) {
+  IssueProgress iss;
+  EXPECT_EQ(iss.pending_cluster_mask(), 0u);
+  iss.pending_ops[0] = 0b11;
+  iss.pending_ops[3] = 0b1;
+  EXPECT_EQ(iss.pending_cluster_mask(), 0b1001u);
+}
+
+}  // namespace
+}  // namespace vexsim

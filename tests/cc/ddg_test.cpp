@@ -1,0 +1,173 @@
+#include "cc/ddg.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cc/cluster_assign.hpp"
+#include "isa/config.hpp"
+
+namespace vexsim::cc {
+namespace {
+
+LOp def(VReg d, Opcode opc = Opcode::kMovi) {
+  LOp op;
+  op.opc = opc;
+  op.dst = d;
+  return op;
+}
+
+LOp use2(VReg d, VReg a, VReg b, Opcode opc = Opcode::kAdd) {
+  LOp op;
+  op.opc = opc;
+  op.dst = d;
+  op.src1 = a;
+  op.src2 = b;
+  return op;
+}
+
+int edge_latency(const BlockDdg& g, int from, int to) {
+  for (const DdgEdge& e : g.succ[static_cast<std::size_t>(from)])
+    if (e.to == to) return e.latency;
+  return -1;
+}
+
+TEST(Ddg, RawEdgeCarriesProducerLatency) {
+  LBlock blk;
+  blk.body.push_back(def(0, Opcode::kMovi));         // 0: alu → lat 1
+  LOp mul = use2(1, 0, 0, Opcode::kMpyl);            // 1: mul → lat 2
+  blk.body.push_back(mul);
+  blk.body.push_back(use2(2, 1, 1));                 // 2 reads the multiply
+  blk.term = Terminator::kHalt;
+  const BlockDdg g = build_ddg(blk, LatencyConfig{});
+  EXPECT_EQ(edge_latency(g, 0, 1), 1);
+  EXPECT_EQ(edge_latency(g, 1, 2), 2);
+}
+
+TEST(Ddg, BregProducerUsesCmpToBranchDelay) {
+  LBlock blk;
+  LOp cmp;
+  cmp.opc = Opcode::kCmpgt;
+  cmp.dst = 0;
+  cmp.dst_is_breg = true;
+  cmp.src1 = 1;
+  cmp.src2_is_imm = true;
+  blk.body.push_back(cmp);
+  blk.term = Terminator::kBranch;
+  blk.cond = 0;
+  blk.target = 0;
+  const BlockDdg g = build_ddg(blk, LatencyConfig{});
+  EXPECT_EQ(edge_latency(g, 0, g.terminator_node()), 2);
+}
+
+TEST(Ddg, WarAllowsSameCycle) {
+  LBlock blk;
+  blk.body.push_back(def(0));
+  blk.body.push_back(use2(1, 0, 0));  // reads v0
+  blk.body.push_back(def(0));         // redefines v0
+  blk.term = Terminator::kHalt;
+  const BlockDdg g = build_ddg(blk, LatencyConfig{});
+  EXPECT_EQ(edge_latency(g, 1, 2), 0);  // WAR: def may share the cycle
+}
+
+TEST(Ddg, WawOrdersWritesByCompletion) {
+  LBlock blk;
+  blk.body.push_back(def(0, Opcode::kMpyl));  // lat 2
+  blk.body.push_back(def(0, Opcode::kMovi));  // lat 1
+  blk.term = Terminator::kHalt;
+  const BlockDdg g = build_ddg(blk, LatencyConfig{});
+  // Second write must land strictly later: 2 - 1 + 1 = 2.
+  EXPECT_EQ(edge_latency(g, 0, 1), 2);
+}
+
+TEST(Ddg, MemoryEdgesWithinSpace) {
+  LBlock blk;
+  LOp st;
+  st.opc = Opcode::kStw;
+  st.src1 = 0;
+  st.src2 = 1;
+  st.mem_space = 0;
+  LOp ld;
+  ld.opc = Opcode::kLdw;
+  ld.dst = 2;
+  ld.src1 = 0;
+  ld.mem_space = 0;
+  blk.body.push_back(st);
+  blk.body.push_back(ld);
+  blk.body.push_back(st);
+  blk.term = Terminator::kHalt;
+  const BlockDdg g = build_ddg(blk, LatencyConfig{});
+  EXPECT_EQ(edge_latency(g, 0, 1), 1);  // store → load
+  EXPECT_EQ(edge_latency(g, 0, 2), 1);  // store → store
+  EXPECT_EQ(edge_latency(g, 1, 2), 0);  // load → store (WAR)
+}
+
+TEST(Ddg, DisjointSpacesIndependent) {
+  LBlock blk;
+  LOp st;
+  st.opc = Opcode::kStw;
+  st.src1 = 0;
+  st.src2 = 1;
+  st.mem_space = 1;
+  LOp ld;
+  ld.opc = Opcode::kLdw;
+  ld.dst = 2;
+  ld.src1 = 0;
+  ld.mem_space = 2;
+  blk.body.push_back(st);
+  blk.body.push_back(ld);
+  blk.term = Terminator::kHalt;
+  const BlockDdg g = build_ddg(blk, LatencyConfig{});
+  EXPECT_EQ(edge_latency(g, 0, 1), -1);  // no edge
+}
+
+TEST(Ddg, ReadOnlyLoadsUnordered) {
+  LBlock blk;
+  LOp st;
+  st.opc = Opcode::kStw;
+  st.src1 = 0;
+  st.src2 = 1;
+  st.mem_space = 0;
+  LOp ld;
+  ld.opc = Opcode::kLdw;
+  ld.dst = 2;
+  ld.src1 = 0;
+  ld.mem_space = kMemSpaceReadOnly;
+  blk.body.push_back(st);
+  blk.body.push_back(ld);
+  blk.term = Terminator::kHalt;
+  const BlockDdg g = build_ddg(blk, LatencyConfig{});
+  EXPECT_EQ(edge_latency(g, 0, 1), -1);
+}
+
+TEST(Ddg, PriorityIsCriticalPathHeight) {
+  LBlock blk;
+  blk.body.push_back(def(0, Opcode::kMpyl));   // feeds a chain
+  blk.body.push_back(use2(1, 0, 0, Opcode::kMpyl));
+  blk.body.push_back(use2(2, 1, 1));
+  blk.body.push_back(def(3));                  // independent
+  blk.term = Terminator::kHalt;
+  const BlockDdg g = build_ddg(blk, LatencyConfig{});
+  EXPECT_GT(g.priority[0], g.priority[3]);
+  EXPECT_EQ(g.priority[0], 4);  // 2 (mul) + 2 (mul) + 0
+  EXPECT_EQ(g.priority[3], 0);
+}
+
+TEST(Ddg, CopyActsAsUnitLatencyProducer) {
+  LBlock blk;
+  blk.body.push_back(def(0));
+  LOp copy;
+  copy.opc = Opcode::kSend;
+  copy.is_copy = true;
+  copy.src1 = 0;
+  copy.dst = 1;
+  copy.cluster = 0;
+  copy.copy_dst_cluster = 1;
+  blk.body.push_back(copy);
+  blk.body.push_back(use2(2, 1, 1));
+  blk.term = Terminator::kHalt;
+  const BlockDdg g = build_ddg(blk, LatencyConfig{});
+  EXPECT_EQ(edge_latency(g, 0, 1), 1);
+  EXPECT_EQ(edge_latency(g, 1, 2), 1);
+}
+
+}  // namespace
+}  // namespace vexsim::cc

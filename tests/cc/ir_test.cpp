@@ -1,0 +1,105 @@
+#include "cc/ir.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cc/cluster_assign.hpp"
+#include "util/check.hpp"
+
+namespace vexsim::cc {
+namespace {
+
+TEST(Ir, BuilderProducesValidFunction) {
+  Builder b("f");
+  const VReg x = b.movi(5);
+  const VReg y = b.alui(Opcode::kAdd, x, 1);
+  b.store(Opcode::kStw, b.movi(0x200), 0, y);
+  b.halt();
+  const IrFunction fn = std::move(b).take();
+  EXPECT_EQ(fn.name, "f");
+  EXPECT_EQ(fn.blocks.size(), 1u);
+  EXPECT_EQ(fn.blocks[0].body.size(), 4u);
+  EXPECT_EQ(fn.blocks[0].term, Terminator::kHalt);
+}
+
+TEST(Ir, FallthroughOutOfFunctionRejected) {
+  Builder b("f");
+  b.movi(1);
+  // No halt: last block falls through into nothing.
+  EXPECT_THROW(std::move(b).take(), CheckError);
+}
+
+TEST(Ir, BranchNeedsFallthroughSuccessor) {
+  Builder b("f");
+  const VReg c = b.cmpi_b(Opcode::kCmpgt, b.movi(1), 0);
+  b.branch(c, 0);
+  // Branch in the last block: invalid (no fallthrough block).
+  EXPECT_THROW(std::move(b).take(), CheckError);
+}
+
+TEST(Ir, LoopShapeValidates) {
+  Builder b("f");
+  const VReg n = b.fresh_global();
+  b.assign_i(n, 3);
+  const int body = b.new_block();
+  b.jump(body);
+  b.switch_to(body);
+  b.assign_alui(n, Opcode::kAdd, n, -1);
+  const VReg more = b.cmpi_b(Opcode::kCmpgt, n, 0);
+  b.branch(more, body);
+  const int fin = b.new_block();
+  b.switch_to(fin);
+  b.halt();
+  EXPECT_NO_THROW(std::move(b).take());
+}
+
+TEST(Ir, AnalyzeClassifiesLocalsAndGlobals) {
+  Builder b("f");
+  const VReg g = b.fresh_global();
+  b.assign_i(g, 1);                      // def in block 0
+  const VReg local = b.movi(5);          // def + use in block 0
+  b.store(Opcode::kStw, b.movi(0x200), 0, local);
+  const int second = b.new_block();
+  b.jump(second);
+  b.switch_to(second);
+  b.store(Opcode::kStw, b.movi(0x300), 0, g);  // g used in block 1
+  b.halt();
+  const IrFunction fn = std::move(b).take();
+  const auto info = analyze_vregs(fn);
+  EXPECT_TRUE(info[static_cast<std::size_t>(g)].global);
+  EXPECT_FALSE(info[static_cast<std::size_t>(local)].global);
+}
+
+TEST(Ir, MultiDefIsGlobal) {
+  Builder b("f");
+  const VReg v = b.fresh_global();
+  b.assign_i(v, 1);
+  b.assign_i(v, 2);
+  b.halt();
+  const IrFunction fn = std::move(b).take();
+  EXPECT_TRUE(analyze_vregs(fn)[static_cast<std::size_t>(v)].global);
+}
+
+TEST(Ir, EscapingBregRejected) {
+  Builder b("f");
+  const VReg p = b.cmpi_b(Opcode::kCmpgt, b.movi(1), 0);
+  const int second = b.new_block();
+  b.jump(second);
+  b.switch_to(second);
+  b.slct(p, b.movi(1), b.movi(2));  // breg used outside defining block
+  b.halt();
+  const IrFunction fn = std::move(b).take();
+  EXPECT_THROW(analyze_vregs(fn), CheckError);
+}
+
+TEST(Ir, ControlFlowOpsNotWritableInIr) {
+  Builder b("f");
+  b.halt();
+  IrFunction fn = std::move(b).take();
+  IrOp bad;
+  bad.opc = Opcode::kSend;
+  fn.blocks[0].body.push_back(bad);
+  EXPECT_THROW(fn.validate(), CheckError);
+}
+
+}  // namespace
+}  // namespace vexsim::cc

@@ -1,0 +1,67 @@
+#include "cc/irgen.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cc/compiler.hpp"
+#include "cc/verifier.hpp"
+
+namespace vexsim::cc {
+namespace {
+
+TEST(IrGen, DeterministicForSeed) {
+  const GeneratedIr a = generate_ir(42);
+  const GeneratedIr b = generate_ir(42);
+  ASSERT_EQ(a.fn.blocks.size(), b.fn.blocks.size());
+  EXPECT_EQ(a.fn.next_vreg, b.fn.next_vreg);
+  EXPECT_EQ(a.init_words, b.init_words);
+  for (std::size_t i = 0; i < a.fn.blocks.size(); ++i)
+    EXPECT_EQ(a.fn.blocks[i].body.size(), b.fn.blocks[i].body.size());
+}
+
+TEST(IrGen, DifferentSeedsDiffer) {
+  const GeneratedIr a = generate_ir(1);
+  const GeneratedIr b = generate_ir(2);
+  EXPECT_NE(a.init_words, b.init_words);
+}
+
+TEST(IrGen, ValidatesAndCompiles) {
+  const MachineConfig cfg = MachineConfig::paper(1, Technique::smt());
+  for (std::uint64_t seed : {7u, 77u, 777u}) {
+    const GeneratedIr gen = generate_ir(seed);
+    EXPECT_NO_THROW(gen.fn.validate()) << seed;
+    const Program prog = compile(gen.fn, cfg);
+    EXPECT_TRUE(verify_program(prog, cfg).empty()) << seed;
+  }
+}
+
+TEST(IrGen, ParameterKnobsChangeShape) {
+  IrGenParams small;
+  small.blocks = 1;
+  small.ops_per_block = 5;
+  IrGenParams big;
+  big.blocks = 5;
+  big.ops_per_block = 40;
+  const GeneratedIr a = generate_ir(9, small);
+  const GeneratedIr b = generate_ir(9, big);
+  EXPECT_LT(a.fn.blocks.size(), b.fn.blocks.size());
+  EXPECT_LT(a.fn.next_vreg, b.fn.next_vreg);
+}
+
+TEST(IrGen, NoMemoryModeHasNoMemOps) {
+  IrGenParams p;
+  p.use_memory = false;
+  const GeneratedIr gen = generate_ir(5, p);
+  int mem_ops = 0;
+  for (const IrBlock& blk : gen.fn.blocks)
+    for (const IrOp& op : blk.body)
+      if (is_mem(op.opc) && is_load(op.opc)) ++mem_ops;
+  EXPECT_EQ(mem_ops, 0);
+}
+
+TEST(IrGen, EndsWithHalt) {
+  const GeneratedIr gen = generate_ir(3);
+  EXPECT_EQ(gen.fn.blocks.back().term, Terminator::kHalt);
+}
+
+}  // namespace
+}  // namespace vexsim::cc

@@ -1,0 +1,124 @@
+#include "cc/regalloc.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cc/compiler.hpp"
+#include "cc/irgen.hpp"
+#include "util/check.hpp"
+
+namespace vexsim::cc {
+namespace {
+
+MachineConfig paper_cfg() {
+  MachineConfig cfg = MachineConfig::paper(1, Technique::smt());
+  cfg.branch_on_cluster0_only = false;
+  return cfg;
+}
+
+TEST(RegAlloc, GlobalsGetStableHighRegisters) {
+  Builder b("f");
+  const VReg g0 = b.fresh_global();
+  const VReg g1 = b.fresh_global();
+  b.assign_i(g0, 1, /*cluster=*/0);
+  b.assign_i(g1, 2, /*cluster=*/0);
+  const int second = b.new_block();
+  b.jump(second);
+  b.switch_to(second);
+  b.store(Opcode::kStw, b.movi(0x200, 0), 0, g0, kMemSpaceDefault, 0);
+  b.store(Opcode::kStw, b.movi(0x200, 0), 4, g1, kMemSpaceDefault, 0);
+  b.halt();
+  const IrFunction fn = std::move(b).take();
+  const MachineConfig cfg = paper_cfg();
+  const LFunction lfn = assign_clusters(fn, cfg);
+  const FunctionSchedule sched = schedule(lfn, cfg);
+  const Allocation alloc = allocate(lfn, sched, cfg);
+  EXPECT_EQ(alloc.gpr_of[static_cast<std::size_t>(g0)], kNumGprs - 2);
+  EXPECT_EQ(alloc.gpr_of[static_cast<std::size_t>(g1)], kNumGprs - 3);
+}
+
+TEST(RegAlloc, LocalsReuseRegisters) {
+  // A long chain of single-use temporaries on one cluster must recycle a
+  // small set of registers instead of consuming one each.
+  Builder b("f");
+  VReg v = b.movi(1, 0);
+  for (int i = 0; i < 40; ++i) v = b.alui(Opcode::kAdd, v, 1, 0);
+  b.store(Opcode::kStw, b.movi(0x200, 0), 0, v, kMemSpaceDefault, 0);
+  b.halt();
+  const IrFunction fn = std::move(b).take();
+  const MachineConfig cfg = paper_cfg();
+  const LFunction lfn = assign_clusters(fn, cfg);
+  const FunctionSchedule sched = schedule(lfn, cfg);
+  const Allocation alloc = allocate(lfn, sched, cfg);
+  int max_reg = 0;
+  for (int r : alloc.gpr_of) max_reg = std::max(max_reg, r);
+  EXPECT_LT(max_reg, 8);  // serial chain: a couple of registers suffice
+}
+
+TEST(RegAlloc, ReuseRespectsProducerLatency) {
+  // Registers free only after def + latency: two overlapping multiplies
+  // cannot share a register even if uses are disjoint.
+  Builder b("f");
+  const VReg a = b.movi(3, 0);
+  const VReg m1 = b.mpyi(a, 5, 0);
+  const VReg m2 = b.mpyi(a, 7, 0);
+  const VReg s = b.alu(Opcode::kAdd, m1, m2, 0);
+  b.store(Opcode::kStw, b.movi(0x200, 0), 0, s, kMemSpaceDefault, 0);
+  b.halt();
+  const IrFunction fn = std::move(b).take();
+  const MachineConfig cfg = paper_cfg();
+  const LFunction lfn = assign_clusters(fn, cfg);
+  const FunctionSchedule sched = schedule(lfn, cfg);
+  const Allocation alloc = allocate(lfn, sched, cfg);
+  EXPECT_NE(alloc.gpr_of[static_cast<std::size_t>(m1)],
+            alloc.gpr_of[static_cast<std::size_t>(m2)]);
+}
+
+TEST(RegAlloc, BregsAllocatedPerCluster) {
+  Builder b("f");
+  const VReg x = b.movi(5, 0);
+  const VReg p = b.cmpi_b(Opcode::kCmpgt, x, 0, 0);
+  const VReg y = b.slct(p, x, x, 0);
+  b.store(Opcode::kStw, b.movi(0x200, 0), 0, y, kMemSpaceDefault, 0);
+  b.halt();
+  const IrFunction fn = std::move(b).take();
+  const MachineConfig cfg = paper_cfg();
+  const LFunction lfn = assign_clusters(fn, cfg);
+  const FunctionSchedule sched = schedule(lfn, cfg);
+  const Allocation alloc = allocate(lfn, sched, cfg);
+  EXPECT_GE(alloc.breg_of[static_cast<std::size_t>(p)], 0);
+  EXPECT_LT(alloc.breg_of[static_cast<std::size_t>(p)], kNumBregs);
+}
+
+TEST(RegAlloc, PressureExhaustionThrows) {
+  // More function-lifetime (global) values homed on one cluster than the
+  // register file holds: allocation must fail loudly, not wrap.
+  Builder b("f");
+  std::vector<VReg> globals;
+  for (int i = 0; i < 70; ++i) {
+    const VReg g = b.fresh_global();
+    b.assign_i(g, i, /*cluster=*/0);
+    globals.push_back(g);
+  }
+  const int second = b.new_block();
+  b.jump(second);
+  b.switch_to(second);
+  VReg acc = globals[0];
+  for (std::size_t i = 1; i < globals.size(); ++i)
+    acc = b.alu(Opcode::kAdd, acc, globals[i], 0);
+  b.store(Opcode::kStw, b.movi(0x200, 0), 0, acc, kMemSpaceDefault, 0);
+  b.halt();
+  const IrFunction fn = std::move(b).take();
+  const MachineConfig cfg = paper_cfg();
+  EXPECT_THROW(compile(fn, cfg), CheckError);
+}
+
+TEST(RegAlloc, RandomProgramsAllocateCleanly) {
+  const MachineConfig cfg = paper_cfg();
+  for (std::uint64_t seed = 20; seed < 28; ++seed) {
+    const GeneratedIr gen = generate_ir(seed);
+    EXPECT_NO_THROW(compile(gen.fn, cfg)) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace vexsim::cc

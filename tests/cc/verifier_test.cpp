@@ -1,0 +1,116 @@
+#include "cc/verifier.hpp"
+
+#include <gtest/gtest.h>
+
+#include "isa/config.hpp"
+#include "vasm/assembler.hpp"
+
+namespace vexsim::cc {
+namespace {
+
+MachineConfig cfg() { return MachineConfig::paper(1, Technique::smt()); }
+
+TEST(Verifier, AcceptsLegalProgram) {
+  const Program p = assemble(
+      "c0 add r1 = r2, r3 ; c1 mpyl r4 = r5, r6 ; c2 ldw r7 = 0x200[r0]\n"
+      "c0 send ch0 = r1 ; c1 recv r2 = ch0\n"
+      "c0 halt\n");
+  EXPECT_TRUE(verify_program(p, cfg()).empty());
+  EXPECT_NO_THROW(verify_or_throw(p, cfg()));
+}
+
+TEST(Verifier, RejectsOvercommittedSlots) {
+  // 5 ALU ops on a 4-slot cluster.
+  const Program p = assemble(
+      "c0 add r1 = r2, r3 ; c0 sub r4 = r5, r6 ; c0 or r7 = r8, r9 ; "
+      "c0 xor r10 = r11, r12 ; c0 and r13 = r14, r15\n");
+  const auto issues = verify_program(p, cfg());
+  ASSERT_FALSE(issues.empty());
+  EXPECT_NE(issues[0].what.find("overcommitted"), std::string::npos);
+  EXPECT_THROW(verify_or_throw(p, cfg()), CheckError);
+}
+
+TEST(Verifier, RejectsTooManyMultipliers) {
+  const Program p = assemble(
+      "c0 mpyl r1 = r2, r3 ; c0 mpyl r4 = r5, r6 ; c0 mpyh r7 = r8, r9\n");
+  EXPECT_FALSE(verify_program(p, cfg()).empty());
+}
+
+TEST(Verifier, RejectsTwoMemOpsOneUnit) {
+  const Program p = assemble(
+      "c0 ldw r1 = 0x200[r0] ; c0 stw 0x300[r0] = r2\n");
+  EXPECT_FALSE(verify_program(p, cfg()).empty());
+}
+
+TEST(Verifier, RejectsUnpairedSend) {
+  Program p;
+  p.name = "bad";
+  VliwInstruction insn;
+  insn.add(ops::send(0, 1, 2));  // no matching recv
+  p.code.push_back(insn);
+  p.finalize();
+  const auto issues = verify_program(p, cfg());
+  ASSERT_FALSE(issues.empty());
+  EXPECT_NE(issues[0].what.find("unpaired"), std::string::npos);
+}
+
+TEST(Verifier, RejectsChannelReuse) {
+  Program p;
+  p.name = "bad";
+  VliwInstruction insn;
+  insn.add(ops::send(0, 1, 0));
+  insn.add(ops::send(1, 2, 0));  // same channel twice
+  insn.add(ops::recv(2, 3, 0));
+  insn.add(ops::recv(3, 4, 0));
+  p.code.push_back(insn);
+  p.finalize();
+  EXPECT_FALSE(verify_program(p, cfg()).empty());
+}
+
+TEST(Verifier, RejectsMultipleBranches) {
+  Program p;
+  p.name = "bad";
+  VliwInstruction insn;
+  insn.add(ops::jump(0, 0));
+  insn.add(ops::br(1, 0, 0));
+  p.code.push_back(insn);
+  p.finalize();
+  const auto issues = verify_program(p, cfg());
+  ASSERT_FALSE(issues.empty());
+}
+
+TEST(Verifier, RejectsBranchTargetOutOfRange) {
+  Program p;
+  p.name = "bad";
+  VliwInstruction insn;
+  insn.add(ops::jump(0, 5));
+  p.code.push_back(insn);
+  p.finalize();
+  EXPECT_FALSE(verify_program(p, cfg()).empty());
+}
+
+TEST(Verifier, RejectsBundleOnMissingCluster) {
+  Program p;
+  p.name = "bad";
+  VliwInstruction insn;
+  insn.add(ops::mov(5, 1, 2));  // cluster 5 on a 4-cluster machine
+  p.code.push_back(insn);
+  p.finalize();
+  EXPECT_FALSE(verify_program(p, cfg()).empty());
+}
+
+TEST(Verifier, ReportsAllIssuesNotJustFirst) {
+  Program p;
+  p.name = "bad";
+  VliwInstruction a;
+  a.add(ops::jump(0, 9));
+  VliwInstruction b;
+  b.add(ops::send(0, 1, 1));
+  p.code.push_back(a);
+  p.code.push_back(b);
+  p.finalize();
+  EXPECT_GE(verify_program(p, cfg()).size(), 2u);
+}
+
+}  // namespace
+}  // namespace vexsim::cc

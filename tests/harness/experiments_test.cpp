@@ -1,0 +1,85 @@
+#include "harness/experiments.hpp"
+
+#include <gtest/gtest.h>
+
+namespace vexsim::harness {
+namespace {
+
+Cli make_cli(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv{"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return Cli(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Experiments, OptionsFromCliDefaults) {
+  const auto opt = ExperimentOptions::from_cli(make_cli({}));
+  EXPECT_EQ(opt.budget, 250'000u);
+  EXPECT_EQ(opt.timeslice, 100'000u);
+  EXPECT_EQ(opt.seed, 42u);
+}
+
+TEST(Experiments, PaperFlagRestoresPaperScale) {
+  const auto opt = ExperimentOptions::from_cli(make_cli({"--paper"}));
+  EXPECT_EQ(opt.budget, 200'000'000u);
+  EXPECT_EQ(opt.timeslice, 5'000'000u);
+  EXPECT_DOUBLE_EQ(opt.scale, 1.0);
+}
+
+TEST(Experiments, ExplicitFlagsOverride) {
+  const auto opt = ExperimentOptions::from_cli(
+      make_cli({"--quick", "--budget", "12345", "--seed=9"}));
+  EXPECT_EQ(opt.budget, 12345u);
+  EXPECT_EQ(opt.seed, 9u);
+}
+
+ExperimentOptions tiny() {
+  ExperimentOptions opt;
+  opt.scale = 0.02;
+  opt.budget = 15'000;
+  opt.timeslice = 8'000;
+  opt.max_cycles = 20'000'000;
+  return opt;
+}
+
+TEST(Experiments, RunSingleProducesSaneStats) {
+  const RunResult r = run_single("djpeg", /*perfect=*/true, tiny());
+  EXPECT_GT(r.ipc(), 0.5);
+  EXPECT_EQ(r.issue_width, 16);
+  EXPECT_EQ(r.instances.size(), 1u);
+  EXPECT_GE(r.instances[0].instructions, tiny().budget);
+}
+
+TEST(Experiments, RunWorkloadUsesFourInstances) {
+  const RunResult r = run_workload("mmmm", 2, Technique::csmt(), tiny());
+  EXPECT_EQ(r.instances.size(), 4u);
+  EXPECT_GT(r.sim.multi_thread_cycles, 0u);
+}
+
+TEST(Experiments, SplitIssueNeverLosesMuch) {
+  // Split-issue may reorder contention but must not regress meaningfully:
+  // a standing sanity check on the whole pipeline.
+  const ExperimentOptions opt = tiny();
+  for (const char* w : {"llmm", "mmhh"}) {
+    const double csmt = run_workload(w, 4, Technique::csmt(), opt).ipc();
+    const double ccsi =
+        run_workload(w, 4, Technique::ccsi(CommPolicy::kAlwaysSplit), opt)
+            .ipc();
+    EXPECT_GT(ccsi, csmt * 0.98) << w;
+    const double smt = run_workload(w, 4, Technique::smt(), opt).ipc();
+    const double oosi =
+        run_workload(w, 4, Technique::oosi(CommPolicy::kAlwaysSplit), opt)
+            .ipc();
+    EXPECT_GT(oosi, smt * 0.98) << w;
+  }
+}
+
+TEST(Experiments, OperationMergingBeatsClusterMerging) {
+  // SMT ≥ CSMT (operation-level merging is strictly more permissive).
+  const ExperimentOptions opt = tiny();
+  const double csmt = run_workload("llmm", 4, Technique::csmt(), opt).ipc();
+  const double smt = run_workload("llmm", 4, Technique::smt(), opt).ipc();
+  EXPECT_GE(smt, csmt * 0.99);
+}
+
+}  // namespace
+}  // namespace vexsim::harness

@@ -1,0 +1,99 @@
+#include "isa/config.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+
+namespace vexsim {
+namespace {
+
+TEST(Config, TechniqueNames) {
+  EXPECT_EQ(Technique::smt().name(), "SMT");
+  EXPECT_EQ(Technique::csmt().name(), "CSMT");
+  EXPECT_EQ(Technique::ccsi(CommPolicy::kNoSplit).name(), "CCSI NS");
+  EXPECT_EQ(Technique::ccsi(CommPolicy::kAlwaysSplit).name(), "CCSI AS");
+  EXPECT_EQ(Technique::cosi(CommPolicy::kNoSplit).name(), "COSI NS");
+  EXPECT_EQ(Technique::oosi(CommPolicy::kAlwaysSplit).name(), "OOSI AS");
+}
+
+TEST(Config, AllEightTechniques) {
+  // Figure 16 presents exactly these eight configurations.
+  EXPECT_EQ(std::size(Technique::kAll), 8u);
+  for (const Technique& t : Technique::kAll) {
+    MachineConfig cfg = MachineConfig::paper(2, t);
+    EXPECT_NO_THROW(cfg.validate()) << t.name();
+  }
+}
+
+TEST(Config, PaperMachineGeometry) {
+  const MachineConfig cfg = MachineConfig::paper(4, Technique::smt());
+  EXPECT_EQ(cfg.clusters, 4);
+  EXPECT_EQ(cfg.cluster.issue_slots, 4);
+  EXPECT_EQ(cfg.total_issue_width(), 16);
+  EXPECT_EQ(cfg.cluster.alus, 4);
+  EXPECT_EQ(cfg.cluster.muls, 2);
+  EXPECT_EQ(cfg.cluster.mem_units, 1);
+  EXPECT_EQ(cfg.lat.mem, 2);
+  EXPECT_EQ(cfg.lat.mul, 2);
+  EXPECT_EQ(cfg.lat.alu, 1);
+  EXPECT_EQ(cfg.lat.cmp_to_branch, 2);
+  EXPECT_EQ(cfg.lat.taken_branch_penalty, 1);
+  EXPECT_EQ(cfg.icache.size_bytes, 64u * 1024);
+  EXPECT_EQ(cfg.icache.assoc, 4u);
+  EXPECT_EQ(cfg.icache.miss_penalty, 20u);
+}
+
+TEST(Config, OperationSplitRequiresOperationMerge) {
+  MachineConfig cfg = MachineConfig::paper(2, Technique::smt());
+  cfg.technique.merge = MergeLevel::kCluster;
+  cfg.technique.split = SplitLevel::kOperation;
+  EXPECT_THROW(cfg.validate(), CheckError);
+}
+
+TEST(Config, SharedRegFileIncompatibleWithSplit) {
+  MachineConfig cfg =
+      MachineConfig::paper(2, Technique::ccsi(CommPolicy::kNoSplit));
+  cfg.rf_org = RegFileOrg::kShared;
+  EXPECT_THROW(cfg.validate(), CheckError);
+  cfg.technique = Technique::csmt();
+  EXPECT_NO_THROW(cfg.validate());  // no split: shared RF is allowed
+}
+
+TEST(Config, RenamingRotation) {
+  MachineConfig cfg = MachineConfig::paper(4, Technique::csmt());
+  // 4-thread 4-cluster: thread i rotated by i (Section IV).
+  EXPECT_EQ(cfg.renaming_rotation(0), 0);
+  EXPECT_EQ(cfg.renaming_rotation(1), 1);
+  EXPECT_EQ(cfg.renaming_rotation(2), 2);
+  EXPECT_EQ(cfg.renaming_rotation(3), 3);
+  // 2-thread 4-cluster: thread i rotated by i (partial overlap by design).
+  MachineConfig cfg2 = MachineConfig::paper(2, Technique::csmt());
+  EXPECT_EQ(cfg2.renaming_rotation(0), 0);
+  EXPECT_EQ(cfg2.renaming_rotation(1), 1);
+  // Disabled renaming rotates nothing.
+  cfg2.cluster_renaming = false;
+  EXPECT_EQ(cfg2.renaming_rotation(1), 0);
+  // Single-threaded machines never rotate.
+  MachineConfig cfg1 = MachineConfig::paper_single();
+  EXPECT_EQ(cfg1.renaming_rotation(0), 0);
+}
+
+TEST(Config, BranchUnitPlacement) {
+  MachineConfig cfg = MachineConfig::paper(1, Technique::smt());
+  cfg.branch_on_cluster0_only = true;
+  EXPECT_EQ(cfg.branch_units_at(0), 1);
+  EXPECT_EQ(cfg.branch_units_at(1), 0);
+  cfg.branch_on_cluster0_only = false;
+  EXPECT_EQ(cfg.branch_units_at(3), 1);
+}
+
+TEST(Config, LatencyForClass) {
+  const LatencyConfig lat;
+  EXPECT_EQ(lat.for_class(OpClass::kAlu), 1);
+  EXPECT_EQ(lat.for_class(OpClass::kMul), 2);
+  EXPECT_EQ(lat.for_class(OpClass::kMem), 2);
+  EXPECT_EQ(lat.for_class(OpClass::kComm), 1);
+}
+
+}  // namespace
+}  // namespace vexsim

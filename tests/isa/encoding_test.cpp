@@ -1,0 +1,121 @@
+#include "isa/encoding.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace vexsim {
+namespace {
+
+VliwInstruction sample_instruction() {
+  VliwInstruction insn;
+  insn.add(ops::alu(Opcode::kAdd, 0, 1, 2, 3));
+  insn.add(ops::load(Opcode::kLdw, 1, 4, 5, 64));
+  insn.add(ops::cmpi_breg(Opcode::kCmplt, 2, 1, 6, -7));
+  insn.add(ops::send(3, 8, 1));
+  return insn;
+}
+
+TEST(Encoding, RoundTripSingleInstruction) {
+  const VliwInstruction insn = sample_instruction();
+  std::vector<std::uint64_t> words;
+  encode(insn, words);
+  std::size_t pos = 0;
+  const VliwInstruction decoded = decode(words, pos);
+  EXPECT_EQ(pos, words.size());
+  EXPECT_EQ(decoded, insn);
+}
+
+TEST(Encoding, EmptyInstructionIsOneWord) {
+  const VliwInstruction empty;
+  EXPECT_EQ(encoded_size_bytes(empty), 8u);
+  std::vector<std::uint64_t> words;
+  encode(empty, words);
+  EXPECT_EQ(words.size(), 1u);
+  std::size_t pos = 0;
+  EXPECT_EQ(decode(words, pos), empty);
+}
+
+TEST(Encoding, SmallImmediateInline) {
+  VliwInstruction insn;
+  insn.add(ops::movi(0, 1, 32767));
+  EXPECT_EQ(encoded_size_bytes(insn), 8u);
+  insn = VliwInstruction{};
+  insn.add(ops::movi(0, 1, -32768));
+  EXPECT_EQ(encoded_size_bytes(insn), 8u);
+}
+
+TEST(Encoding, LargeImmediateTakesExtensionWord) {
+  VliwInstruction insn;
+  insn.add(ops::movi(0, 1, 100000));
+  EXPECT_EQ(encoded_size_bytes(insn), 16u);
+  std::vector<std::uint64_t> words;
+  encode(insn, words);
+  std::size_t pos = 0;
+  const VliwInstruction decoded = decode(words, pos);
+  EXPECT_EQ(decoded.bundle(0)[0].imm, 100000);
+}
+
+TEST(Encoding, NegativeLargeImmediate) {
+  VliwInstruction insn;
+  insn.add(ops::movi(0, 1, -1000000));
+  std::vector<std::uint64_t> words;
+  encode(insn, words);
+  std::size_t pos = 0;
+  EXPECT_EQ(decode(words, pos).bundle(0)[0].imm, -1000000);
+}
+
+TEST(Encoding, ProgramRoundTrip) {
+  Program prog;
+  prog.name = "roundtrip";
+  prog.code.push_back(sample_instruction());
+  prog.code.push_back(VliwInstruction{});
+  VliwInstruction tail;
+  tail.add(ops::halt(0));
+  prog.code.push_back(tail);
+  const auto words = encode_program(prog);
+  const auto decoded = decode_program(words);
+  ASSERT_EQ(decoded.size(), prog.code.size());
+  for (std::size_t i = 0; i < decoded.size(); ++i)
+    EXPECT_EQ(decoded[i], prog.code[i]) << "instruction " << i;
+}
+
+TEST(Encoding, TruncatedStreamThrows) {
+  VliwInstruction insn;
+  insn.add(ops::movi(0, 1, 100000));  // needs an extension word
+  std::vector<std::uint64_t> words;
+  encode(insn, words);
+  words.pop_back();
+  std::size_t pos = 0;
+  EXPECT_THROW(decode(words, pos), CheckError);
+}
+
+TEST(Encoding, FuzzRoundTrip) {
+  Rng rng(2024);
+  for (int iter = 0; iter < 200; ++iter) {
+    VliwInstruction insn;
+    const int nops = rng.range(1, 6);
+    for (int i = 0; i < nops; ++i) {
+      Operation op;
+      op.opc = static_cast<Opcode>(rng.range(1, int(Opcode::kCount) - 1));
+      op.cluster = static_cast<std::uint8_t>(rng.below(kMaxClusters));
+      op.dst = static_cast<std::uint8_t>(rng.below(kNumGprs));
+      op.dst_is_breg = is_compare(op.opc) && rng.chance(0.5);
+      if (op.dst_is_breg) op.dst = static_cast<std::uint8_t>(rng.below(8));
+      op.src1 = static_cast<std::uint8_t>(rng.below(kNumGprs));
+      op.src2 = static_cast<std::uint8_t>(rng.below(kNumGprs));
+      op.src2_is_imm = rng.chance(0.3);
+      op.bsrc = static_cast<std::uint8_t>(rng.below(kNumBregs));
+      op.chan = static_cast<std::uint8_t>(rng.below(kNumChannels));
+      op.imm = static_cast<std::int32_t>(rng.next_u32());
+      insn.add(op);
+    }
+    std::vector<std::uint64_t> words;
+    encode(insn, words);
+    std::size_t pos = 0;
+    EXPECT_EQ(decode(words, pos), insn) << "iteration " << iter;
+  }
+}
+
+}  // namespace
+}  // namespace vexsim

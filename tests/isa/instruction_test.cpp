@@ -1,0 +1,78 @@
+#include "isa/instruction.hpp"
+
+#include <gtest/gtest.h>
+
+namespace vexsim {
+namespace {
+
+VliwInstruction example() {
+  VliwInstruction insn;
+  insn.add(ops::alu(Opcode::kAdd, 0, 1, 2, 3));
+  insn.add(ops::load(Opcode::kLdw, 1, 4, 5, 0x200));
+  insn.add(ops::alu(Opcode::kSub, 0, 6, 7, 8));
+  return insn;
+}
+
+TEST(Instruction, AddFilesIntoBundles) {
+  const VliwInstruction insn = example();
+  EXPECT_EQ(insn.bundle(0).size(), 2u);
+  EXPECT_EQ(insn.bundle(1).size(), 1u);
+  EXPECT_EQ(insn.bundle(2).size(), 0u);
+  EXPECT_EQ(insn.op_count(), 3);
+  EXPECT_FALSE(insn.empty());
+}
+
+TEST(Instruction, UsedClusterMask) {
+  const VliwInstruction insn = example();
+  EXPECT_EQ(insn.used_cluster_mask(), 0b11u);
+  EXPECT_EQ(VliwInstruction{}.used_cluster_mask(), 0u);
+}
+
+TEST(Instruction, EmptyInstruction) {
+  const VliwInstruction insn;
+  EXPECT_TRUE(insn.empty());
+  EXPECT_EQ(insn.op_count(), 0);
+  EXPECT_EQ(to_string(insn), "nop");
+}
+
+TEST(Instruction, CommAndBranchDetection) {
+  VliwInstruction insn = example();
+  EXPECT_FALSE(insn.has_comm());
+  EXPECT_FALSE(insn.has_branch());
+  insn.add(ops::send(2, 1, 0));
+  EXPECT_TRUE(insn.has_comm());
+  insn.add(ops::br(3, 0, 0));
+  EXPECT_TRUE(insn.has_branch());
+}
+
+TEST(Instruction, HasMem) {
+  VliwInstruction insn;
+  insn.add(ops::alu(Opcode::kAdd, 0, 1, 2, 3));
+  EXPECT_FALSE(insn.has_mem());
+  insn.add(ops::store(Opcode::kStw, 1, 2, 0x100, 3));
+  EXPECT_TRUE(insn.has_mem());
+}
+
+TEST(Instruction, ForEachOpVisitsAll) {
+  const VliwInstruction insn = example();
+  int count = 0;
+  insn.for_each_op([&count](const Operation&) { ++count; });
+  EXPECT_EQ(count, 3);
+}
+
+TEST(Instruction, ToStringJoinsOps) {
+  VliwInstruction insn;
+  insn.add(ops::alu(Opcode::kAdd, 0, 1, 2, 3));
+  insn.add(ops::mov(1, 4, 5));
+  EXPECT_EQ(to_string(insn), "c0 add r1 = r2, r3 ; c1 mov r4 = r5");
+}
+
+TEST(Instruction, Equality) {
+  EXPECT_EQ(example(), example());
+  VliwInstruction other = example();
+  other.add(ops::halt(0));
+  EXPECT_FALSE(example() == other);
+}
+
+}  // namespace
+}  // namespace vexsim

@@ -1,0 +1,83 @@
+#include "isa/opcode.hpp"
+
+#include <gtest/gtest.h>
+
+namespace vexsim {
+namespace {
+
+TEST(Opcode, ClassAssignments) {
+  EXPECT_EQ(op_class(Opcode::kAdd), OpClass::kAlu);
+  EXPECT_EQ(op_class(Opcode::kMpyl), OpClass::kMul);
+  EXPECT_EQ(op_class(Opcode::kMpyh), OpClass::kMul);
+  EXPECT_EQ(op_class(Opcode::kLdw), OpClass::kMem);
+  EXPECT_EQ(op_class(Opcode::kStb), OpClass::kMem);
+  EXPECT_EQ(op_class(Opcode::kBr), OpClass::kBranch);
+  EXPECT_EQ(op_class(Opcode::kHalt), OpClass::kBranch);
+  EXPECT_EQ(op_class(Opcode::kSend), OpClass::kComm);
+  EXPECT_EQ(op_class(Opcode::kRecv), OpClass::kComm);
+  EXPECT_EQ(op_class(Opcode::kNop), OpClass::kNop);
+}
+
+TEST(Opcode, NameRoundTrip) {
+  for (int i = 0; i < static_cast<int>(Opcode::kCount); ++i) {
+    const auto opc = static_cast<Opcode>(i);
+    EXPECT_EQ(opcode_from_name(opcode_name(opc)), opc)
+        << "opcode " << i << " (" << opcode_name(opc) << ")";
+  }
+}
+
+TEST(Opcode, UnknownNameIsCount) {
+  EXPECT_EQ(opcode_from_name("bogus"), Opcode::kCount);
+  EXPECT_EQ(opcode_from_name(""), Opcode::kCount);
+}
+
+TEST(Opcode, LoadStorePredicates) {
+  EXPECT_TRUE(is_load(Opcode::kLdw));
+  EXPECT_TRUE(is_load(Opcode::kLdbu));
+  EXPECT_FALSE(is_load(Opcode::kStw));
+  EXPECT_TRUE(is_store(Opcode::kSth));
+  EXPECT_FALSE(is_store(Opcode::kLdh));
+  EXPECT_TRUE(is_mem(Opcode::kLdb));
+  EXPECT_FALSE(is_mem(Opcode::kAdd));
+}
+
+TEST(Opcode, ComparePredicates) {
+  EXPECT_TRUE(is_compare(Opcode::kCmpeq));
+  EXPECT_TRUE(is_compare(Opcode::kCmpgeu));
+  EXPECT_FALSE(is_compare(Opcode::kSlct));
+  EXPECT_FALSE(is_compare(Opcode::kAdd));
+}
+
+TEST(Opcode, BranchPredicates) {
+  EXPECT_TRUE(is_branch(Opcode::kGoto));
+  EXPECT_TRUE(is_conditional_branch(Opcode::kBr));
+  EXPECT_TRUE(is_conditional_branch(Opcode::kBrf));
+  EXPECT_FALSE(is_conditional_branch(Opcode::kGoto));
+  EXPECT_FALSE(is_conditional_branch(Opcode::kHalt));
+}
+
+TEST(Opcode, DataflowShape) {
+  // Destinations.
+  EXPECT_TRUE(has_dst(Opcode::kAdd));
+  EXPECT_TRUE(has_dst(Opcode::kLdw));
+  EXPECT_TRUE(has_dst(Opcode::kRecv));
+  EXPECT_FALSE(has_dst(Opcode::kStw));
+  EXPECT_FALSE(has_dst(Opcode::kBr));
+  EXPECT_FALSE(has_dst(Opcode::kSend));
+  EXPECT_FALSE(has_dst(Opcode::kNop));
+  // Sources.
+  EXPECT_TRUE(reads_src1(Opcode::kAdd));
+  EXPECT_FALSE(reads_src1(Opcode::kMovi));
+  EXPECT_TRUE(reads_src1(Opcode::kSend));
+  EXPECT_FALSE(reads_src1(Opcode::kRecv));
+  EXPECT_TRUE(reads_src2(Opcode::kStw));  // stored value
+  EXPECT_FALSE(reads_src2(Opcode::kMov));
+  EXPECT_FALSE(reads_src2(Opcode::kSxtb));
+  // Branch-register readers.
+  EXPECT_TRUE(reads_bsrc(Opcode::kSlct));
+  EXPECT_TRUE(reads_bsrc(Opcode::kBr));
+  EXPECT_FALSE(reads_bsrc(Opcode::kGoto));
+}
+
+}  // namespace
+}  // namespace vexsim

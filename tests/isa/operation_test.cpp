@@ -1,0 +1,95 @@
+#include "isa/operation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+
+namespace vexsim {
+namespace {
+
+TEST(Operation, AluConstructor) {
+  const Operation op = ops::alu(Opcode::kAdd, 2, 5, 6, 7);
+  EXPECT_EQ(op.opc, Opcode::kAdd);
+  EXPECT_EQ(op.cluster, 2);
+  EXPECT_EQ(op.dst, 5);
+  EXPECT_EQ(op.src1, 6);
+  EXPECT_EQ(op.src2, 7);
+  EXPECT_FALSE(op.src2_is_imm);
+  EXPECT_TRUE(op.writes_gpr());
+  EXPECT_FALSE(op.writes_breg());
+}
+
+TEST(Operation, ImmediateForm) {
+  const Operation op = ops::alui(Opcode::kShl, 0, 1, 2, 12);
+  EXPECT_TRUE(op.src2_is_imm);
+  EXPECT_EQ(op.imm, 12);
+}
+
+TEST(Operation, CompareToBranchRegister) {
+  const Operation op = ops::cmpi_breg(Opcode::kCmplt, 1, 3, 9, 100);
+  EXPECT_TRUE(op.dst_is_breg);
+  EXPECT_TRUE(op.writes_breg());
+  EXPECT_FALSE(op.writes_gpr());
+  EXPECT_EQ(op.dst, 3);
+}
+
+TEST(Operation, NonCompareCannotTargetBreg) {
+  EXPECT_THROW(ops::cmp_breg(Opcode::kAdd, 0, 0, 1, 2), CheckError);
+}
+
+TEST(Operation, LoadStoreShape) {
+  const Operation ld = ops::load(Opcode::kLdw, 0, 4, 5, 16);
+  EXPECT_EQ(ld.dst, 4);
+  EXPECT_EQ(ld.src1, 5);
+  EXPECT_EQ(ld.imm, 16);
+  const Operation st = ops::store(Opcode::kStw, 1, 6, -8, 7);
+  EXPECT_EQ(st.src1, 6);
+  EXPECT_EQ(st.src2, 7);
+  EXPECT_EQ(st.imm, -8);
+  EXPECT_FALSE(st.writes_gpr());
+}
+
+TEST(Operation, ClusterRangeChecked) {
+  EXPECT_THROW(ops::mov(kMaxClusters, 1, 2), CheckError);
+}
+
+TEST(Operation, SendRecvChannels) {
+  const Operation snd = ops::send(0, 10, 3);
+  const Operation rcv = ops::recv(2, 11, 3);
+  EXPECT_EQ(snd.chan, 3);
+  EXPECT_EQ(rcv.chan, 3);
+  EXPECT_EQ(snd.src1, 10);
+  EXPECT_EQ(rcv.dst, 11);
+  EXPECT_EQ(snd.cls(), OpClass::kComm);
+}
+
+TEST(Operation, ToStringForms) {
+  EXPECT_EQ(to_string(ops::alu(Opcode::kAdd, 0, 1, 2, 3)),
+            "c0 add r1 = r2, r3");
+  EXPECT_EQ(to_string(ops::alui(Opcode::kShl, 1, 4, 5, 6)),
+            "c1 shl r4 = r5, 6");
+  EXPECT_EQ(to_string(ops::movi(0, 7, -3)), "c0 movi r7 = -3");
+  EXPECT_EQ(to_string(ops::load(Opcode::kLdw, 2, 1, 2, 8)),
+            "c2 ldw r1 = 8[r2]");
+  EXPECT_EQ(to_string(ops::store(Opcode::kStw, 0, 2, 4, 3)),
+            "c0 stw 4[r2] = r3");
+  EXPECT_EQ(to_string(ops::br(0, 1, 5)), "c0 br b1, @5");
+  EXPECT_EQ(to_string(ops::halt(0)), "c0 halt");
+  EXPECT_EQ(to_string(ops::send(0, 9, 2)), "c0 send ch2 = r9");
+  EXPECT_EQ(to_string(ops::recv(1, 8, 2)), "c1 recv r8 = ch2");
+  EXPECT_EQ(to_string(ops::cmpi_breg(Opcode::kCmplt, 0, 2, 3, 10)),
+            "c0 cmplt b2 = r3, 10");
+  EXPECT_EQ(to_string(ops::slct(0, 1, 2, 3, 4)),
+            "c0 slct r1 = b2, r3, r4");
+}
+
+TEST(Operation, Equality) {
+  const Operation a = ops::alu(Opcode::kAdd, 0, 1, 2, 3);
+  Operation b = a;
+  EXPECT_EQ(a, b);
+  b.imm = 5;
+  EXPECT_FALSE(a == b);
+}
+
+}  // namespace
+}  // namespace vexsim

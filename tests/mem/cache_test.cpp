@@ -1,0 +1,110 @@
+#include "mem/cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+
+namespace vexsim {
+namespace {
+
+CacheConfig small_cache() {
+  CacheConfig cfg;
+  cfg.size_bytes = 1024;  // 4 sets × 4 ways × 64B
+  cfg.assoc = 4;
+  cfg.line_bytes = 64;
+  cfg.miss_penalty = 20;
+  return cfg;
+}
+
+TEST(Cache, GeometryDerivation) {
+  Cache c(small_cache());
+  EXPECT_EQ(c.num_sets(), 4u);
+  const Cache paper((CacheConfig()));
+  EXPECT_EQ(paper.num_sets(), 64u * 1024 / (4 * 64));
+}
+
+TEST(Cache, ColdMissThenHit) {
+  Cache c(small_cache());
+  EXPECT_FALSE(c.access(0, 0x1000));
+  EXPECT_TRUE(c.access(0, 0x1000));
+  EXPECT_TRUE(c.access(0, 0x103F));  // same line
+  EXPECT_FALSE(c.access(0, 0x1040)); // next line
+  EXPECT_EQ(c.stats().misses, 2u);
+  EXPECT_EQ(c.stats().hits, 2u);
+}
+
+TEST(Cache, LruEviction) {
+  Cache c(small_cache());
+  // 4-way set: fill one set with 4 distinct tags (stride = sets*line).
+  const std::uint32_t stride = 4 * 64;
+  for (std::uint32_t i = 0; i < 4; ++i)
+    EXPECT_FALSE(c.access(0, i * stride));
+  // Touch line 0 so line 1 becomes LRU.
+  EXPECT_TRUE(c.access(0, 0));
+  // A 5th line evicts line 1 (the LRU).
+  EXPECT_FALSE(c.access(0, 4 * stride));
+  EXPECT_TRUE(c.access(0, 0));          // still resident
+  EXPECT_FALSE(c.access(0, 1 * stride)); // evicted
+}
+
+TEST(Cache, AsidsDoNotAlias) {
+  Cache c(small_cache());
+  EXPECT_FALSE(c.access(0, 0x2000));
+  // Same address, different address space: distinct line (SMT threads of a
+  // multiprogrammed workload interfere but never falsely hit).
+  EXPECT_FALSE(c.access(1, 0x2000));
+  EXPECT_TRUE(c.access(0, 0x2000));
+  EXPECT_TRUE(c.access(1, 0x2000));
+}
+
+TEST(Cache, ThreadsInterfereInSharedCache) {
+  Cache c(small_cache());
+  const std::uint32_t stride = 4 * 64;
+  for (std::uint32_t i = 0; i < 4; ++i) c.access(0, i * stride);
+  // Thread 1 streams through the same set and evicts thread 0's lines.
+  for (std::uint32_t i = 0; i < 4; ++i) c.access(1, i * stride);
+  EXPECT_FALSE(c.access(0, 0));
+}
+
+TEST(Cache, PerfectCacheAlwaysHits) {
+  CacheConfig cfg = small_cache();
+  cfg.perfect = true;
+  Cache c(cfg);
+  EXPECT_TRUE(c.access(0, 0x9999 & ~3u));
+  EXPECT_TRUE(c.access(3, 0x1234 & ~3u));
+  EXPECT_EQ(c.stats().misses, 0u);
+}
+
+TEST(Cache, WouldHitHasNoSideEffects) {
+  Cache c(small_cache());
+  EXPECT_FALSE(c.would_hit(0, 0x3000));
+  EXPECT_EQ(c.stats().accesses(), 0u);
+  c.access(0, 0x3000);
+  EXPECT_TRUE(c.would_hit(0, 0x3000));
+}
+
+TEST(Cache, ResetClears) {
+  Cache c(small_cache());
+  c.access(0, 0x1000);
+  c.reset();
+  EXPECT_FALSE(c.would_hit(0, 0x1000));
+  EXPECT_EQ(c.stats().accesses(), 0u);
+}
+
+TEST(Cache, MissRate) {
+  Cache c(small_cache());
+  c.access(0, 0);
+  c.access(0, 0);
+  c.access(0, 0);
+  c.access(0, 0);
+  EXPECT_DOUBLE_EQ(c.stats().miss_rate(), 0.25);
+}
+
+TEST(Cache, BadGeometryRejected) {
+  CacheConfig cfg = small_cache();
+  cfg.line_bytes = 48;  // not a power of two
+  EXPECT_THROW(Cache{cfg}, CheckError);
+}
+
+}  // namespace
+}  // namespace vexsim

@@ -1,0 +1,104 @@
+#include "mem/main_memory.hpp"
+
+#include <gtest/gtest.h>
+
+namespace vexsim {
+namespace {
+
+TEST(MainMemory, ZeroInitialized) {
+  const MainMemory mem;
+  std::uint32_t v = 1;
+  ASSERT_TRUE(mem.load(0x1000, 4, v));
+  EXPECT_EQ(v, 0u);
+}
+
+TEST(MainMemory, StoreLoadWord) {
+  MainMemory mem;
+  ASSERT_TRUE(mem.store(0x2000, 4, 0xDEADBEEF));
+  std::uint32_t v = 0;
+  ASSERT_TRUE(mem.load(0x2000, 4, v));
+  EXPECT_EQ(v, 0xDEADBEEFu);
+}
+
+TEST(MainMemory, LittleEndianBytes) {
+  MainMemory mem;
+  ASSERT_TRUE(mem.store(0x2000, 4, 0x11223344));
+  std::uint32_t b = 0;
+  ASSERT_TRUE(mem.load(0x2000, 1, b));
+  EXPECT_EQ(b, 0x44u);
+  ASSERT_TRUE(mem.load(0x2003, 1, b));
+  EXPECT_EQ(b, 0x11u);
+  ASSERT_TRUE(mem.load(0x2002, 2, b));
+  EXPECT_EQ(b, 0x1122u);
+}
+
+TEST(MainMemory, MisalignedFaults) {
+  MainMemory mem;
+  std::uint32_t v = 0;
+  EXPECT_FALSE(mem.load(0x2001, 4, v));
+  EXPECT_FALSE(mem.load(0x2001, 2, v));
+  EXPECT_TRUE(mem.load(0x2001, 1, v));
+  EXPECT_FALSE(mem.store(0x2002, 4, 1));
+  EXPECT_TRUE(mem.store(0x2002, 2, 1));
+}
+
+TEST(MainMemory, GuardPageFaults) {
+  MainMemory mem;
+  std::uint32_t v = 0;
+  EXPECT_FALSE(mem.load(0x0, 4, v));
+  EXPECT_FALSE(mem.load(0xFC, 4, v));
+  EXPECT_FALSE(mem.store(0x10, 4, 1));
+  EXPECT_TRUE(mem.load(0x100, 4, v));
+}
+
+TEST(MainMemory, SparsePagesIndependent) {
+  MainMemory mem;
+  ASSERT_TRUE(mem.store(0x0001'0000, 4, 1));
+  ASSERT_TRUE(mem.store(0x7000'0000, 4, 2));
+  std::uint32_t v = 0;
+  ASSERT_TRUE(mem.load(0x0001'0000, 4, v));
+  EXPECT_EQ(v, 1u);
+  ASSERT_TRUE(mem.load(0x7000'0000, 4, v));
+  EXPECT_EQ(v, 2u);
+}
+
+TEST(MainMemory, PokeBytesAcrossPages) {
+  MainMemory mem;
+  const std::uint8_t data[8] = {1, 2, 3, 4, 5, 6, 7, 8};
+  const std::uint32_t addr = MainMemory::kPageSize - 4;
+  mem.poke_bytes(addr, data, 8);
+  std::uint32_t v = 0;
+  ASSERT_TRUE(mem.load(addr, 4, v));
+  EXPECT_EQ(v, 0x04030201u);
+  ASSERT_TRUE(mem.load(addr + 4, 4, v));
+  EXPECT_EQ(v, 0x08070605u);
+}
+
+TEST(MainMemory, FingerprintDetectsChanges) {
+  MainMemory a, b;
+  EXPECT_EQ(a.fingerprint(), b.fingerprint());
+  ASSERT_TRUE(a.store(0x3000, 4, 7));
+  EXPECT_NE(a.fingerprint(), b.fingerprint());
+  ASSERT_TRUE(b.store(0x3000, 4, 7));
+  EXPECT_EQ(a.fingerprint(), b.fingerprint());
+}
+
+TEST(MainMemory, FingerprintIgnoresZeroWrites) {
+  // Writing zeros allocates pages but leaves content equal to untouched
+  // memory; the digest must not distinguish them.
+  MainMemory a, b;
+  ASSERT_TRUE(a.store(0x5000, 4, 0));
+  EXPECT_EQ(a.fingerprint(), b.fingerprint());
+}
+
+TEST(MainMemory, ClearResets) {
+  MainMemory mem;
+  ASSERT_TRUE(mem.store(0x4000, 4, 9));
+  mem.clear();
+  std::uint32_t v = 1;
+  ASSERT_TRUE(mem.load(0x4000, 4, v));
+  EXPECT_EQ(v, 0u);
+}
+
+}  // namespace
+}  // namespace vexsim

@@ -1,0 +1,122 @@
+#include "sim/exec.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+
+namespace vexsim {
+namespace {
+
+TEST(Exec, Arithmetic) {
+  EXPECT_EQ(eval_scalar(Opcode::kAdd, 3, 4, false), 7u);
+  EXPECT_EQ(eval_scalar(Opcode::kSub, 3, 4, false), 0xFFFFFFFFu);
+  EXPECT_EQ(eval_scalar(Opcode::kMpyl, 0x10000, 0x10000, false), 0u);
+  EXPECT_EQ(eval_scalar(Opcode::kMpyh, 0x10000, 0x10000, false), 1u);
+  // Signed high multiply: (-1) * (-1) = 1 → high word 0.
+  EXPECT_EQ(eval_scalar(Opcode::kMpyh, 0xFFFFFFFF, 0xFFFFFFFF, false), 0u);
+  EXPECT_EQ(eval_scalar(Opcode::kMpyl, 0xFFFFFFFF, 5, false),
+            static_cast<std::uint32_t>(-5));
+}
+
+TEST(Exec, Logic) {
+  EXPECT_EQ(eval_scalar(Opcode::kAnd, 0b1100, 0b1010, false), 0b1000u);
+  EXPECT_EQ(eval_scalar(Opcode::kAndc, 0b1100, 0b1010, false), 0b0010u);
+  EXPECT_EQ(eval_scalar(Opcode::kOr, 0b1100, 0b1010, false), 0b1110u);
+  EXPECT_EQ(eval_scalar(Opcode::kXor, 0b1100, 0b1010, false), 0b0110u);
+}
+
+TEST(Exec, Shifts) {
+  EXPECT_EQ(eval_scalar(Opcode::kShl, 1, 4, false), 16u);
+  EXPECT_EQ(eval_scalar(Opcode::kShl, 1, 32, false), 0u);
+  EXPECT_EQ(eval_scalar(Opcode::kShru, 0x80000000, 31, false), 1u);
+  EXPECT_EQ(eval_scalar(Opcode::kShru, 0x80000000, 32, false), 0u);
+  // Arithmetic right shift keeps the sign.
+  EXPECT_EQ(eval_scalar(Opcode::kShr, 0x80000000, 31, false), 0xFFFFFFFFu);
+  EXPECT_EQ(eval_scalar(Opcode::kShr, 0x80000000, 40, false), 0xFFFFFFFFu);
+  EXPECT_EQ(eval_scalar(Opcode::kShr, 0x40000000, 40, false), 0u);
+}
+
+TEST(Exec, MinMax) {
+  EXPECT_EQ(eval_scalar(Opcode::kMin, static_cast<std::uint32_t>(-5), 3,
+                        false),
+            static_cast<std::uint32_t>(-5));
+  EXPECT_EQ(eval_scalar(Opcode::kMax, static_cast<std::uint32_t>(-5), 3,
+                        false),
+            3u);
+  EXPECT_EQ(eval_scalar(Opcode::kMinu, static_cast<std::uint32_t>(-5), 3,
+                        false),
+            3u);  // unsigned: 0xFFFFFFFB > 3
+  EXPECT_EQ(eval_scalar(Opcode::kMaxu, static_cast<std::uint32_t>(-5), 3,
+                        false),
+            static_cast<std::uint32_t>(-5));
+}
+
+TEST(Exec, Extensions) {
+  EXPECT_EQ(eval_scalar(Opcode::kSxtb, 0x80, 0, false), 0xFFFFFF80u);
+  EXPECT_EQ(eval_scalar(Opcode::kSxth, 0x8000, 0, false), 0xFFFF8000u);
+  EXPECT_EQ(eval_scalar(Opcode::kZxtb, 0x1FF, 0, false), 0xFFu);
+  EXPECT_EQ(eval_scalar(Opcode::kZxth, 0x12345678, 0, false), 0x5678u);
+}
+
+TEST(Exec, Compares) {
+  EXPECT_EQ(eval_scalar(Opcode::kCmpeq, 5, 5, false), 1u);
+  EXPECT_EQ(eval_scalar(Opcode::kCmpne, 5, 5, false), 0u);
+  EXPECT_EQ(eval_scalar(Opcode::kCmplt, static_cast<std::uint32_t>(-1), 0,
+                        false),
+            1u);  // signed
+  EXPECT_EQ(eval_scalar(Opcode::kCmpltu, static_cast<std::uint32_t>(-1), 0,
+                        false),
+            0u);  // unsigned
+  EXPECT_EQ(eval_scalar(Opcode::kCmpge, 3, 3, false), 1u);
+  EXPECT_EQ(eval_scalar(Opcode::kCmpgeu, 0, 1, false), 0u);
+  EXPECT_EQ(eval_scalar(Opcode::kCmple, static_cast<std::uint32_t>(-7),
+                        static_cast<std::uint32_t>(-7), false),
+            1u);
+  EXPECT_EQ(eval_scalar(Opcode::kCmpgt, 4, 3, false), 1u);
+}
+
+TEST(Exec, Selects) {
+  EXPECT_EQ(eval_scalar(Opcode::kSlct, 10, 20, true), 10u);
+  EXPECT_EQ(eval_scalar(Opcode::kSlct, 10, 20, false), 20u);
+  EXPECT_EQ(eval_scalar(Opcode::kSlctf, 10, 20, true), 20u);
+  EXPECT_EQ(eval_scalar(Opcode::kSlctf, 10, 20, false), 10u);
+}
+
+TEST(Exec, Moves) {
+  EXPECT_EQ(eval_scalar(Opcode::kMov, 42, 0, false), 42u);
+  EXPECT_EQ(eval_scalar(Opcode::kMovi, 0, 42, false), 42u);
+}
+
+TEST(Exec, MemAccessSizes) {
+  EXPECT_EQ(mem_access_size(Opcode::kLdw), 4);
+  EXPECT_EQ(mem_access_size(Opcode::kStw), 4);
+  EXPECT_EQ(mem_access_size(Opcode::kLdh), 2);
+  EXPECT_EQ(mem_access_size(Opcode::kLdhu), 2);
+  EXPECT_EQ(mem_access_size(Opcode::kStb), 1);
+  EXPECT_THROW(mem_access_size(Opcode::kAdd), CheckError);
+}
+
+TEST(Exec, LoadExtension) {
+  EXPECT_EQ(extend_loaded(Opcode::kLdw, 0xCAFEBABE), 0xCAFEBABEu);
+  EXPECT_EQ(extend_loaded(Opcode::kLdh, 0x8001), 0xFFFF8001u);
+  EXPECT_EQ(extend_loaded(Opcode::kLdhu, 0x8001), 0x8001u);
+  EXPECT_EQ(extend_loaded(Opcode::kLdb, 0xFF), 0xFFFFFFFFu);
+  EXPECT_EQ(extend_loaded(Opcode::kLdbu, 0xFF), 0xFFu);
+}
+
+TEST(Exec, BranchDecision) {
+  EXPECT_TRUE(branch_taken(Opcode::kBr, true));
+  EXPECT_FALSE(branch_taken(Opcode::kBr, false));
+  EXPECT_FALSE(branch_taken(Opcode::kBrf, true));
+  EXPECT_TRUE(branch_taken(Opcode::kBrf, false));
+  EXPECT_TRUE(branch_taken(Opcode::kGoto, false));
+  EXPECT_FALSE(branch_taken(Opcode::kHalt, true));
+}
+
+TEST(Exec, NonScalarOpcodeRejected) {
+  EXPECT_THROW(eval_scalar(Opcode::kLdw, 0, 0, false), CheckError);
+  EXPECT_THROW(eval_scalar(Opcode::kBr, 0, 0, false), CheckError);
+}
+
+}  // namespace
+}  // namespace vexsim

@@ -1,0 +1,52 @@
+#include "stats/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+
+namespace vexsim {
+namespace {
+
+TEST(Table, AlignedText) {
+  Table t({"bench", "IPCr", "IPCp"});
+  t.add_row({"mcf", "0.96", "1.34"});
+  t.add_row({"colorspace", "5.47", "8.88"});
+  const std::string text = t.to_text();
+  EXPECT_NE(text.find("bench"), std::string::npos);
+  EXPECT_NE(text.find("colorspace"), std::string::npos);
+  // Numeric columns right-aligned: "0.96" column width fits "IPCr".
+  EXPECT_NE(text.find(" 0.96"), std::string::npos);
+}
+
+TEST(Table, CsvOutput) {
+  Table t({"a", "b"});
+  t.add_row({"1", "2"});
+  EXPECT_EQ(t.to_csv(), "a,b\n1,2\n");
+}
+
+TEST(Table, RowWidthChecked) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), CheckError);
+}
+
+TEST(Table, NumberFormatting) {
+  EXPECT_EQ(Table::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::fmt(2.0, 1), "2.0");
+  EXPECT_EQ(Table::pct(0.061), "6.1%");
+  EXPECT_EQ(Table::pct(0.203, 1), "20.3%");
+  EXPECT_EQ(Table::pct(-0.05), "-5.0%");
+}
+
+TEST(Table, MeanHelper) {
+  EXPECT_DOUBLE_EQ(mean({1.0, 2.0, 3.0}), 2.0);
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+}
+
+TEST(Table, SpeedupHelper) {
+  EXPECT_NEAR(speedup(1.1, 1.0), 0.1, 1e-12);
+  EXPECT_NEAR(speedup(0.9, 1.0), -0.1, 1e-12);
+  EXPECT_THROW(speedup(1.0, 0.0), CheckError);
+}
+
+}  // namespace
+}  // namespace vexsim

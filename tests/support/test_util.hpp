@@ -1,0 +1,70 @@
+// Shared helpers for the vexsim test suite.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "arch/thread_context.hpp"
+#include "isa/config.hpp"
+#include "isa/program.hpp"
+#include "sim/simulator.hpp"
+
+namespace vexsim::test {
+
+inline std::shared_ptr<const Program> finalize(Program prog) {
+  prog.finalize();
+  return std::make_shared<const Program>(std::move(prog));
+}
+
+// A small machine for the paper's worked examples: `clusters` × `issue`
+// where issue slots are the only scarce resource ("we assume that number of
+// issue slots is the only critical resource", Section III).
+inline MachineConfig example_machine(int clusters, int issue, int threads,
+                                     Technique t) {
+  MachineConfig cfg;
+  cfg.clusters = clusters;
+  cfg.cluster.issue_slots = issue;
+  cfg.cluster.alus = issue;
+  cfg.cluster.muls = issue;
+  cfg.cluster.mem_units = issue;
+  cfg.cluster.branch_units = 1;
+  cfg.branch_on_cluster0_only = false;
+  cfg.hw_threads = threads;
+  cfg.technique = t;
+  cfg.cluster_renaming = false;  // the figures assume identity placement
+  cfg.icache.perfect = true;
+  cfg.dcache.perfect = true;
+  cfg.validate();
+  return cfg;
+}
+
+// Per-cycle packet summary: ops issued per (thread, cluster), e.g.
+// {{0,0}: 2, {1,1}: 2} for "thread 0 issued 2 ops on cluster 0, …".
+using PacketShape = std::map<std::pair<int, int>, int>;
+
+inline PacketShape shape_of(const ExecPacket& packet) {
+  PacketShape shape;
+  for (const SelectedOp& sel : packet.ops)
+    ++shape[{sel.hw_slot, sel.physical_cluster}];
+  return shape;
+}
+
+// Runs the machine until all threads halt, recording each cycle's shape.
+inline std::vector<PacketShape> run_and_trace(Simulator& sim,
+                                              std::uint64_t max_cycles = 100) {
+  std::vector<PacketShape> trace;
+  for (std::uint64_t i = 0; i < max_cycles; ++i) {
+    bool live = false;
+    for (int s = 0; s < sim.num_slots(); ++s)
+      if (sim.slot(s) != nullptr && sim.slot(s)->state == RunState::kReady)
+        live = true;
+    if (!live) break;
+    sim.step();
+    trace.push_back(shape_of(sim.last_packet()));
+  }
+  return trace;
+}
+
+}  // namespace vexsim::test

@@ -1,0 +1,52 @@
+#include "util/cli.hpp"
+
+#include <gtest/gtest.h>
+
+namespace vexsim {
+namespace {
+
+Cli make(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv{"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return Cli(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Cli, SpaceSeparatedValue) {
+  const Cli cli = make({"--budget", "1000"});
+  EXPECT_EQ(cli.get_int("budget", 0), 1000);
+}
+
+TEST(Cli, EqualsValue) {
+  const Cli cli = make({"--scale=0.5"});
+  EXPECT_DOUBLE_EQ(cli.get_double("scale", 1.0), 0.5);
+}
+
+TEST(Cli, BooleanFlag) {
+  const Cli cli = make({"--paper"});
+  EXPECT_TRUE(cli.get_bool("paper", false));
+  EXPECT_TRUE(cli.has("paper"));
+  EXPECT_FALSE(cli.has("quick"));
+}
+
+TEST(Cli, DefaultsWhenAbsent) {
+  const Cli cli = make({});
+  EXPECT_EQ(cli.get_int("budget", 42), 42);
+  EXPECT_EQ(cli.get("name", "x"), "x");
+  EXPECT_FALSE(cli.get_bool("flag", false));
+}
+
+TEST(Cli, Positional) {
+  const Cli cli = make({"llhh", "--seed", "7", "mmhh"});
+  ASSERT_EQ(cli.positional().size(), 2u);
+  EXPECT_EQ(cli.positional()[0], "llhh");
+  EXPECT_EQ(cli.positional()[1], "mmhh");
+  EXPECT_EQ(cli.get_int("seed", 0), 7);
+}
+
+TEST(Cli, HexIntegers) {
+  const Cli cli = make({"--base=0x1000"});
+  EXPECT_EQ(cli.get_int("base", 0), 0x1000);
+}
+
+}  // namespace
+}  // namespace vexsim

@@ -1,0 +1,92 @@
+#include "util/inline_vec.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+
+namespace vexsim {
+namespace {
+
+TEST(InlineVec, StartsEmpty) {
+  InlineVec<int, 4> v;
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.size(), 0u);
+  EXPECT_EQ(v.capacity(), 4u);
+}
+
+TEST(InlineVec, PushBackGrows) {
+  InlineVec<int, 4> v;
+  v.push_back(10);
+  v.push_back(20);
+  EXPECT_EQ(v.size(), 2u);
+  EXPECT_EQ(v[0], 10);
+  EXPECT_EQ(v[1], 20);
+  EXPECT_EQ(v.front(), 10);
+  EXPECT_EQ(v.back(), 20);
+}
+
+TEST(InlineVec, InitializerList) {
+  InlineVec<int, 4> v{1, 2, 3};
+  EXPECT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[2], 3);
+}
+
+TEST(InlineVec, OverflowThrows) {
+  InlineVec<int, 2> v{1, 2};
+  EXPECT_TRUE(v.full());
+  EXPECT_THROW(v.push_back(3), CheckError);
+}
+
+TEST(InlineVec, OutOfRangeIndexThrows) {
+  InlineVec<int, 4> v{1};
+  EXPECT_THROW(v[1], CheckError);
+}
+
+TEST(InlineVec, PopBack) {
+  InlineVec<int, 4> v{1, 2};
+  v.pop_back();
+  EXPECT_EQ(v.size(), 1u);
+  EXPECT_THROW(([] {
+                 InlineVec<int, 4> e;
+                 e.pop_back();
+               })(),
+               CheckError);
+}
+
+TEST(InlineVec, ClearAndResize) {
+  InlineVec<int, 4> v{1, 2, 3};
+  v.clear();
+  EXPECT_TRUE(v.empty());
+  v.resize(2);
+  EXPECT_EQ(v.size(), 2u);
+  EXPECT_EQ(v[0], 0);  // value-initialized
+}
+
+TEST(InlineVec, Iteration) {
+  InlineVec<int, 8> v{1, 2, 3, 4};
+  int sum = 0;
+  for (int x : v) sum += x;
+  EXPECT_EQ(sum, 10);
+}
+
+TEST(InlineVec, Equality) {
+  InlineVec<int, 4> a{1, 2};
+  InlineVec<int, 4> b{1, 2};
+  InlineVec<int, 4> c{1, 3};
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == c);
+}
+
+TEST(InlineVec, EmplaceBack) {
+  struct P {
+    int x = 0, y = 0;
+    bool operator==(const P&) const = default;
+  };
+  InlineVec<P, 2> v;
+  v.emplace_back(1, 2);
+  EXPECT_EQ(v[0].x, 1);
+  EXPECT_EQ(v[0].y, 2);
+}
+
+}  // namespace
+}  // namespace vexsim

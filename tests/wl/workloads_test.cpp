@@ -1,0 +1,73 @@
+#include "workloads/workloads.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "harness/experiments.hpp"
+#include "workloads/registry.hpp"
+
+namespace vexsim::wl {
+namespace {
+
+TEST(Workloads, NineMixesMatchFigure13b) {
+  const auto& specs = paper_workloads();
+  ASSERT_EQ(specs.size(), 9u);
+  EXPECT_EQ(specs[0].name, "llll");
+  EXPECT_EQ(specs[8].name, "hhhh");
+  const WorkloadSpec& llhh = workload("llhh");
+  EXPECT_EQ(llhh.benchmarks,
+            (std::array<std::string, 4>{"mcf", "blowfish", "x264", "idct"}));
+  EXPECT_THROW(workload("zzzz"), CheckError);
+}
+
+TEST(Workloads, NamesEncodeIlpClasses) {
+  // Each mix's label must match the classes of its benchmarks, in order.
+  for (const WorkloadSpec& spec : paper_workloads()) {
+    ASSERT_EQ(spec.name.size(), 4u);
+    std::string derived;
+    for (const std::string& bench : spec.benchmarks)
+      derived += static_cast<char>(benchmark_info(bench).ilp);
+    // Labels are sorted combinations; the multiset of classes must agree.
+    std::string label = spec.name;
+    std::sort(label.begin(), label.end());
+    std::sort(derived.begin(), derived.end());
+    EXPECT_EQ(label, derived) << spec.name;
+  }
+}
+
+TEST(Workloads, BuildProducesFourPrograms) {
+  const MachineConfig cfg = MachineConfig::paper(2, Technique::csmt());
+  const auto programs = build_workload(workload("mmmm"), cfg, 0.02);
+  ASSERT_EQ(programs.size(), 4u);
+  for (const auto& p : programs) EXPECT_TRUE(p->finalized());
+}
+
+TEST(Workloads, MixRunsUnderSmt) {
+  harness::ExperimentOptions opt;
+  opt.scale = 0.02;
+  opt.budget = 20'000;
+  opt.timeslice = 10'000;
+  opt.max_cycles = 20'000'000;
+  const RunResult r =
+      harness::run_workload("llmm", 2, Technique::smt(), opt);
+  EXPECT_GT(r.ipc(), 0.5);
+  EXPECT_EQ(r.instances.size(), 4u);
+  for (const auto& inst : r.instances) EXPECT_FALSE(inst.faulted);
+}
+
+TEST(Workloads, MultithreadingBeatsSingleThread) {
+  harness::ExperimentOptions opt;
+  opt.scale = 0.02;
+  opt.budget = 20'000;
+  opt.timeslice = 5'000;
+  opt.max_cycles = 20'000'000;
+  const RunResult smt2 = harness::run_workload("llmm", 2, Technique::smt(), opt);
+  const RunResult smt4 = harness::run_workload("llmm", 4, Technique::smt(), opt);
+  // More thread contexts → more merging opportunities → higher IPC.
+  EXPECT_GT(smt4.ipc(), smt2.ipc() * 0.95);
+  EXPECT_GT(smt2.ipc(), 0.0);
+}
+
+}  // namespace
+}  // namespace vexsim::wl
