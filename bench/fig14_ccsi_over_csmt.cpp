@@ -2,11 +2,16 @@
 // 2-thread and 4-thread machines, under both communication policies
 // (NS = no split of send/recv instructions, AS = always split).
 //
-// Flags: --scale, --budget, --timeslice, --seed, --quick, --paper, --csv.
+// All simulation points run through the parallel sweep engine; --jobs N
+// picks the worker count (results are bit-identical for any N) and the raw
+// per-point statistics land in a JSON trajectory file.
+//
+// Flags: --scale, --budget, --timeslice, --seed, --quick, --paper, --csv,
+//        --jobs N, --json FILE (default BENCH_sweep.json).
 #include <iostream>
 #include <vector>
 
-#include "harness/experiments.hpp"
+#include "harness/sweep.hpp"
 #include "stats/table.hpp"
 #include "util/cli.hpp"
 #include "workloads/workloads.hpp"
@@ -19,6 +24,25 @@ int main(int argc, char** argv) {
   std::cout << "Figure 14: CCSI speedup over CSMT (%)\n"
             << "paper averages: 2T NS 6.1 / 2T AS 8.7 / 4T NS 3.5 / 4T AS 7.5\n\n";
 
+  // Per workload and thread count: the CSMT baseline followed by CCSI under
+  // both communication policies — 6 points per workload.
+  std::vector<harness::SweepPoint> points;
+  for (const wl::WorkloadSpec& spec : wl::paper_workloads()) {
+    for (int threads : {2, 4}) {
+      const std::string suffix = "/" + std::to_string(threads) + "T";
+      points.push_back({spec.name + "/CSMT" + suffix,
+                        MachineConfig::paper(threads, Technique::csmt()),
+                        spec.name, opt});
+      for (CommPolicy comm : {CommPolicy::kNoSplit, CommPolicy::kAlwaysSplit}) {
+        const Technique t = Technique::ccsi(comm);
+        points.push_back({spec.name + "/" + t.name() + suffix,
+                          MachineConfig::paper(threads, t), spec.name, opt});
+      }
+    }
+  }
+  const std::vector<RunResult> results =
+      harness::run_sweep_and_dump(cli, "fig14_ccsi_over_csmt", points);
+
   Table table({"workload", "2T NS", "2T AS", "4T NS", "4T AS"});
   std::vector<double> avg(4, 0.0);
   int n = 0;
@@ -26,11 +50,13 @@ int main(int argc, char** argv) {
     std::vector<std::string> row{spec.name};
     int col = 0;
     for (int threads : {2, 4}) {
-      const RunResult base =
-          harness::run_workload(spec.name, threads, Technique::csmt(), opt);
+      const std::string suffix = "/" + std::to_string(threads) + "T";
+      const RunResult& base = harness::result_for(
+          points, results, spec.name + "/CSMT" + suffix);
       for (CommPolicy comm : {CommPolicy::kNoSplit, CommPolicy::kAlwaysSplit}) {
-        const RunResult ccsi = harness::run_workload(
-            spec.name, threads, Technique::ccsi(comm), opt);
+        const RunResult& ccsi = harness::result_for(
+            points, results,
+            spec.name + "/" + Technique::ccsi(comm).name() + suffix);
         const double s = speedup(ccsi.ipc(), base.ipc());
         avg[static_cast<std::size_t>(col)] += s;
         row.push_back(Table::pct(s));

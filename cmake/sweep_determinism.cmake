@@ -1,0 +1,22 @@
+# Runs a sweep-based bench twice (--jobs 1 vs --jobs 8) and requires the
+# emitted JSON trajectory files to be byte-identical.
+set(serial "${OUT_DIR}/sweep_serial.json")
+set(par "${OUT_DIR}/sweep_parallel.json")
+
+execute_process(COMMAND ${BENCH} --quick --jobs 1 --json ${serial}
+                RESULT_VARIABLE rc1 OUTPUT_QUIET)
+if(NOT rc1 EQUAL 0)
+  message(FATAL_ERROR "serial bench run failed with ${rc1}")
+endif()
+
+execute_process(COMMAND ${BENCH} --quick --jobs 8 --json ${par}
+                RESULT_VARIABLE rc2 OUTPUT_QUIET)
+if(NOT rc2 EQUAL 0)
+  message(FATAL_ERROR "parallel bench run failed with ${rc2}")
+endif()
+
+execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files ${serial} ${par}
+                RESULT_VARIABLE diff)
+if(NOT diff EQUAL 0)
+  message(FATAL_ERROR "sweep JSON differs between --jobs 1 and --jobs 8")
+endif()

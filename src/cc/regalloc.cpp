@@ -99,10 +99,10 @@ Allocation allocate(const LFunction& fn, const FunctionSchedule& sched,
     for (auto& [key, scan] : scans) {
       const bool is_breg = key.second;
       std::sort(scan.items.begin(), scan.items.end(),
-                [](const Lifetime& a, const Lifetime& b) {
-                  return a.def_cycle != b.def_cycle
-                             ? a.def_cycle < b.def_cycle
-                             : a.def_index < b.def_index;
+                [](const Lifetime& lhs, const Lifetime& rhs) {
+                  return lhs.def_cycle != rhs.def_cycle
+                             ? lhs.def_cycle < rhs.def_cycle
+                             : lhs.def_index < rhs.def_index;
                 });
       const int lo = is_breg ? 0 : 1;
       const int hi = is_breg

@@ -1,0 +1,151 @@
+#include "harness/sweep.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <thread>
+
+#include "util/check.hpp"
+
+namespace vexsim::harness {
+
+std::uint64_t derive_seed(std::uint64_t base, std::uint64_t index) {
+  std::uint64_t z = base + (index + 1) * 0x9E3779B97F4A7C15ull;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+std::vector<RunResult> run_sweep(const std::vector<SweepPoint>& points,
+                                 int jobs) {
+  VEXSIM_CHECK_MSG(jobs >= 1, "sweep needs at least one job, got " << jobs);
+  std::vector<RunResult> results(points.size());
+  std::vector<std::exception_ptr> errors(points.size());
+
+  std::atomic<std::size_t> next{0};
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1);
+      if (i >= points.size()) return;
+      try {
+        const SweepPoint& p = points[i];
+        results[i] = run_workload_on(p.cfg, p.workload, p.opt);
+      } catch (...) {
+        errors[i] = std::current_exception();
+      }
+    }
+  };
+
+  const std::size_t n_workers =
+      std::min(static_cast<std::size_t>(jobs), points.size());
+  if (n_workers <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(n_workers);
+    for (std::size_t t = 0; t < n_workers; ++t) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
+  }
+
+  for (const std::exception_ptr& e : errors)
+    if (e) std::rethrow_exception(e);
+  return results;
+}
+
+namespace {
+
+Json point_json(const SweepPoint& p, const RunResult& r) {
+  Json cfg = Json::object();
+  cfg.set("threads", p.cfg.hw_threads)
+      .set("technique", p.cfg.technique.name())
+      .set("clusters", p.cfg.clusters)
+      .set("issue_slots", p.cfg.cluster.issue_slots)
+      .set("cluster_renaming", p.cfg.cluster_renaming)
+      .set("seed", p.opt.seed)
+      .set("scale", p.opt.scale)
+      .set("budget", p.opt.budget)
+      .set("timeslice", p.opt.timeslice);
+
+  Json sim = Json::object();
+  sim.set("ipc", r.ipc())
+      .set("cycles", r.sim.cycles)
+      .set("ops_issued", r.sim.ops_issued)
+      .set("instructions_retired", r.sim.instructions_retired)
+      .set("split_instructions", r.sim.split_instructions)
+      .set("vertical_waste_cycles", r.sim.vertical_waste_cycles)
+      .set("multi_thread_cycles", r.sim.multi_thread_cycles)
+      .set("memport_stall_cycles", r.sim.memport_stall_cycles)
+      .set("drain_cycles", r.sim.drain_cycles)
+      .set("taken_branches", r.sim.taken_branches)
+      .set("faults", r.sim.faults);
+
+  Json caches = Json::object();
+  caches.set("icache_hits", r.icache.hits)
+      .set("icache_misses", r.icache.misses)
+      .set("dcache_hits", r.dcache.hits)
+      .set("dcache_misses", r.dcache.misses);
+
+  Json merge = Json::object();
+  merge.set("full_selections", r.merge.full_selections)
+      .set("partial_selections", r.merge.partial_selections)
+      .set("blocked_selections", r.merge.blocked_selections)
+      .set("comm_nosplit_forced", r.merge.comm_nosplit_forced);
+
+  Json instances = Json::array();
+  for (const InstanceResult& inst : r.instances) {
+    Json ij = Json::object();
+    ij.set("name", inst.name)
+        .set("instructions", inst.instructions)
+        .set("respawns", inst.respawns)
+        .set("arch_fingerprint", inst.arch_fingerprint)
+        .set("faulted", inst.faulted);
+    instances.push(std::move(ij));
+  }
+
+  Json point = Json::object();
+  point.set("label", p.label)
+      .set("workload", p.workload)
+      .set("config", std::move(cfg))
+      .set("sim", std::move(sim))
+      .set("caches", std::move(caches))
+      .set("merge", std::move(merge))
+      .set("instances", std::move(instances));
+  return point;
+}
+
+}  // namespace
+
+Json sweep_json(const std::string& experiment,
+                const std::vector<SweepPoint>& points,
+                const std::vector<RunResult>& results) {
+  VEXSIM_CHECK(points.size() == results.size());
+  Json doc = Json::object();
+  doc.set("experiment", experiment);
+  Json arr = Json::array();
+  for (std::size_t i = 0; i < points.size(); ++i)
+    arr.push(point_json(points[i], results[i]));
+  doc.set("points", std::move(arr));
+  return doc;
+}
+
+const RunResult& result_for(const std::vector<SweepPoint>& points,
+                            const std::vector<RunResult>& results,
+                            const std::string& label) {
+  VEXSIM_CHECK(points.size() == results.size());
+  for (std::size_t i = 0; i < points.size(); ++i)
+    if (points[i].label == label) return results[i];
+  VEXSIM_CHECK_MSG(false, "no sweep point labelled '" << label << "'");
+  std::abort();  // unreachable: the check above throws
+}
+
+std::vector<RunResult> run_sweep_and_dump(
+    const Cli& cli, const std::string& experiment,
+    const std::vector<SweepPoint>& points) {
+  std::vector<RunResult> results = run_sweep(points, cli.jobs());
+  write_json_file(cli.get("json", "BENCH_sweep.json"),
+                  sweep_json(experiment, points, results));
+  return results;
+}
+
+}  // namespace vexsim::harness

@@ -1,0 +1,60 @@
+// Parallel experiment-sweep engine.
+//
+// A sweep is a flat list of independent simulation points, each fully
+// described by (MachineConfig, workload, ExperimentOptions). Points run on a
+// small thread pool; every point owns a private deterministic Rng stream
+// (seeded from its ExperimentOptions), so results are bit-identical to a
+// serial run regardless of --jobs and of worker interleaving. Bench binaries
+// build their point lists up front, run the sweep, then render tables and a
+// machine-readable JSON trajectory from the in-order results.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "harness/experiments.hpp"
+#include "stats/json.hpp"
+
+namespace vexsim::harness {
+
+struct SweepPoint {
+  std::string label;      // unique within a sweep; keys the JSON entry
+  MachineConfig cfg;
+  std::string workload;   // paper_workloads() mix name
+  ExperimentOptions opt;
+};
+
+// Decorrelated per-point seed stream: splitmix64 over (base, index). Points
+// built from a single --seed get independent Rng streams that never depend
+// on scheduling order.
+[[nodiscard]] std::uint64_t derive_seed(std::uint64_t base,
+                                        std::uint64_t index);
+
+// Runs every point and returns results in point order. `jobs` >= 1 worker
+// threads (checked); jobs == 1 degenerates to the serial loop. If any point
+// throws, the first failure in point order is rethrown after all workers
+// drain.
+[[nodiscard]] std::vector<RunResult> run_sweep(
+    const std::vector<SweepPoint>& points, int jobs);
+
+// Builds the BENCH_*.json trajectory document: one entry per point carrying
+// the configuration axes and the full per-run statistics.
+[[nodiscard]] Json sweep_json(const std::string& experiment,
+                              const std::vector<SweepPoint>& points,
+                              const std::vector<RunResult>& results);
+
+// Bench-binary entry point: runs the sweep with --jobs workers and writes
+// the trajectory to --json (default BENCH_sweep.json), returning the
+// in-order results for table rendering.
+[[nodiscard]] std::vector<RunResult> run_sweep_and_dump(
+    const Cli& cli, const std::string& experiment,
+    const std::vector<SweepPoint>& points);
+
+// Result of the point carrying `label`; CheckError when absent. Keys table
+// rendering on labels instead of fragile parallel index arithmetic.
+[[nodiscard]] const RunResult& result_for(
+    const std::vector<SweepPoint>& points,
+    const std::vector<RunResult>& results, const std::string& label);
+
+}  // namespace vexsim::harness

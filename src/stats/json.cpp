@@ -1,0 +1,153 @@
+#include "stats/json.hpp"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+#include "util/check.hpp"
+
+namespace vexsim {
+
+namespace {
+
+// Shortest representation that round-trips a double exactly; plain printf
+// so the output is independent of stream locale/precision state.
+std::string format_double(double v) {
+  VEXSIM_CHECK_MSG(std::isfinite(v), "JSON cannot represent " << v);
+  for (int precision = 1; precision < 17; ++precision) {
+    char shorter[32];
+    std::snprintf(shorter, sizeof shorter, "%.*g", precision, v);
+    double parsed = 0.0;
+    std::sscanf(shorter, "%lf", &parsed);
+    if (parsed == v) return shorter;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+Json Json::object() {
+  Json j;
+  j.kind_ = Kind::kObject;
+  return j;
+}
+
+Json Json::array() {
+  Json j;
+  j.kind_ = Kind::kArray;
+  return j;
+}
+
+Json& Json::set(const std::string& key, Json value) {
+  VEXSIM_CHECK_MSG(is_object(), "set() on non-object JSON value");
+  for (auto& [k, v] : children_) {
+    if (k == key) {
+      v = std::move(value);
+      return *this;
+    }
+  }
+  children_.emplace_back(key, std::move(value));
+  return *this;
+}
+
+Json& Json::push(Json value) {
+  VEXSIM_CHECK_MSG(is_array(), "push() on non-array JSON value");
+  children_.emplace_back(std::string(), std::move(value));
+  return *this;
+}
+
+std::string Json::escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void Json::dump_to(std::string& out, int indent) const {
+  const std::string pad(static_cast<std::size_t>(indent) * 2, ' ');
+  const std::string child_pad(static_cast<std::size_t>(indent + 1) * 2, ' ');
+  char buf[32];
+  switch (kind_) {
+    case Kind::kNull:
+      out += "null";
+      break;
+    case Kind::kBool:
+      out += bool_ ? "true" : "false";
+      break;
+    case Kind::kInt:
+      std::snprintf(buf, sizeof buf, "%" PRId64, int_);
+      out += buf;
+      break;
+    case Kind::kUint:
+      std::snprintf(buf, sizeof buf, "%" PRIu64, uint_);
+      out += buf;
+      break;
+    case Kind::kDouble:
+      out += format_double(double_);
+      break;
+    case Kind::kString:
+      out += '"';
+      out += escape(string_);
+      out += '"';
+      break;
+    case Kind::kObject:
+    case Kind::kArray: {
+      const bool obj = kind_ == Kind::kObject;
+      if (children_.empty()) {
+        out += obj ? "{}" : "[]";
+        break;
+      }
+      out += obj ? "{\n" : "[\n";
+      for (std::size_t i = 0; i < children_.size(); ++i) {
+        out += child_pad;
+        if (obj) {
+          out += '"';
+          out += escape(children_[i].first);
+          out += "\": ";
+        }
+        children_[i].second.dump_to(out, indent + 1);
+        if (i + 1 < children_.size()) out += ',';
+        out += '\n';
+      }
+      out += pad;
+      out += obj ? '}' : ']';
+      break;
+    }
+  }
+}
+
+std::string Json::dump() const {
+  std::string out;
+  dump_to(out, 0);
+  out += '\n';
+  return out;
+}
+
+void write_json_file(const std::string& path, const Json& json) {
+  std::ofstream os(path, std::ios::binary);
+  VEXSIM_CHECK_MSG(os.good(), "cannot open " << path << " for writing");
+  os << json.dump();
+  os.flush();
+  VEXSIM_CHECK_MSG(os.good(), "write to " << path << " failed");
+}
+
+}  // namespace vexsim

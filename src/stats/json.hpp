@@ -1,0 +1,70 @@
+// Minimal deterministic JSON emission for machine-readable bench output.
+//
+// Only what the sweep trajectory files need: objects, arrays, strings,
+// integers, doubles, and booleans. Emission order is insertion order and
+// number formatting is locale-independent and round-trip exact, so two
+// structurally equal documents serialize to byte-identical text — the
+// property the parallel-vs-serial sweep determinism checks rely on.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace vexsim {
+
+class Json {
+ public:
+  // Scalars.
+  Json() : kind_(Kind::kNull) {}
+  Json(bool v) : kind_(Kind::kBool), bool_(v) {}                // NOLINT
+  Json(std::int64_t v) : kind_(Kind::kInt), int_(v) {}          // NOLINT
+  Json(std::uint64_t v) : kind_(Kind::kUint), uint_(v) {}       // NOLINT
+  Json(int v) : kind_(Kind::kInt), int_(v) {}                   // NOLINT
+  Json(double v) : kind_(Kind::kDouble), double_(v) {}          // NOLINT
+  Json(std::string v) : kind_(Kind::kString), string_(std::move(v)) {}  // NOLINT
+  Json(const char* v) : kind_(Kind::kString), string_(v) {}     // NOLINT
+
+  static Json object();
+  static Json array();
+
+  // Object member access; `set` overwrites an existing key in place so the
+  // original insertion order is preserved.
+  Json& set(const std::string& key, Json value);
+
+  // Array append.
+  Json& push(Json value);
+
+  [[nodiscard]] bool is_object() const { return kind_ == Kind::kObject; }
+  [[nodiscard]] bool is_array() const { return kind_ == Kind::kArray; }
+  [[nodiscard]] std::size_t size() const { return children_.size(); }
+
+  // Serializes with 2-space indentation and a trailing newline at top level.
+  [[nodiscard]] std::string dump() const;
+
+  // Escapes `s` for use inside a JSON string literal (no surrounding quotes).
+  static std::string escape(const std::string& s);
+
+ private:
+  enum class Kind : std::uint8_t {
+    kNull, kBool, kInt, kUint, kDouble, kString, kObject, kArray,
+  };
+
+  void dump_to(std::string& out, int indent) const;
+
+  Kind kind_;
+  bool bool_ = false;
+  std::int64_t int_ = 0;
+  std::uint64_t uint_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  // Object members (key used) or array elements (key empty, unused).
+  std::vector<std::pair<std::string, Json>> children_;
+};
+
+// Writes `json.dump()` to `path`, throwing CheckError on I/O failure.
+void write_json_file(const std::string& path, const Json& json);
+
+}  // namespace vexsim

@@ -1,6 +1,9 @@
 #include "util/cli.hpp"
 
+#include <climits>
 #include <cstdlib>
+
+#include "util/check.hpp"
 
 namespace vexsim {
 
@@ -40,6 +43,18 @@ std::int64_t Cli::get_int(const std::string& name, std::int64_t def) const {
 double Cli::get_double(const std::string& name, double def) const {
   const auto it = options_.find(name);
   return it == options_.end() ? def : std::strtod(it->second.c_str(), nullptr);
+}
+
+int Cli::jobs(int def) const {
+  VEXSIM_CHECK_MSG(def >= 1, "default --jobs must be positive, got " << def);
+  if (!has("jobs")) return def;
+  const std::string& value = options_.at("jobs");
+  char* end = nullptr;
+  const long long n = std::strtoll(value.c_str(), &end, 10);
+  VEXSIM_CHECK_MSG(
+      end != value.c_str() && *end == '\0' && n >= 1 && n <= INT_MAX,
+      "--jobs expects a positive integer, got '" << value << "'");
+  return static_cast<int>(n);
 }
 
 bool Cli::get_bool(const std::string& name, bool def) const {

@@ -22,6 +22,10 @@ class Cli {
   [[nodiscard]] double get_double(const std::string& name, double def) const;
   [[nodiscard]] bool get_bool(const std::string& name, bool def) const;
 
+  // Worker-thread count from `--jobs N`. Defaults to `def` when absent;
+  // throws CheckError when the value is zero, negative, or non-numeric.
+  [[nodiscard]] int jobs(int def = 1) const;
+
   // Positional (non --option) arguments, in order.
   [[nodiscard]] const std::vector<std::string>& positional() const {
     return positional_;

@@ -1,6 +1,7 @@
 #include "workloads/registry.hpp"
 
 #include <map>
+#include <mutex>
 #include <sstream>
 
 #include "util/check.hpp"
@@ -41,10 +42,23 @@ const BenchmarkInfo& benchmark_info(const std::string& name) {
 std::shared_ptr<const Program> make_benchmark(const std::string& name,
                                               const MachineConfig& cfg,
                                               double scale) {
+  // Parallel sweep workers share this cache; compilation is deterministic,
+  // so holding the lock across a (one-time per key) compile is simpler than
+  // racing duplicate builds.
+  static std::mutex cache_mutex;
   static std::map<std::string, std::shared_ptr<const Program>> cache;
+  const std::lock_guard<std::mutex> lock(cache_mutex);
+  // The key must cover every config field the compiler reads: the full
+  // cluster geometry and the latency model (scheduling and regalloc depend
+  // on operation latencies), not just clusters × issue width.
   std::ostringstream key;
-  key << name << "/" << cfg.clusters << "x" << cfg.cluster.issue_slots << "/"
-      << scale;
+  key << name << "/" << cfg.clusters << "x" << cfg.cluster.issue_slots << "a"
+      << cfg.cluster.alus << "m" << cfg.cluster.muls << "p"
+      << cfg.cluster.mem_units << "b" << cfg.cluster.branch_units
+      << (cfg.branch_on_cluster0_only ? "0" : "*") << "/L" << cfg.lat.alu
+      << "." << cfg.lat.mul << "." << cfg.lat.mem << "." << cfg.lat.comm
+      << "." << cfg.lat.cmp_to_branch << "." << cfg.lat.taken_branch_penalty
+      << "/" << scale;
   if (const auto it = cache.find(key.str()); it != cache.end())
     return it->second;
   const BenchmarkInfo& info = benchmark_info(name);

@@ -153,8 +153,11 @@ TEST(Schedule, HintedClustersHonoured) {
   b.halt();
   const MachineConfig cfg = paper_cfg();
   const LFunction lfn = assign_clusters(std::move(b).take(), cfg);
-  for (const LOp& op : lfn.blocks[0].body)
-    if (!op.is_copy) EXPECT_EQ(op.cluster, 2);
+  for (const LOp& op : lfn.blocks[0].body) {
+    if (!op.is_copy) {
+      EXPECT_EQ(op.cluster, 2);
+    }
+  }
 }
 
 }  // namespace

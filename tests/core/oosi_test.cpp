@@ -48,8 +48,11 @@ TEST(Oosi, InOrderAcrossInstructions) {
   sim.step();
   // Cycle 1: T1 issued exactly one op (into c0's third slot), and nothing
   // from its second instruction despite cluster 1 being free.
-  for (const SelectedOp& sel : sim.last_packet().ops)
-    if (sel.hw_slot == 1) EXPECT_EQ(sel.physical_cluster, 0);
+  for (const SelectedOp& sel : sim.last_packet().ops) {
+    if (sel.hw_slot == 1) {
+      EXPECT_EQ(sel.physical_cluster, 0);
+    }
+  }
   EXPECT_EQ(c1.counters.instructions, 0u);
   sim.step();  // T1 priority: finishes instruction 0
   EXPECT_EQ(c1.counters.instructions, 1u);

@@ -1,0 +1,119 @@
+#include "harness/sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace vexsim::harness {
+namespace {
+
+// Tiny budgets: the determinism property does not depend on run length.
+ExperimentOptions tiny_options(std::uint64_t seed) {
+  ExperimentOptions opt;
+  opt.scale = 0.05;
+  opt.budget = 2'000;
+  opt.timeslice = 500;
+  opt.seed = seed;
+  return opt;
+}
+
+// Two workloads by three techniques, each point on its own derived stream.
+std::vector<SweepPoint> sample_points(std::uint64_t base_seed) {
+  std::vector<SweepPoint> points;
+  std::uint64_t i = 0;
+  for (const char* w : {"llll", "mmhh"}) {
+    for (const Technique t : {Technique::csmt(), Technique::smt(),
+                              Technique::ccsi(CommPolicy::kAlwaysSplit)}) {
+      points.push_back({std::string(w) + "/" + t.name(),
+                        MachineConfig::paper(2, t), w,
+                        tiny_options(derive_seed(base_seed, i))});
+      ++i;
+    }
+  }
+  return points;
+}
+
+TEST(Sweep, ParallelBitIdenticalToSerialAcrossSeeds) {
+  for (const std::uint64_t seed : {std::uint64_t{1}, std::uint64_t{7},
+                                   std::uint64_t{20100419}}) {
+    const auto points = sample_points(seed);
+    const auto serial = run_sweep(points, 1);
+    const auto parallel = run_sweep(points, 8);
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      EXPECT_EQ(serial[i].sim.cycles, parallel[i].sim.cycles) << i;
+      EXPECT_EQ(serial[i].sim.ops_issued, parallel[i].sim.ops_issued) << i;
+      EXPECT_EQ(serial[i].sim.instructions_retired,
+                parallel[i].sim.instructions_retired)
+          << i;
+      ASSERT_EQ(serial[i].instances.size(), parallel[i].instances.size());
+      for (std::size_t k = 0; k < serial[i].instances.size(); ++k)
+        EXPECT_EQ(serial[i].instances[k].arch_fingerprint,
+                  parallel[i].instances[k].arch_fingerprint)
+            << i << "/" << k;
+    }
+    // The emitted trajectory document must be byte-identical too — this is
+    // what the bench-level --jobs 1 vs --jobs 8 JSON comparison relies on.
+    EXPECT_EQ(sweep_json("sweep_test", points, serial).dump(),
+              sweep_json("sweep_test", points, parallel).dump());
+  }
+}
+
+TEST(Sweep, SeedChangesResults) {
+  const auto a = run_sweep(sample_points(1), 2);
+  const auto b = run_sweep(sample_points(2), 2);
+  // Different driver seeds reshuffle context switches; cycle counts of the
+  // multithreaded runs should not all coincide.
+  bool any_differ = false;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    any_differ |= a[i].sim.cycles != b[i].sim.cycles;
+  EXPECT_TRUE(any_differ);
+}
+
+TEST(Sweep, DeriveSeedIsDeterministicAndDecorrelated) {
+  EXPECT_EQ(derive_seed(42, 0), derive_seed(42, 0));
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t i = 0; i < 1000; ++i) seen.insert(derive_seed(42, i));
+  EXPECT_EQ(seen.size(), 1000u);
+  EXPECT_NE(derive_seed(1, 0), derive_seed(2, 0));
+}
+
+TEST(Sweep, RejectsNonPositiveJobs) {
+  EXPECT_THROW((void)run_sweep({}, 0), CheckError);
+  EXPECT_THROW((void)run_sweep({}, -3), CheckError);
+  EXPECT_TRUE(run_sweep({}, 4).empty());
+}
+
+TEST(Sweep, WorkerExceptionsPropagate) {
+  std::vector<SweepPoint> points = sample_points(1);
+  points[1].workload = "no-such-mix";
+  EXPECT_THROW((void)run_sweep(points, 4), CheckError);
+  EXPECT_THROW((void)run_sweep(points, 1), CheckError);
+}
+
+TEST(Sweep, ResultForLooksUpByLabel) {
+  const auto points = sample_points(1);
+  const auto results = run_sweep(points, 2);
+  EXPECT_EQ(&result_for(points, results, points[3].label), &results[3]);
+  EXPECT_THROW((void)result_for(points, results, "no-such-label"), CheckError);
+}
+
+TEST(Sweep, JsonCarriesConfigurationAxes) {
+  const auto points = sample_points(3);
+  const auto results = run_sweep(points, 2);
+  const Json doc = sweep_json("sweep_test", points, results);
+  const std::string text = doc.dump();
+  EXPECT_NE(text.find("\"experiment\": \"sweep_test\""), std::string::npos);
+  EXPECT_NE(text.find("\"workload\": \"llll\""), std::string::npos);
+  EXPECT_NE(text.find("\"technique\": \"CCSI AS\""), std::string::npos);
+  EXPECT_NE(text.find("\"ipc\":"), std::string::npos);
+  EXPECT_NE(text.find("\"arch_fingerprint\":"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace vexsim::harness

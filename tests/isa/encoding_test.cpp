@@ -87,7 +87,7 @@ TEST(Encoding, TruncatedStreamThrows) {
   encode(insn, words);
   words.pop_back();
   std::size_t pos = 0;
-  EXPECT_THROW(decode(words, pos), CheckError);
+  EXPECT_THROW((void)decode(words, pos), CheckError);
 }
 
 TEST(Encoding, FuzzRoundTrip) {

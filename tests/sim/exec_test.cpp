@@ -93,7 +93,7 @@ TEST(Exec, MemAccessSizes) {
   EXPECT_EQ(mem_access_size(Opcode::kLdh), 2);
   EXPECT_EQ(mem_access_size(Opcode::kLdhu), 2);
   EXPECT_EQ(mem_access_size(Opcode::kStb), 1);
-  EXPECT_THROW(mem_access_size(Opcode::kAdd), CheckError);
+  EXPECT_THROW((void)mem_access_size(Opcode::kAdd), CheckError);
 }
 
 TEST(Exec, LoadExtension) {
@@ -114,8 +114,8 @@ TEST(Exec, BranchDecision) {
 }
 
 TEST(Exec, NonScalarOpcodeRejected) {
-  EXPECT_THROW(eval_scalar(Opcode::kLdw, 0, 0, false), CheckError);
-  EXPECT_THROW(eval_scalar(Opcode::kBr, 0, 0, false), CheckError);
+  EXPECT_THROW((void)eval_scalar(Opcode::kLdw, 0, 0, false), CheckError);
+  EXPECT_THROW((void)eval_scalar(Opcode::kBr, 0, 0, false), CheckError);
 }
 
 }  // namespace

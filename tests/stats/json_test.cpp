@@ -1,0 +1,91 @@
+#include "stats/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "util/check.hpp"
+
+namespace vexsim {
+namespace {
+
+TEST(Json, ScalarsAndInsertionOrder) {
+  Json j = Json::object();
+  j.set("b", 1).set("a", 2.5).set("s", "hi").set("t", true).set("n", Json());
+  EXPECT_EQ(j.dump(),
+            "{\n"
+            "  \"b\": 1,\n"
+            "  \"a\": 2.5,\n"
+            "  \"s\": \"hi\",\n"
+            "  \"t\": true,\n"
+            "  \"n\": null\n"
+            "}\n");
+}
+
+TEST(Json, SetOverwritesInPlace) {
+  Json j = Json::object();
+  j.set("x", 1).set("y", 2).set("x", 3);
+  EXPECT_EQ(j.dump(), "{\n  \"x\": 3,\n  \"y\": 2\n}\n");
+}
+
+TEST(Json, NestedArraysAndEmpties) {
+  Json arr = Json::array();
+  arr.push(1).push(Json::object()).push(Json::array());
+  Json j = Json::object();
+  j.set("points", std::move(arr));
+  EXPECT_EQ(j.dump(),
+            "{\n"
+            "  \"points\": [\n"
+            "    1,\n"
+            "    {},\n"
+            "    []\n"
+            "  ]\n"
+            "}\n");
+}
+
+TEST(Json, StringEscaping) {
+  EXPECT_EQ(Json::escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+  EXPECT_EQ(Json::escape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(Json, DoubleFormattingRoundTripsAndIsShortest) {
+  EXPECT_EQ(Json(0.5).dump(), "0.5\n");
+  EXPECT_EQ(Json(1.0).dump(), "1\n");
+  // A value needing full precision must survive a parse round trip.
+  const double v = 0.1 + 0.2;
+  const std::string text = Json(v).dump();
+  EXPECT_EQ(std::stod(text), v);
+}
+
+TEST(Json, LargeIntegersAreExact) {
+  const std::uint64_t big = ~0ull;
+  EXPECT_EQ(Json(big).dump(), "18446744073709551615\n");
+  EXPECT_EQ(Json(std::int64_t{-42}).dump(), "-42\n");
+}
+
+TEST(Json, TypeMisuseThrows) {
+  Json scalar(1);
+  EXPECT_THROW(scalar.set("k", 2), CheckError);
+  EXPECT_THROW(scalar.push(2), CheckError);
+  Json obj = Json::object();
+  EXPECT_THROW(obj.push(1), CheckError);
+}
+
+TEST(Json, WriteJsonFile) {
+  const std::string path =
+      testing::TempDir() + "/vexsim_json_test_out.json";
+  Json j = Json::object();
+  j.set("k", 7);
+  write_json_file(path, j);
+  std::ifstream is(path);
+  std::string content((std::istreambuf_iterator<char>(is)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_EQ(content, j.dump());
+  std::remove(path.c_str());
+  EXPECT_THROW(write_json_file("/nonexistent-dir/x.json", j), CheckError);
+}
+
+}  // namespace
+}  // namespace vexsim

@@ -45,7 +45,7 @@ TEST(Table, MeanHelper) {
 TEST(Table, SpeedupHelper) {
   EXPECT_NEAR(speedup(1.1, 1.0), 0.1, 1e-12);
   EXPECT_NEAR(speedup(0.9, 1.0), -0.1, 1e-12);
-  EXPECT_THROW(speedup(1.0, 0.0), CheckError);
+  EXPECT_THROW((void)speedup(1.0, 0.0), CheckError);
 }
 
 }  // namespace

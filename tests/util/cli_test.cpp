@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "util/check.hpp"
+
 namespace vexsim {
 namespace {
 
@@ -46,6 +48,33 @@ TEST(Cli, Positional) {
 TEST(Cli, HexIntegers) {
   const Cli cli = make({"--base=0x1000"});
   EXPECT_EQ(cli.get_int("base", 0), 0x1000);
+}
+
+TEST(Cli, JobsParsesPositiveValues) {
+  EXPECT_EQ(make({"--jobs", "8"}).jobs(), 8);
+  EXPECT_EQ(make({"--jobs=2"}).jobs(), 2);
+}
+
+TEST(Cli, JobsDefaultsWhenAbsent) {
+  EXPECT_EQ(make({}).jobs(), 1);
+  EXPECT_EQ(make({}).jobs(4), 4);
+}
+
+TEST(Cli, JobsRejectsZeroAndNegative) {
+  EXPECT_THROW((void)make({"--jobs", "0"}).jobs(), CheckError);
+  EXPECT_THROW((void)make({"--jobs", "-3"}).jobs(), CheckError);
+}
+
+TEST(Cli, JobsRejectsGarbage) {
+  EXPECT_THROW((void)make({"--jobs", "many"}).jobs(), CheckError);
+  EXPECT_THROW((void)make({"--jobs", "4x"}).jobs(), CheckError);
+  EXPECT_THROW((void)make({"--jobs"}).jobs(), CheckError);  // bare flag -> "true"
+}
+
+TEST(Cli, JobsRejectsOverflow) {
+  EXPECT_THROW((void)make({"--jobs", "2147483648"}).jobs(), CheckError);
+  EXPECT_THROW((void)make({"--jobs", "4294967297"}).jobs(), CheckError);
+  EXPECT_EQ(make({"--jobs", "2147483647"}).jobs(), 2147483647);
 }
 
 }  // namespace

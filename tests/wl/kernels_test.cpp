@@ -23,7 +23,7 @@ TEST(Kernels, RegistryHasTwelveBenchmarks) {
   EXPECT_EQ(benchmark_info("colorspace").ilp, IlpClass::kHigh);
   EXPECT_EQ(benchmark_info("mcf").ilp, IlpClass::kLow);
   EXPECT_DOUBLE_EQ(benchmark_info("colorspace").paper_ipcp, 8.88);
-  EXPECT_THROW(benchmark_info("nonesuch"), CheckError);
+  EXPECT_THROW((void)benchmark_info("nonesuch"), CheckError);
 }
 
 TEST(Kernels, AllCompileAndVerify) {

@@ -18,7 +18,7 @@ TEST(Workloads, NineMixesMatchFigure13b) {
   const WorkloadSpec& llhh = workload("llhh");
   EXPECT_EQ(llhh.benchmarks,
             (std::array<std::string, 4>{"mcf", "blowfish", "x264", "idct"}));
-  EXPECT_THROW(workload("zzzz"), CheckError);
+  EXPECT_THROW((void)workload("zzzz"), CheckError);
 }
 
 TEST(Workloads, NamesEncodeIlpClasses) {
