@@ -2,10 +2,16 @@
 // IPCp (perfect memory) for each benchmark, single-threaded on the 16-issue
 // 4-cluster machine, next to the paper's reported values.
 //
-// Flags: --scale, --budget, --seed, --quick, --paper, --csv.
+// Both memory configurations of every benchmark run through the parallel
+// sweep engine: --jobs N picks the worker count (results are bit-identical
+// for any N) and the raw per-point statistics land in a JSON trajectory.
+//
+// Flags: --scale, --budget, --seed, --quick, --paper, --csv, --jobs N,
+//        --progress N, --json FILE (default BENCH_fig13_benchmarks.json).
 #include <iostream>
+#include <vector>
 
-#include "harness/experiments.hpp"
+#include "harness/sweep.hpp"
 #include "stats/table.hpp"
 #include "util/cli.hpp"
 #include "workloads/registry.hpp"
@@ -13,16 +19,34 @@
 int main(int argc, char** argv) {
   using namespace vexsim;
   const Cli cli(argc, argv);
-  const auto opt = harness::ExperimentOptions::from_cli(cli);
+  harness::ExperimentOptions opt = harness::ExperimentOptions::from_cli(cli);
+  opt.timeslice = ~0ull;  // single program per point: no context switching
 
   std::cout << "Figure 13(a): benchmarks — measured vs paper (single thread, "
                "4 clusters x 4-issue)\n\n";
 
+  auto make_cfg = [](bool perfect_memory) {
+    MachineConfig cfg = MachineConfig::paper_single();
+    cfg.icache.perfect = perfect_memory;
+    cfg.dcache.perfect = perfect_memory;
+    return cfg;
+  };
+
+  std::vector<harness::SweepPoint> points;
+  for (const wl::BenchmarkInfo& info : wl::benchmark_registry()) {
+    points.push_back({info.name + "/IPCr", make_cfg(false), info.name, opt});
+    points.push_back({info.name + "/IPCp", make_cfg(true), info.name, opt});
+  }
+  const std::vector<RunResult> results =
+      harness::run_sweep_and_dump(cli, "fig13_benchmarks", points);
+
   Table table({"benchmark", "class", "IPCr", "IPCp", "paper IPCr",
                "paper IPCp", "IPCr/IPCp", "paper ratio"});
   for (const wl::BenchmarkInfo& info : wl::benchmark_registry()) {
-    const RunResult real = harness::run_single(info.name, false, opt);
-    const RunResult perfect = harness::run_single(info.name, true, opt);
+    const RunResult& real =
+        harness::result_for(points, results, info.name + "/IPCr");
+    const RunResult& perfect =
+        harness::result_for(points, results, info.name + "/IPCp");
     table.add_row({info.name, std::string(1, static_cast<char>(info.ilp)),
                    Table::fmt(real.ipc()), Table::fmt(perfect.ipc()),
                    Table::fmt(info.paper_ipcr), Table::fmt(info.paper_ipcp),

@@ -1,13 +1,19 @@
 // Figure 16: absolute IPC of all eight multithreading techniques, averaged
 // over the nine workload mixes, for the 2-thread and 4-thread machines.
 //
+// All 144 simulation points (8 techniques x 2 thread counts x 9 mixes) run
+// through the parallel sweep engine: --jobs N picks the worker count
+// (results are bit-identical for any N) and the raw per-point statistics
+// land in a JSON trajectory.
+//
 // Flags: --scale, --budget, --timeslice, --seed, --quick, --paper, --csv,
-//        --per-workload (print each mix's IPC too).
+//        --per-workload (print each mix's IPC too), --jobs N, --progress N,
+//        --json FILE (default BENCH_fig16_absolute_ipc.json).
 #include <iostream>
-#include <map>
+#include <string>
 #include <vector>
 
-#include "harness/experiments.hpp"
+#include "harness/sweep.hpp"
 #include "stats/table.hpp"
 #include "util/cli.hpp"
 #include "workloads/workloads.hpp"
@@ -21,26 +27,29 @@ int main(int argc, char** argv) {
   std::cout << "Figure 16: absolute IPC of all techniques (avg over the nine "
                "mixes)\n\n";
 
-  std::vector<std::string> headers{"technique", "2T IPC", "4T IPC"};
-  Table table(headers);
-  std::map<std::string, Table> detail;
+  auto label_of = [](const Technique& t, int threads,
+                     const std::string& mix) {
+    return t.name() + "/" + std::to_string(threads) + "T/" + mix;
+  };
 
+  std::vector<harness::SweepPoint> points;
+  for (const Technique& t : Technique::kAll)
+    for (const int threads : {2, 4})
+      for (const wl::WorkloadSpec& spec : wl::paper_workloads())
+        points.push_back({label_of(t, threads, spec.name),
+                          MachineConfig::paper(threads, t), spec.name, opt});
+  const std::vector<RunResult> results =
+      harness::run_sweep_and_dump(cli, "fig16_absolute_ipc", points);
+
+  Table table({"technique", "2T IPC", "4T IPC"});
   for (const Technique& t : Technique::kAll) {
     std::vector<std::string> row{t.name()};
-    for (int threads : {2, 4}) {
+    for (const int threads : {2, 4}) {
       std::vector<double> ipcs;
-      for (const wl::WorkloadSpec& spec : wl::paper_workloads()) {
-        const RunResult r =
-            harness::run_workload(spec.name, threads, t, opt);
-        ipcs.push_back(r.ipc());
-        if (per_workload) {
-          const std::string key =
-              t.name() + " " + std::to_string(threads) + "T";
-          auto [it, inserted] =
-              detail.try_emplace(key, Table({"workload", "IPC"}));
-          it->second.add_row({spec.name, Table::fmt(r.ipc())});
-        }
-      }
+      for (const wl::WorkloadSpec& spec : wl::paper_workloads())
+        ipcs.push_back(
+            harness::result_for(points, results, label_of(t, threads, spec.name))
+                .ipc());
       row.push_back(Table::fmt(mean(ipcs)));
     }
     table.add_row(std::move(row));
@@ -51,8 +60,20 @@ int main(int argc, char** argv) {
   else
     std::cout << table.to_text();
 
-  for (auto& [key, t] : detail) {
-    std::cout << "\n" << key << "\n" << t.to_text();
+  if (per_workload) {
+    for (const Technique& t : Technique::kAll) {
+      for (const int threads : {2, 4}) {
+        Table detail({"workload", "IPC"});
+        for (const wl::WorkloadSpec& spec : wl::paper_workloads())
+          detail.add_row({spec.name,
+                          Table::fmt(harness::result_for(
+                                         points, results,
+                                         label_of(t, threads, spec.name))
+                                         .ipc())});
+        std::cout << "\n" << t.name() << " " << threads << "T\n"
+                  << detail.to_text();
+      }
+    }
   }
 
   std::cout << "\nShape check (paper): CCSI AS ~= SMT at 2T; split-issue "

@@ -1,7 +1,11 @@
 # Runs a sweep-based bench twice (--jobs 1 vs --jobs 8) and requires the
-# emitted JSON trajectory files to be byte-identical.
-set(serial "${OUT_DIR}/sweep_serial.json")
-set(par "${OUT_DIR}/sweep_parallel.json")
+# emitted JSON trajectory files to be byte-identical. TAG keeps the scratch
+# files of concurrently-running determinism tests apart.
+if(NOT TAG)
+  set(TAG "sweep")
+endif()
+set(serial "${OUT_DIR}/${TAG}_serial.json")
+set(par "${OUT_DIR}/${TAG}_parallel.json")
 
 execute_process(COMMAND ${BENCH} --quick --jobs 1 --json ${serial}
                 RESULT_VARIABLE rc1 OUTPUT_QUIET)

@@ -261,9 +261,10 @@ class Assigner {
     const auto cc = static_cast<std::size_t>(c);
     switch (op_class(op.opc)) {
       case OpClass::kMem:
-        return mem_count_[cc] / static_cast<double>(cfg_.cluster.mem_units);
+        return mem_count_[cc] /
+               static_cast<double>(cfg_.cluster_at(c).mem_units);
       case OpClass::kMul:
-        return mul_count_[cc] / static_cast<double>(cfg_.cluster.muls);
+        return mul_count_[cc] / static_cast<double>(cfg_.cluster_at(c).muls);
       default:
         return 0.0;
     }

@@ -85,9 +85,9 @@ class BlockScheduler {
       one.slots = 1;
       if (copies_[static_cast<std::size_t>(cycle)] >= kNumChannels)
         return false;
-      if (!snd.fits_with(one, cfg_.cluster,
+      if (!snd.fits_with(one, cfg_.cluster_at(op.cluster),
                          cfg_.branch_units_at(op.cluster)) ||
-          !rcv.fits_with(one, cfg_.cluster,
+          !rcv.fits_with(one, cfg_.cluster_at(op.copy_dst_cluster),
                          cfg_.branch_units_at(op.copy_dst_cluster)))
         return false;
       snd.add(one);
@@ -100,7 +100,8 @@ class BlockScheduler {
     ResourceUse need;
     need.add(probe);
     ResourceUse& u = use_at(cycle, op.cluster);
-    if (!u.fits_with(need, cfg_.cluster, cfg_.branch_units_at(op.cluster)))
+    if (!u.fits_with(need, cfg_.cluster_at(op.cluster),
+                     cfg_.branch_units_at(op.cluster)))
       return false;
     u.add(need);
     return true;
@@ -137,7 +138,7 @@ class BlockScheduler {
       probe.opc = Opcode::kGoto;
       ResourceUse need;
       need.add(probe);
-      while (!use_at(t, 0).fits_with(need, cfg_.cluster,
+      while (!use_at(t, 0).fits_with(need, cfg_.cluster_at(0),
                                      cfg_.branch_units_at(0)))
         ++t;
       use_at(t, 0).add(need);

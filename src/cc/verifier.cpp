@@ -45,7 +45,7 @@ std::vector<VerifyIssue> verify_program(const Program& prog,
           report(i, "branch target out of range");
       }
       ResourceUse empty;
-      if (!empty.fits_with(use, cfg.cluster, cfg.branch_units_at(c))) {
+      if (!empty.fits_with(use, cfg.cluster_at(c), cfg.branch_units_at(c))) {
         std::ostringstream os;
         os << "cluster " << c << " overcommitted: slots=" << int(use.slots)
            << " alu=" << int(use.alu) << " mul=" << int(use.mul)

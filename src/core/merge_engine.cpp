@@ -11,7 +11,7 @@ bool MergeEngine::bundle_fits(const ResourceUse& use, int physical,
     // Cluster-level CL: the physical cluster must be completely unused.
     return packet.used[p].empty();
   }
-  return packet.used[p].fits_with(use, cfg_->cluster,
+  return packet.used[p].fits_with(use, cfg_->cluster_at(physical),
                                   cfg_->branch_units_at(physical));
 }
 

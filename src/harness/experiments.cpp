@@ -31,7 +31,7 @@ ExperimentOptions ExperimentOptions::from_cli(const Cli& cli) {
 RunResult run_workload_on(const MachineConfig& cfg,
                           const std::string& workload_name,
                           const ExperimentOptions& opt) {
-  const wl::WorkloadSpec& spec = wl::workload(workload_name);
+  const wl::WorkloadSpec spec = wl::workload(workload_name);
   auto programs = wl::build_workload(spec, cfg, opt.scale);
   DriverParams params;
   params.timeslice = opt.timeslice;

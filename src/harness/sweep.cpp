@@ -4,6 +4,8 @@
 #include <atomic>
 #include <cstdlib>
 #include <exception>
+#include <iostream>
+#include <mutex>
 #include <thread>
 
 #include "util/check.hpp"
@@ -17,13 +19,29 @@ std::uint64_t derive_seed(std::uint64_t base, std::uint64_t index) {
   return z ^ (z >> 31);
 }
 
+SweepOptions SweepOptions::from_cli(const Cli& cli) {
+  SweepOptions opts;
+  opts.jobs = cli.jobs();
+  opts.progress_every =
+      static_cast<int>(cli.get_int("progress", opts.progress_every));
+  VEXSIM_CHECK_MSG(opts.progress_every >= 0,
+                   "--progress must be >= 0, got " << opts.progress_every);
+  return opts;
+}
+
 std::vector<RunResult> run_sweep(const std::vector<SweepPoint>& points,
-                                 int jobs) {
+                                 const SweepOptions& opts) {
+  const int jobs = opts.jobs;
   VEXSIM_CHECK_MSG(jobs >= 1, "sweep needs at least one job, got " << jobs);
+  VEXSIM_CHECK_MSG(opts.progress_every >= 0, "progress_every must be >= 0");
   std::vector<RunResult> results(points.size());
   std::vector<std::exception_ptr> errors(points.size());
 
   std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> completed{0};
+  std::mutex progress_mutex;
+  std::ostream* progress_to =
+      opts.progress_stream != nullptr ? opts.progress_stream : &std::cerr;
   auto worker = [&] {
     for (;;) {
       const std::size_t i = next.fetch_add(1);
@@ -33,6 +51,15 @@ std::vector<RunResult> run_sweep(const std::vector<SweepPoint>& points,
         results[i] = run_workload_on(p.cfg, p.workload, p.opt);
       } catch (...) {
         errors[i] = std::current_exception();
+      }
+      if (opts.progress_every > 0) {
+        const std::size_t done = completed.fetch_add(1) + 1;
+        if (done % static_cast<std::size_t>(opts.progress_every) == 0 ||
+            done == points.size()) {
+          const std::lock_guard<std::mutex> lock(progress_mutex);
+          *progress_to << "sweep: " << done << "/" << points.size()
+                       << " points" << std::endl;
+        }
       }
     }
   };
@@ -53,6 +80,13 @@ std::vector<RunResult> run_sweep(const std::vector<SweepPoint>& points,
   return results;
 }
 
+std::vector<RunResult> run_sweep(const std::vector<SweepPoint>& points,
+                                 int jobs) {
+  SweepOptions opts;
+  opts.jobs = jobs;
+  return run_sweep(points, opts);
+}
+
 namespace {
 
 Json point_json(const SweepPoint& p, const RunResult& r) {
@@ -60,7 +94,8 @@ Json point_json(const SweepPoint& p, const RunResult& r) {
   cfg.set("threads", p.cfg.hw_threads)
       .set("technique", p.cfg.technique.name())
       .set("clusters", p.cfg.clusters)
-      .set("issue_slots", p.cfg.cluster.issue_slots)
+      .set("issue_width", p.cfg.total_issue_width())
+      .set("geometry", p.cfg.geometry_name())
       .set("cluster_renaming", p.cfg.cluster_renaming)
       .set("seed", p.opt.seed)
       .set("scale", p.opt.scale)
@@ -142,8 +177,9 @@ const RunResult& result_for(const std::vector<SweepPoint>& points,
 std::vector<RunResult> run_sweep_and_dump(
     const Cli& cli, const std::string& experiment,
     const std::vector<SweepPoint>& points) {
-  std::vector<RunResult> results = run_sweep(points, cli.jobs());
-  write_json_file(cli.get("json", "BENCH_sweep.json"),
+  std::vector<RunResult> results =
+      run_sweep(points, SweepOptions::from_cli(cli));
+  write_json_file(cli.get("json", "BENCH_" + experiment + ".json"),
                   sweep_json(experiment, points, results));
   return results;
 }

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
 #include <string>
 #include <vector>
 
@@ -21,8 +22,20 @@ namespace vexsim::harness {
 struct SweepPoint {
   std::string label;      // unique within a sweep; keys the JSON entry
   MachineConfig cfg;
-  std::string workload;   // paper_workloads() mix name
+  std::string workload;   // any wl::workload()-resolvable name
   ExperimentOptions opt;
+};
+
+struct SweepOptions {
+  int jobs = 1;  // worker threads; >= 1 (checked)
+  // When > 0, a progress line ("sweep: K/N points") goes to
+  // *progress_stream after every `progress_every` completed points —
+  // long paper-scale sweeps stay observable without touching the results.
+  int progress_every = 0;
+  std::ostream* progress_stream = nullptr;  // nullptr = std::cerr
+
+  // Applies --jobs/--progress.
+  static SweepOptions from_cli(const Cli& cli);
 };
 
 // Decorrelated per-point seed stream: splitmix64 over (base, index). Points
@@ -31,10 +44,12 @@ struct SweepPoint {
 [[nodiscard]] std::uint64_t derive_seed(std::uint64_t base,
                                         std::uint64_t index);
 
-// Runs every point and returns results in point order. `jobs` >= 1 worker
-// threads (checked); jobs == 1 degenerates to the serial loop. If any point
-// throws, the first failure in point order is rethrown after all workers
-// drain.
+// Runs every point and returns results in point order. jobs == 1
+// degenerates to the serial loop; results are bit-identical for any job
+// count. If any point throws, the first failure in point order is rethrown
+// after all workers drain.
+[[nodiscard]] std::vector<RunResult> run_sweep(
+    const std::vector<SweepPoint>& points, const SweepOptions& opts);
 [[nodiscard]] std::vector<RunResult> run_sweep(
     const std::vector<SweepPoint>& points, int jobs);
 
@@ -44,9 +59,10 @@ struct SweepPoint {
                               const std::vector<SweepPoint>& points,
                               const std::vector<RunResult>& results);
 
-// Bench-binary entry point: runs the sweep with --jobs workers and writes
-// the trajectory to --json (default BENCH_sweep.json), returning the
-// in-order results for table rendering.
+// Bench-binary entry point: runs the sweep with --jobs workers (progress
+// via --progress N) and writes the trajectory to --json (default
+// BENCH_<experiment>.json), returning the in-order results for table
+// rendering.
 [[nodiscard]] std::vector<RunResult> run_sweep_and_dump(
     const Cli& cli, const std::string& experiment,
     const std::vector<SweepPoint>& points);

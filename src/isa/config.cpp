@@ -1,5 +1,7 @@
 #include "isa/config.hpp"
 
+#include <algorithm>
+
 #include "util/check.hpp"
 
 namespace vexsim {
@@ -54,14 +56,51 @@ int LatencyConfig::for_class(OpClass cls) const {
   return 1;
 }
 
+ClusterResourceConfig ClusterResourceConfig::for_issue_width(int w) {
+  ClusterResourceConfig c;
+  c.issue_slots = w;
+  c.alus = w;
+  c.muls = std::max(1, w / 2);
+  c.mem_units = 1;
+  c.branch_units = 1;
+  return c;
+}
+
+std::string MachineConfig::geometry_name() const {
+  if (!asymmetric()) {
+    return std::to_string(clusters) + "x" +
+           std::to_string(cluster.issue_slots);
+  }
+  std::string name;
+  for (int c = 0; c < clusters; ++c) {
+    if (c > 0) name += "+";
+    name += std::to_string(cluster_at(c).issue_slots);
+  }
+  return name;
+}
+
 void MachineConfig::validate() const {
   VEXSIM_CHECK_MSG(clusters >= 1 && clusters <= kMaxClusters,
                    "clusters out of range");
-  VEXSIM_CHECK_MSG(cluster.issue_slots >= 1 &&
-                       cluster.issue_slots <= kMaxIssuePerCluster,
-                   "issue slots out of range");
   VEXSIM_CHECK_MSG(hw_threads >= 1, "need at least one hardware thread");
-  VEXSIM_CHECK_MSG(cluster.mem_units >= 0 && cluster.alus >= 0, "bad FUs");
+  VEXSIM_CHECK_MSG(
+      cluster_overrides.empty() ||
+          cluster_overrides.size() == static_cast<std::size_t>(clusters),
+      "cluster_overrides must be empty or hold one entry per cluster");
+  for (int c = 0; c < clusters; ++c) {
+    const ClusterResourceConfig& res = cluster_at(c);
+    VEXSIM_CHECK_MSG(res.issue_slots >= 1 &&
+                         res.issue_slots <= kMaxIssuePerCluster,
+                     "issue slots out of range on cluster " << c);
+    VEXSIM_CHECK_MSG(res.mem_units >= 0 && res.alus >= 0,
+                     "bad FUs on cluster " << c);
+  }
+  // A thread's code is scheduled against per-cluster limits; rotating it
+  // onto a differently-provisioned physical cluster would break resource
+  // legality, so asymmetric machines run multithreaded without renaming.
+  if (asymmetric() && hw_threads > 1)
+    VEXSIM_CHECK_MSG(!cluster_renaming,
+                     "cluster renaming requires a symmetric geometry");
   // Operation-level split-issue only makes sense with operation-level
   // merging (Figure 4 of the paper).
   if (technique.split == SplitLevel::kOperation)

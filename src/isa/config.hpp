@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "isa/operation.hpp"
 
@@ -74,11 +75,23 @@ struct ClusterResourceConfig {
   int muls = 2;
   int mem_units = 1;  // also the number of data-memory ports per cluster
   int branch_units = 1;
+
+  // Paper-proportioned cluster for a given issue width: `w` ALUs, w/2
+  // multipliers, one load/store port, one branch unit.
+  static ClusterResourceConfig for_issue_width(int w);
 };
 
 struct MachineConfig {
   int clusters = 4;
   ClusterResourceConfig cluster;
+  // Asymmetric geometries: when non-empty, cluster_overrides[c] replaces
+  // `cluster` for cluster c (size must equal `clusters`). The compiler
+  // schedules against per-cluster limits, so a program compiled for an
+  // asymmetric machine is only legal on the cluster it was compiled for —
+  // validate() therefore rejects cluster renaming on asymmetric
+  // multithreaded machines (rotation would land wide bundles on narrow
+  // clusters).
+  std::vector<ClusterResourceConfig> cluster_overrides;
   // The compiler places control flow on *logical* cluster 0 (ST200
   // convention), but cluster renaming rotates each thread's logical clusters
   // across the machine, so every physical cluster carries a branch unit by
@@ -93,11 +106,22 @@ struct MachineConfig {
   RegFileOrg rf_org = RegFileOrg::kPartitioned;
   bool stall_on_store_miss = false;  // ST200-style write buffer by default
 
-  [[nodiscard]] int total_issue_width() const {
-    return clusters * cluster.issue_slots;
+  [[nodiscard]] bool asymmetric() const { return !cluster_overrides.empty(); }
+  [[nodiscard]] const ClusterResourceConfig& cluster_at(int c) const {
+    return cluster_overrides.empty()
+               ? cluster
+               : cluster_overrides[static_cast<std::size_t>(c)];
   }
+  [[nodiscard]] int total_issue_width() const {
+    int width = 0;
+    for (int c = 0; c < clusters; ++c) width += cluster_at(c).issue_slots;
+    return width;
+  }
+  // "4x4" for symmetric machines, "4+4+2+2" (per-cluster issue widths) for
+  // asymmetric ones; keys benchmark caches and labels sweep points.
+  [[nodiscard]] std::string geometry_name() const;
   [[nodiscard]] int branch_units_at(int c) const {
-    return (branch_on_cluster0_only && c != 0) ? 0 : cluster.branch_units;
+    return (branch_on_cluster0_only && c != 0) ? 0 : cluster_at(c).branch_units;
   }
   // Static cluster-renaming rotation for hardware thread `tid`. Section IV:
   // "Thread 0 is rotated by 0, Thread 1 by 1, Thread 2 by 2, and Thread 3

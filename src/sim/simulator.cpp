@@ -430,7 +430,7 @@ int Simulator::step() {
   int excess = 0;
   for (int c = 0; c < cfg_.clusters; ++c)
     excess += std::max(0, mem_port_use_[static_cast<std::size_t>(c)] -
-                              cfg_.cluster.mem_units);
+                              cfg_.cluster_at(c).mem_units);
   if (excess > 0) stall_until_ = cycle_ + 1 + static_cast<std::uint64_t>(excess);
 
   // Accounting.

@@ -1,0 +1,38 @@
+// Deterministic synthetic-program generator.
+//
+// Emits an IR function from a SynthSpec and lowers it through the regular
+// `cc` compiler pipeline, so every generated program is scheduled,
+// register-allocated, and legal for the exact machine it will run on
+// (including asymmetric cluster geometries) — the verifier accepts it by
+// construction.
+//
+// Program shape: one outer work loop whose body is a generated dataflow DAG
+// of `spec.ops` operations spread over W independent dependence chains,
+// where W follows the ILP dial (W = 1 at ilp 0; ≈1.5× the machine's issue
+// width at ilp 1, enough to saturate multi-cycle FUs). Each chain carries an
+// accumulator across iterations, so sustained ILP ≈ min(W, machine
+// throughput). Memory intensity converts chain steps into data-dependent
+// pool loads (mcf-style address chasing) and chain-private stores; branch
+// density inserts data-dependent taken branches (bzip2-style penalty
+// pressure); comm density pins ops to rotating clusters, forcing the
+// compiler to materialize send/recv copy pairs.
+#pragma once
+
+#include "isa/config.hpp"
+#include "isa/program.hpp"
+#include "wl_synth/spec.hpp"
+
+namespace vexsim::wl_synth {
+
+// Number of independent dependence chains the ILP dial requests on this
+// machine (exposed for tests and diagnostics).
+[[nodiscard]] int chain_count(const SynthSpec& spec, const MachineConfig& cfg);
+
+// Generates and compiles the program. Bit-identical output for identical
+// (spec, cfg, scale) — generation draws only on Rng(spec.seed). `scale`
+// multiplies the outer trip count like KernelScale does for the Figure-13
+// kernels. Throws CheckError if the spec cannot compile on `cfg`.
+[[nodiscard]] Program generate(const SynthSpec& spec, const MachineConfig& cfg,
+                               double scale = 1.0);
+
+}  // namespace vexsim::wl_synth

@@ -1,0 +1,110 @@
+#include "wl_synth/spec.hpp"
+
+#include <cstdlib>
+#include <iomanip>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace vexsim::wl_synth {
+
+namespace {
+
+constexpr int kMinOps = 8;
+constexpr int kMaxOps = 4096;
+
+[[noreturn]] void bad_spec(const std::string& name, const std::string& why) {
+  VEXSIM_CHECK_MSG(false, "bad synthetic spec '"
+                              << name << "': " << why
+                              << " (grammar: synth:i<ilp>-m<mem>-b<branch>-"
+                                 "c<comm>-n<ops>-s<seed>, fields optional, "
+                                 "i/m/b/c in [0,1], n in ["
+                              << kMinOps << "," << kMaxOps << "])");
+  std::abort();  // unreachable: the check above throws
+}
+
+// Shortest decimal form that parses back to exactly `v`: canonical names
+// must round-trip (a lossy mangling would alias distinct specs onto one
+// cache entry), yet stay readable for the common short-decimal dials.
+std::string format_dial(double v) {
+  for (int precision = 1; precision <= 17; ++precision) {
+    std::ostringstream os;
+    os << std::setprecision(precision) << v;
+    if (std::strtod(os.str().c_str(), nullptr) == v) return os.str();
+  }
+  return std::to_string(v);  // unreachable: 17 digits round-trip any double
+}
+
+double parse_fraction(const std::string& name, char key,
+                      const std::string& text) {
+  const char* begin = text.c_str();
+  char* end = nullptr;
+  const double v = std::strtod(begin, &end);
+  if (end != begin + text.size() || text.empty())
+    bad_spec(name, std::string("malformed value for '") + key + "'");
+  if (!(v >= 0.0 && v <= 1.0))
+    bad_spec(name, std::string("'") + key + "' out of [0,1]");
+  return v;
+}
+
+std::uint64_t parse_uint(const std::string& name, char key,
+                         const std::string& text) {
+  const char* begin = text.c_str();
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(begin, &end, 10);
+  if (end != begin + text.size() || text.empty())
+    bad_spec(name, std::string("malformed value for '") + key + "'");
+  return v;
+}
+
+}  // namespace
+
+std::string SynthSpec::name() const {
+  std::ostringstream os;
+  os << kSynthPrefix << "i" << format_dial(ilp) << "-m"
+     << format_dial(mem_intensity) << "-b" << format_dial(branch_density)
+     << "-c" << format_dial(comm_density) << "-n" << ops << "-s" << seed;
+  return os.str();
+}
+
+bool is_synth_name(const std::string& name) {
+  return name.rfind(kSynthPrefix, 0) == 0;
+}
+
+SynthSpec parse_spec(const std::string& name) {
+  if (!is_synth_name(name)) bad_spec(name, "missing 'synth:' prefix");
+  const std::string body = name.substr(kSynthPrefix.size());
+  if (body.empty()) bad_spec(name, "empty spec");
+
+  SynthSpec spec;
+  std::size_t pos = 0;
+  while (pos <= body.size()) {
+    const std::size_t dash = body.find('-', pos);
+    const std::string field =
+        body.substr(pos, dash == std::string::npos ? dash : dash - pos);
+    pos = dash == std::string::npos ? body.size() + 1 : dash + 1;
+    if (field.size() < 2) bad_spec(name, "empty field '" + field + "'");
+    const char key = field[0];
+    const std::string value = field.substr(1);
+    switch (key) {
+      case 'i': spec.ilp = parse_fraction(name, key, value); break;
+      case 'm': spec.mem_intensity = parse_fraction(name, key, value); break;
+      case 'b': spec.branch_density = parse_fraction(name, key, value); break;
+      case 'c': spec.comm_density = parse_fraction(name, key, value); break;
+      case 'n': {
+        const std::uint64_t v = parse_uint(name, key, value);
+        if (v < static_cast<std::uint64_t>(kMinOps) ||
+            v > static_cast<std::uint64_t>(kMaxOps))
+          bad_spec(name, "'n' out of range");
+        spec.ops = static_cast<int>(v);
+        break;
+      }
+      case 's': spec.seed = parse_uint(name, key, value); break;
+      default:
+        bad_spec(name, std::string("unknown field '") + key + "'");
+    }
+  }
+  return spec;
+}
+
+}  // namespace vexsim::wl_synth

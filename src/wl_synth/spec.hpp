@@ -1,0 +1,56 @@
+// Synthetic workload specs.
+//
+// A SynthSpec is a compact, name-mangled description of a generated program
+// ("synth:i0.8-m0.3-s42"): a point on a continuous ILP gradient plus memory,
+// branch and inter-cluster-communication dials. Specs parse from the CLI and
+// compose into workload mixes anywhere a benchmark name is accepted, which
+// is what lets experiments walk scenario spaces the fixed Figure-13 suite
+// cannot reach (variable context counts, asymmetric geometries).
+//
+// Grammar (after the "synth:" prefix, '-'-separated fields, any subset, any
+// order; omitted fields take the defaults below):
+//   i<float>  target ILP dial in [0,1]: 0 = one serial dependence chain,
+//             1 = enough independent chains to saturate the machine
+//   m<float>  memory intensity in [0,1]: fraction of body work that is
+//             data-dependent loads/stores
+//   b<float>  branch density in [0,1]: data-dependent taken branches per
+//             body operation
+//   c<float>  inter-cluster communication density in [0,1]: fraction of ops
+//             pinned to a random cluster (forces send/recv copies)
+//   n<int>    dataflow operations per loop iteration, in [8, 4096]
+//   s<int>    generator seed (decimal, unsigned 64-bit)
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace vexsim::wl_synth {
+
+inline constexpr std::string_view kSynthPrefix = "synth:";
+
+struct SynthSpec {
+  double ilp = 0.5;             // i
+  double mem_intensity = 0.1;   // m
+  double branch_density = 0.0;  // b
+  double comm_density = 0.0;    // c
+  int ops = 64;                 // n
+  std::uint64_t seed = 1;       // s
+
+  // Canonical full mangling ("synth:i0.5-m0.1-b0-c0-n64-s1"), dials in
+  // their shortest exactly-round-tripping decimal form. parse(name())
+  // reproduces the spec bit-for-bit; keys benchmark caches and sweep
+  // labels, so distinct specs never alias.
+  [[nodiscard]] std::string name() const;
+
+  friend bool operator==(const SynthSpec&, const SynthSpec&) = default;
+};
+
+// True when `name` carries the "synth:" prefix (it may still fail to parse).
+[[nodiscard]] bool is_synth_name(const std::string& name);
+
+// Parses a mangled spec. Throws CheckError (quoting the grammar) on an
+// unknown field, a malformed number, or an out-of-range value.
+[[nodiscard]] SynthSpec parse_spec(const std::string& name);
+
+}  // namespace vexsim::wl_synth

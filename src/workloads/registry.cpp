@@ -1,10 +1,13 @@
 #include "workloads/registry.hpp"
 
+#include <future>
 #include <map>
 #include <mutex>
 #include <sstream>
 
 #include "util/check.hpp"
+#include "wl_synth/generate.hpp"
+#include "wl_synth/spec.hpp"
 
 namespace vexsim::wl {
 
@@ -31,10 +34,23 @@ const std::vector<BenchmarkInfo>& benchmark_registry() {
   return registry;
 }
 
+std::string benchmark_names() {
+  std::string names;
+  for (const BenchmarkInfo& info : benchmark_registry()) {
+    if (!names.empty()) names += ", ";
+    names += info.name;
+  }
+  return names;
+}
+
 const BenchmarkInfo& benchmark_info(const std::string& name) {
   for (const BenchmarkInfo& info : benchmark_registry())
     if (info.name == name) return info;
-  VEXSIM_CHECK_MSG(false, "unknown benchmark: " << name);
+  VEXSIM_CHECK_MSG(false, "unknown benchmark '"
+                              << name << "': valid names are ["
+                              << benchmark_names()
+                              << "], or a 'synth:' spec (synthetic programs "
+                                 "carry no Figure-13 metadata)");
   static BenchmarkInfo dummy{};
   return dummy;
 }
@@ -42,31 +58,61 @@ const BenchmarkInfo& benchmark_info(const std::string& name) {
 std::shared_ptr<const Program> make_benchmark(const std::string& name,
                                               const MachineConfig& cfg,
                                               double scale) {
-  // Parallel sweep workers share this cache; compilation is deterministic,
-  // so holding the lock across a (one-time per key) compile is simpler than
-  // racing duplicate builds.
-  static std::mutex cache_mutex;
-  static std::map<std::string, std::shared_ptr<const Program>> cache;
-  const std::lock_guard<std::mutex> lock(cache_mutex);
+  // Synthetic specs canonicalize first so spelling variants of one spec
+  // ("i0.8" vs "i0.80") share a cache entry (generation is spelling-blind;
+  // the canonical mangling round-trips exactly, so distinct specs never
+  // alias).
+  const bool synth = wl_synth::is_synth_name(name);
+  const wl_synth::SynthSpec spec =
+      synth ? wl_synth::parse_spec(name) : wl_synth::SynthSpec{};
+  const std::string canonical = synth ? spec.name() : name;
   // The key must cover every config field the compiler reads: the full
   // cluster geometry and the latency model (scheduling and regalloc depend
   // on operation latencies), not just clusters × issue width.
   std::ostringstream key;
-  key << name << "/" << cfg.clusters << "x" << cfg.cluster.issue_slots << "a"
-      << cfg.cluster.alus << "m" << cfg.cluster.muls << "p"
-      << cfg.cluster.mem_units << "b" << cfg.cluster.branch_units
-      << (cfg.branch_on_cluster0_only ? "0" : "*") << "/L" << cfg.lat.alu
+  key << canonical << "/" << cfg.clusters << ":";
+  for (int c = 0; c < cfg.clusters; ++c) {
+    const ClusterResourceConfig& res = cfg.cluster_at(c);
+    key << (c > 0 ? "," : "") << res.issue_slots << "a" << res.alus << "m"
+        << res.muls << "p" << res.mem_units << "b" << res.branch_units;
+  }
+  key << (cfg.branch_on_cluster0_only ? "0" : "*") << "/L" << cfg.lat.alu
       << "." << cfg.lat.mul << "." << cfg.lat.mem << "." << cfg.lat.comm
       << "." << cfg.lat.cmp_to_branch << "." << cfg.lat.taken_branch_penalty
       << "/" << scale;
-  if (const auto it = cache.find(key.str()); it != cache.end())
-    return it->second;
-  const BenchmarkInfo& info = benchmark_info(name);
-  KernelScale ks;
-  ks.outer = scale;
-  auto prog = std::make_shared<Program>(info.factory(cfg, ks));
-  cache[key.str()] = prog;
-  return prog;
+
+  // Parallel sweep workers share this cache. The lock only guards the map;
+  // the (deterministic) compile itself runs outside it, under a per-key
+  // future, so first-touch builds of *distinct* programs proceed
+  // concurrently while duplicate requests share one build.
+  using ProgramFuture = std::shared_future<std::shared_ptr<const Program>>;
+  static std::mutex cache_mutex;
+  static std::map<std::string, ProgramFuture> cache;
+  std::promise<std::shared_ptr<const Program>> promise;
+  ProgramFuture future;
+  {
+    const std::lock_guard<std::mutex> lock(cache_mutex);
+    if (const auto it = cache.find(key.str()); it != cache.end())
+      return it->second.get();
+    future = promise.get_future().share();
+    cache[key.str()] = future;
+  }
+  try {
+    std::shared_ptr<const Program> prog;
+    if (synth) {
+      prog = std::make_shared<Program>(wl_synth::generate(spec, cfg, scale));
+    } else {
+      const BenchmarkInfo& info = benchmark_info(name);
+      KernelScale ks;
+      ks.outer = scale;
+      prog = std::make_shared<Program>(info.factory(cfg, ks));
+    }
+    promise.set_value(std::move(prog));
+  } catch (...) {
+    // Waiters (and later lookups) observe the same deterministic failure.
+    promise.set_exception(std::current_exception());
+  }
+  return future.get();
 }
 
 }  // namespace vexsim::wl

@@ -24,11 +24,19 @@ struct BenchmarkInfo {
 // The twelve benchmarks in Figure 13(a) order.
 [[nodiscard]] const std::vector<BenchmarkInfo>& benchmark_registry();
 
+// Comma-separated registry names, for error messages and CLI help.
+[[nodiscard]] std::string benchmark_names();
+
+// Figure-13 metadata for a registry benchmark. Throws CheckError listing
+// the valid names on an unknown one (synthetic "synth:" specs build through
+// make_benchmark but carry no paper metadata).
 [[nodiscard]] const BenchmarkInfo& benchmark_info(const std::string& name);
 
-// Builds (and memoizes per (name, clusters, issue, scale)) a benchmark
-// program. Compilation is deterministic, so sharing is safe: ThreadContexts
-// hold const Program pointers.
+// Builds (and memoizes per (name, geometry, latencies, scale)) a benchmark
+// program: a Figure-13 registry name or a name-mangled synthetic spec
+// ("synth:i0.8-m0.3-s42", see wl_synth/spec.hpp). Compilation and synthesis
+// are deterministic, so sharing is safe: ThreadContexts hold const Program
+// pointers.
 [[nodiscard]] std::shared_ptr<const Program> make_benchmark(
     const std::string& name, const MachineConfig& cfg, double scale = 1.0);
 

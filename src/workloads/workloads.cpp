@@ -2,6 +2,7 @@
 
 #include "util/check.hpp"
 #include "workloads/registry.hpp"
+#include "wl_synth/spec.hpp"
 
 namespace vexsim::wl {
 
@@ -20,16 +21,58 @@ const std::vector<WorkloadSpec>& paper_workloads() {
   return specs;
 }
 
-const WorkloadSpec& workload(const std::string& name) {
+namespace {
+
+[[nodiscard]] bool is_registry_benchmark(const std::string& name) {
+  for (const auto& info : benchmark_registry())
+    if (info.name == name) return true;
+  return false;
+}
+
+[[nodiscard]] std::string mix_names() {
+  std::string names;
+  for (const WorkloadSpec& spec : paper_workloads()) {
+    if (!names.empty()) names += ", ";
+    names += spec.name;
+  }
+  return names;
+}
+
+}  // namespace
+
+WorkloadSpec workload(const std::string& name) {
   for (const WorkloadSpec& spec : paper_workloads())
     if (spec.name == name) return spec;
-  VEXSIM_CHECK_MSG(false, "unknown workload: " << name);
-  static WorkloadSpec dummy{};
-  return dummy;
+
+  // Not a paper label: a '+'-joined list of components (possibly just one).
+  WorkloadSpec spec;
+  spec.name = name;
+  std::size_t pos = 0;
+  while (pos <= name.size()) {
+    const std::size_t plus = name.find('+', pos);
+    const std::string part =
+        name.substr(pos, plus == std::string::npos ? plus : plus - pos);
+    pos = plus == std::string::npos ? name.size() + 1 : plus + 1;
+    if (wl_synth::is_synth_name(part)) {
+      (void)wl_synth::parse_spec(part);  // throws on bad grammar
+    } else {
+      VEXSIM_CHECK_MSG(is_registry_benchmark(part),
+                       "unknown workload '"
+                           << name << "' (component '" << part
+                           << "'): valid mixes are [" << mix_names()
+                           << "], components are benchmarks ["
+                           << benchmark_names()
+                           << "] or 'synth:' specs, joined with '+'");
+    }
+    spec.benchmarks.push_back(part);
+  }
+  return spec;
 }
 
 std::vector<std::shared_ptr<const Program>> build_workload(
     const WorkloadSpec& spec, const MachineConfig& cfg, double scale) {
+  VEXSIM_CHECK_MSG(!spec.benchmarks.empty(),
+                   "workload '" << spec.name << "' has no components");
   std::vector<std::shared_ptr<const Program>> programs;
   programs.reserve(spec.benchmarks.size());
   for (const std::string& name : spec.benchmarks)

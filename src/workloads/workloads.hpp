@@ -1,7 +1,17 @@
-// The nine multiprogrammed workload mixes of Figure 13(b).
+// Multiprogrammed workload mixes.
+//
+// A mix is a variable-length list of benchmark components, one per intended
+// hardware context: the nine Figure-13(b) paper mixes are four-wide, but a
+// mix may hold any count, so workloads can fill 2-, 6- or 8-context
+// machines. Components are Figure-13 registry names or synthetic
+// "synth:..." specs (wl_synth/spec.hpp).
+//
+// Mixes resolve from names: a paper mix label ("llhh"), a single component
+// ("mcf", "synth:i0.8-s42"), or a '+'-joined component list
+// ("mcf+synth:i0.9-s1+idct") — all CLI-expressible, which is what lets the
+// sweep engine key simulation points on workload strings alone.
 #pragma once
 
-#include <array>
 #include <memory>
 #include <string>
 #include <vector>
@@ -12,16 +22,20 @@
 namespace vexsim::wl {
 
 struct WorkloadSpec {
-  std::string name;  // ILP combination label, e.g. "llhh"
-  std::array<std::string, 4> benchmarks;
+  std::string name;  // mix label: paper label or the composed component list
+  std::vector<std::string> benchmarks;  // one component per context
 };
 
 // Figure 13(b): llll, lmmh, mmmm, llmm, llmh, llhh, lmhh, mmhh, hhhh.
 [[nodiscard]] const std::vector<WorkloadSpec>& paper_workloads();
 
-[[nodiscard]] const WorkloadSpec& workload(const std::string& name);
+// Resolves a workload name (paper label, single component, or '+'-joined
+// component list). Throws CheckError listing the valid mix and benchmark
+// names when the name (or any component) is unknown.
+[[nodiscard]] WorkloadSpec workload(const std::string& name);
 
-// Builds the four benchmark programs of a mix (memoized underneath).
+// Builds the benchmark programs of a mix (memoized underneath), one per
+// component in order.
 [[nodiscard]] std::vector<std::shared_ptr<const Program>> build_workload(
     const WorkloadSpec& spec, const MachineConfig& cfg, double scale = 1.0);
 

@@ -2,8 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <set>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -81,6 +83,43 @@ TEST(Sweep, DeriveSeedIsDeterministicAndDecorrelated) {
   for (std::uint64_t i = 0; i < 1000; ++i) seen.insert(derive_seed(42, i));
   EXPECT_EQ(seen.size(), 1000u);
   EXPECT_NE(derive_seed(1, 0), derive_seed(2, 0));
+}
+
+TEST(Sweep, ProgressReportingEveryNPoints) {
+  const auto points = sample_points(5);  // six points
+  std::ostringstream progress;
+  SweepOptions opts;
+  opts.jobs = 3;
+  opts.progress_every = 2;
+  opts.progress_stream = &progress;
+  const auto results = run_sweep(points, opts);
+  EXPECT_EQ(results.size(), points.size());
+  const std::string text = progress.str();
+  EXPECT_NE(text.find("sweep: 2/6 points"), std::string::npos) << text;
+  EXPECT_NE(text.find("sweep: 4/6 points"), std::string::npos) << text;
+  EXPECT_NE(text.find("sweep: 6/6 points"), std::string::npos) << text;
+  // Every line is a counter multiple: nothing else is reported.
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 3);
+
+  // Progress reporting must not perturb the results.
+  const auto quiet = run_sweep(points, 1);
+  for (std::size_t i = 0; i < results.size(); ++i)
+    EXPECT_EQ(results[i].sim.cycles, quiet[i].sim.cycles) << i;
+
+  // Disabled by default: nothing is written.
+  std::ostringstream silent;
+  SweepOptions off;
+  off.jobs = 2;
+  off.progress_stream = &silent;
+  (void)run_sweep(points, off);
+  EXPECT_TRUE(silent.str().empty());
+}
+
+TEST(Sweep, JsonDefaultNameAndGeometryAxis) {
+  const auto points = sample_points(4);
+  const auto results = run_sweep(points, 2);
+  const std::string text = sweep_json("t", points, results).dump();
+  EXPECT_NE(text.find("\"geometry\": \"4x4\""), std::string::npos);
 }
 
 TEST(Sweep, RejectsNonPositiveJobs) {

@@ -87,6 +87,46 @@ TEST(Config, BranchUnitPlacement) {
   EXPECT_EQ(cfg.branch_units_at(3), 1);
 }
 
+TEST(Config, AsymmetricGeometry) {
+  MachineConfig cfg = MachineConfig::paper(1, Technique::smt());
+  EXPECT_FALSE(cfg.asymmetric());
+  EXPECT_EQ(cfg.geometry_name(), "4x4");
+
+  cfg.cluster_overrides = {ClusterResourceConfig::for_issue_width(8),
+                           ClusterResourceConfig::for_issue_width(4),
+                           ClusterResourceConfig::for_issue_width(2),
+                           ClusterResourceConfig::for_issue_width(2)};
+  EXPECT_TRUE(cfg.asymmetric());
+  EXPECT_EQ(cfg.geometry_name(), "8+4+2+2");
+  EXPECT_EQ(cfg.total_issue_width(), 16);
+  EXPECT_EQ(cfg.cluster_at(0).issue_slots, 8);
+  EXPECT_EQ(cfg.cluster_at(0).muls, 4);
+  EXPECT_EQ(cfg.cluster_at(2).issue_slots, 2);
+  EXPECT_EQ(cfg.cluster_at(3).mem_units, 1);
+  EXPECT_NO_THROW(cfg.validate());
+}
+
+TEST(Config, AsymmetricValidation) {
+  MachineConfig cfg = MachineConfig::paper(2, Technique::smt());
+  // Wrong override count: one entry per cluster or none at all.
+  cfg.cluster_overrides = {ClusterResourceConfig::for_issue_width(4)};
+  EXPECT_THROW(cfg.validate(), CheckError);
+
+  // Renaming would rotate wide bundles onto narrow clusters.
+  cfg.cluster_overrides = {ClusterResourceConfig::for_issue_width(8),
+                           ClusterResourceConfig::for_issue_width(4),
+                           ClusterResourceConfig::for_issue_width(2),
+                           ClusterResourceConfig::for_issue_width(2)};
+  cfg.cluster_renaming = true;
+  EXPECT_THROW(cfg.validate(), CheckError);
+  cfg.cluster_renaming = false;
+  EXPECT_NO_THROW(cfg.validate());
+
+  // Per-cluster issue bounds still apply to overrides.
+  cfg.cluster_overrides[1].issue_slots = kMaxIssuePerCluster + 1;
+  EXPECT_THROW(cfg.validate(), CheckError);
+}
+
 TEST(Config, LatencyForClass) {
   const LatencyConfig lat;
   EXPECT_EQ(lat.for_class(OpClass::kAlu), 1);

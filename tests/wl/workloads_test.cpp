@@ -15,10 +15,67 @@ TEST(Workloads, NineMixesMatchFigure13b) {
   ASSERT_EQ(specs.size(), 9u);
   EXPECT_EQ(specs[0].name, "llll");
   EXPECT_EQ(specs[8].name, "hhhh");
-  const WorkloadSpec& llhh = workload("llhh");
+  const WorkloadSpec llhh = workload("llhh");
   EXPECT_EQ(llhh.benchmarks,
-            (std::array<std::string, 4>{"mcf", "blowfish", "x264", "idct"}));
+            (std::vector<std::string>{"mcf", "blowfish", "x264", "idct"}));
   EXPECT_THROW((void)workload("zzzz"), CheckError);
+}
+
+TEST(Workloads, ResolvesSingleAndComposedComponentLists) {
+  const WorkloadSpec single = workload("mcf");
+  EXPECT_EQ(single.benchmarks, (std::vector<std::string>{"mcf"}));
+
+  const WorkloadSpec mixed = workload("mcf+synth:i0.8-s3+idct");
+  EXPECT_EQ(mixed.name, "mcf+synth:i0.8-s3+idct");
+  EXPECT_EQ(mixed.benchmarks,
+            (std::vector<std::string>{"mcf", "synth:i0.8-s3", "idct"}));
+
+  // Six components fill a six-context machine.
+  const WorkloadSpec six = workload(
+      "synth:i0.9-s1+synth:i0.9-s2+synth:i0.5-s3+synth:i0.5-s4+"
+      "synth:i0.1-s5+synth:i0.1-s6");
+  EXPECT_EQ(six.benchmarks.size(), 6u);
+}
+
+TEST(Workloads, UnknownNamesListValidOnes) {
+  try {
+    (void)workload("zzzz");
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("llll"), std::string::npos) << what;
+    EXPECT_NE(what.find("hhhh"), std::string::npos) << what;
+    EXPECT_NE(what.find("mcf"), std::string::npos) << what;
+    EXPECT_NE(what.find("synth:"), std::string::npos) << what;
+  }
+  // A bad component inside a composed list is reported too.
+  EXPECT_THROW((void)workload("mcf+nonesuch"), CheckError);
+  EXPECT_THROW((void)workload("mcf+"), CheckError);
+  // Malformed synth components propagate the grammar error.
+  EXPECT_THROW((void)workload("synth:q1"), CheckError);
+
+  try {
+    (void)benchmark_info("nonesuch");
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("mcf"), std::string::npos) << what;
+    EXPECT_NE(what.find("colorspace"), std::string::npos) << what;
+  }
+}
+
+TEST(Workloads, VariableLengthMixFillsSixContexts) {
+  harness::ExperimentOptions opt;
+  opt.scale = 0.02;
+  opt.budget = 8'000;
+  opt.timeslice = 4'000;
+  opt.max_cycles = 20'000'000;
+  const RunResult r = harness::run_workload(
+      "mcf+djpeg+idct+synth:i0.8-s1+synth:i0.4-s2+synth:i0.1-s3", 6,
+      Technique::smt(), opt);
+  EXPECT_GT(r.ipc(), 0.0);
+  ASSERT_EQ(r.instances.size(), 6u);
+  for (const auto& inst : r.instances) EXPECT_FALSE(inst.faulted);
 }
 
 TEST(Workloads, NamesEncodeIlpClasses) {

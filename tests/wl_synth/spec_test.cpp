@@ -1,0 +1,87 @@
+#include "wl_synth/spec.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+
+namespace vexsim::wl_synth {
+namespace {
+
+TEST(SynthSpec, DefaultsAndCanonicalName) {
+  const SynthSpec spec;
+  EXPECT_DOUBLE_EQ(spec.ilp, 0.5);
+  EXPECT_DOUBLE_EQ(spec.mem_intensity, 0.1);
+  EXPECT_DOUBLE_EQ(spec.branch_density, 0.0);
+  EXPECT_DOUBLE_EQ(spec.comm_density, 0.0);
+  EXPECT_EQ(spec.ops, 64);
+  EXPECT_EQ(spec.seed, 1u);
+  EXPECT_EQ(spec.name(), "synth:i0.5-m0.1-b0-c0-n64-s1");
+}
+
+TEST(SynthSpec, ParseSubsetKeepsDefaults) {
+  const SynthSpec spec = parse_spec("synth:i0.8-m0.3-s42");
+  EXPECT_DOUBLE_EQ(spec.ilp, 0.8);
+  EXPECT_DOUBLE_EQ(spec.mem_intensity, 0.3);
+  EXPECT_DOUBLE_EQ(spec.branch_density, 0.0);
+  EXPECT_EQ(spec.ops, 64);
+  EXPECT_EQ(spec.seed, 42u);
+}
+
+TEST(SynthSpec, ParseAllFieldsAnyOrder) {
+  const SynthSpec spec = parse_spec("synth:s7-n128-c0.25-b0.1-m0.9-i1");
+  EXPECT_DOUBLE_EQ(spec.ilp, 1.0);
+  EXPECT_DOUBLE_EQ(spec.mem_intensity, 0.9);
+  EXPECT_DOUBLE_EQ(spec.branch_density, 0.1);
+  EXPECT_DOUBLE_EQ(spec.comm_density, 0.25);
+  EXPECT_EQ(spec.ops, 128);
+  EXPECT_EQ(spec.seed, 7u);
+}
+
+TEST(SynthSpec, NameParseRoundTrips) {
+  SynthSpec spec;
+  spec.ilp = 0.85;
+  spec.mem_intensity = 0.4;
+  spec.branch_density = 0.05;
+  spec.comm_density = 0.3;
+  spec.ops = 256;
+  spec.seed = 123456789u;
+  EXPECT_EQ(parse_spec(spec.name()), spec);
+
+  // Dials beyond two decimals round-trip exactly too: the canonical name
+  // must never alias distinct specs (it keys the program cache).
+  SynthSpec fine = spec;
+  fine.mem_intensity = 0.846;
+  fine.ilp = 1.0 / 3.0;
+  EXPECT_EQ(parse_spec(fine.name()), fine);
+  EXPECT_NE(fine.name(), spec.name());
+}
+
+TEST(SynthSpec, IsSynthName) {
+  EXPECT_TRUE(is_synth_name("synth:i0.5"));
+  EXPECT_FALSE(is_synth_name("mcf"));
+  EXPECT_FALSE(is_synth_name("syn:i0.5"));
+}
+
+TEST(SynthSpec, RejectsBadSpecs) {
+  EXPECT_THROW((void)parse_spec("mcf"), CheckError);           // no prefix
+  EXPECT_THROW((void)parse_spec("synth:"), CheckError);        // empty
+  EXPECT_THROW((void)parse_spec("synth:q1"), CheckError);      // unknown key
+  EXPECT_THROW((void)parse_spec("synth:ixx"), CheckError);     // malformed
+  EXPECT_THROW((void)parse_spec("synth:i1.5"), CheckError);    // out of [0,1]
+  EXPECT_THROW((void)parse_spec("synth:n4"), CheckError);      // ops too low
+  EXPECT_THROW((void)parse_spec("synth:n99999"), CheckError);  // ops too high
+  EXPECT_THROW((void)parse_spec("synth:i0.5-"), CheckError);   // empty field
+  EXPECT_THROW((void)parse_spec("synth:i"), CheckError);       // no value
+}
+
+TEST(SynthSpec, ErrorMessageQuotesGrammar) {
+  try {
+    (void)parse_spec("synth:z9");
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("synth:i<ilp>"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace vexsim::wl_synth
