@@ -3,12 +3,30 @@
 // Renaming statically rotates each thread's clusters; without it every
 // thread's code competes for the compiler's favourite clusters and both
 // CSMT and CCSI lose most merging opportunities.
+//
+// All simulation points run through the parallel sweep engine; --jobs N
+// picks the worker count (results are bit-identical for any N) and the raw
+// per-point statistics land in a JSON trajectory file.
+//
+// Flags: --scale, --budget, --timeslice, --seed, --quick, --paper, --csv,
+//        --jobs N, --progress N, --flush N, --json FILE.
 #include <iostream>
+#include <vector>
 
-#include "harness/experiments.hpp"
+#include "harness/sweep.hpp"
 #include "stats/table.hpp"
 #include "util/cli.hpp"
 #include "workloads/workloads.hpp"
+
+namespace {
+
+std::string label_of(const char* wname, const vexsim::Technique& t,
+                     bool renamed) {
+  return std::string(wname) + "/" + t.name() +
+         (renamed ? "/renamed" : "/identity");
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace vexsim;
@@ -16,23 +34,41 @@ int main(int argc, char** argv) {
   const auto opt = harness::ExperimentOptions::from_cli(cli);
 
   std::cout << "Ablation: cluster renaming (4-thread machine)\n\n";
+
+  const std::vector<const char*> workloads = {"llll", "mmmm", "hhhh"};
+  const std::vector<Technique> techniques = {
+      Technique::csmt(), Technique::ccsi(CommPolicy::kAlwaysSplit),
+      Technique::smt()};
+  std::vector<harness::SweepPoint> points;
+  for (const char* wname : workloads) {
+    for (const Technique& t : techniques) {
+      for (bool renamed : {true, false}) {
+        MachineConfig cfg = MachineConfig::paper(4, t);
+        cfg.cluster_renaming = renamed;
+        points.push_back({label_of(wname, t, renamed), cfg, wname, opt});
+      }
+    }
+  }
+  const std::vector<RunResult> results =
+      harness::run_sweep_and_dump(cli, "abl_cluster_renaming", points);
+
   Table table({"workload", "technique", "IPC renamed", "IPC identity",
                "renaming gain"});
-  for (const char* wname : {"llll", "mmmm", "hhhh"}) {
-    for (const Technique& t :
-         {Technique::csmt(), Technique::ccsi(CommPolicy::kAlwaysSplit),
-          Technique::smt()}) {
-      MachineConfig on = MachineConfig::paper(4, t);
-      MachineConfig off = on;
-      off.cluster_renaming = false;
-      const RunResult with_ren = harness::run_workload_on(on, wname, opt);
-      const RunResult without = harness::run_workload_on(off, wname, opt);
+  for (const char* wname : workloads) {
+    for (const Technique& t : techniques) {
+      const RunResult& with_ren =
+          harness::result_for(points, results, label_of(wname, t, true));
+      const RunResult& without =
+          harness::result_for(points, results, label_of(wname, t, false));
       table.add_row({wname, t.name(), Table::fmt(with_ren.ipc()),
                      Table::fmt(without.ipc()),
                      Table::pct(speedup(with_ren.ipc(), without.ipc()))});
     }
   }
-  std::cout << table.to_text();
+  if (cli.get_bool("csv", false))
+    std::cout << table.to_csv();
+  else
+    std::cout << table.to_text();
   std::cout << "\nShape check: renaming gains are largest for cluster-level "
                "merging (CSMT/CCSI), where whole-cluster conflicts dominate.\n";
   return 0;

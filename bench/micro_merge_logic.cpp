@@ -27,17 +27,15 @@ std::shared_ptr<const Program> dense_program() {
   return std::make_shared<const Program>(std::move(p));
 }
 
-void prime(ThreadContext& ctx, const MachineConfig& cfg) {
+void prime(ThreadContext& ctx) {
   IssueProgress& iss = ctx.issue;
   iss.active = true;
   iss.seq = 1;
-  iss.pending_count = 0;
-  for (int c = 0; c < cfg.clusters; ++c) {
-    const Bundle& b = ctx.program().code[0].bundle(c);
-    iss.pending_ops[static_cast<std::size_t>(c)] =
-        static_cast<std::uint8_t>((1u << b.size()) - 1u);
-    iss.pending_count += static_cast<int>(b.size());
-  }
+  iss.dec = &ctx.current_decoded();
+  // Prime exactly as refill_slot does: straight from the decode cache.
+  iss.pending_ops = iss.dec->full_masks;
+  iss.pending_clusters = iss.dec->used_cluster_mask;
+  iss.pending_count = iss.dec->op_count;
 }
 
 void merge_decision(benchmark::State& state, Technique t) {
@@ -49,8 +47,8 @@ void merge_decision(benchmark::State& state, Technique t) {
   ExecPacket packet;
   for (auto _ : state) {
     packet.clear(cfg.clusters);
-    prime(a, cfg);
-    prime(b, cfg);
+    prime(a);
+    prime(b);
     engine.try_select(a, 0, 0, packet);
     engine.try_select(b, 2, 1, packet);
     benchmark::DoNotOptimize(packet.ops.size());

@@ -1,47 +1,168 @@
 // Microbenchmark A6: simulator throughput (simulated cycles and operations
-// per wall-clock second) for representative configurations.
-#include <benchmark/benchmark.h>
+// per wall-clock second) for representative configurations, tracked as a
+// machine-readable trajectory so every PR's hot-path claim is measurable.
+//
+// Each configuration runs twice: with the fast path disabled (pure
+// cycle-by-cycle loop) and enabled (decode cache is always on; this toggles
+// the idle-cycle batching of Simulator::fast_forward). The two runs must
+// produce bit-identical statistics — checked here on every invocation — so
+// the speedup column is a pure wall-clock ratio at equal work.
+//
+// Flags: --reps N (timing repetitions, best-of), --budget/--timeslice/
+//        --scale/--seed/--quick/--paper, --json FILE (default
+//        BENCH_sim_speed.json).
+#include <chrono>
+#include <iostream>
+#include <string>
+#include <vector>
 
-#include "sim/driver.hpp"
-#include "workloads/workloads.hpp"
+#include "harness/experiments.hpp"
+#include "stats/json.hpp"
+#include "stats/table.hpp"
+#include "util/check.hpp"
+#include "util/cli.hpp"
 
 namespace {
 
 using namespace vexsim;
 
-void run_config(benchmark::State& state, int threads, Technique t,
-                const char* workload) {
-  const MachineConfig cfg = MachineConfig::paper(threads, t);
-  auto programs = wl::build_workload(wl::workload(workload), cfg, 0.05);
-  std::uint64_t cycles = 0, ops = 0;
-  for (auto _ : state) {
-    DriverParams params;
-    params.budget = 20'000;
-    params.timeslice = 10'000;
-    params.max_cycles = 10'000'000;
-    MultiprogramDriver driver(cfg, programs, params);
-    const RunResult r = driver.run();
-    cycles += r.sim.cycles;
-    ops += r.sim.ops_issued;
-  }
-  state.counters["sim_cycles/s"] = benchmark::Counter(
-      static_cast<double>(cycles), benchmark::Counter::kIsRate);
-  state.counters["sim_ops/s"] = benchmark::Counter(
-      static_cast<double>(ops), benchmark::Counter::kIsRate);
+struct SpeedPoint {
+  std::string label;
+  std::string workload;
+  int threads;
+  Technique technique;
+};
+
+struct SpeedResult {
+  RunResult run;
+  double base_seconds = 0;  // fast path off
+  double fast_seconds = 0;  // fast path on
+};
+
+double time_once(const std::string& workload, int threads, Technique t,
+                 const harness::ExperimentOptions& opt, RunResult& out) {
+  const auto t0 = std::chrono::steady_clock::now();
+  out = harness::run_workload(workload, threads, t, opt);
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
 }
 
-void BM_Sim_2T_CSMT(benchmark::State& s) {
-  run_config(s, 2, Technique::csmt(), "llmm");
+void check_identical(const std::string& label, const RunResult& a,
+                     const RunResult& b) {
+  VEXSIM_CHECK_MSG(
+      a.sim.cycles == b.sim.cycles && a.sim.ops_issued == b.sim.ops_issued &&
+          a.sim.instructions_retired == b.sim.instructions_retired &&
+          a.sim.split_instructions == b.sim.split_instructions &&
+          a.sim.vertical_waste_cycles == b.sim.vertical_waste_cycles &&
+          a.sim.multi_thread_cycles == b.sim.multi_thread_cycles &&
+          a.sim.memport_stall_cycles == b.sim.memport_stall_cycles &&
+          a.sim.drain_cycles == b.sim.drain_cycles &&
+          a.sim.taken_branches == b.sim.taken_branches &&
+          a.sim.faults == b.sim.faults &&
+          a.icache.hits == b.icache.hits &&
+          a.icache.misses == b.icache.misses &&
+          a.dcache.hits == b.dcache.hits &&
+          a.dcache.misses == b.dcache.misses,
+      "fast-path statistics diverge from the cycle-by-cycle loop for "
+          << label);
+  VEXSIM_CHECK(a.instances.size() == b.instances.size());
+  for (std::size_t i = 0; i < a.instances.size(); ++i)
+    VEXSIM_CHECK_MSG(a.instances[i].arch_fingerprint ==
+                         b.instances[i].arch_fingerprint,
+                     "fast-path architectural state diverges for " << label);
 }
-void BM_Sim_4T_CCSI_AS(benchmark::State& s) {
-  run_config(s, 4, Technique::ccsi(CommPolicy::kAlwaysSplit), "llmm");
-}
-void BM_Sim_4T_OOSI_AS(benchmark::State& s) {
-  run_config(s, 4, Technique::oosi(CommPolicy::kAlwaysSplit), "hhhh");
-}
-
-BENCHMARK(BM_Sim_2T_CSMT)->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_Sim_4T_CCSI_AS)->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_Sim_4T_OOSI_AS)->Unit(benchmark::kMillisecond);
 
 }  // namespace
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  auto opt = harness::ExperimentOptions::from_cli(cli);
+  // Throughput protocol: modest budget, default timeslice — large enough to
+  // amortize workload construction, small enough for a CI smoke run.
+  if (!cli.has("budget")) opt.budget = cli.get_bool("quick", false)
+                                           ? 30'000
+                                           : 100'000;
+  const int reps =
+      static_cast<int>(cli.get_int("reps", cli.get_bool("quick", false) ? 2 : 5));
+  VEXSIM_CHECK_MSG(reps >= 1, "--reps must be >= 1");
+
+  const std::vector<SpeedPoint> points = {
+      {"2T_csmt/llmm", "llmm", 2, Technique::csmt()},
+      {"4T_ccsi_AS/llmm", "llmm", 4, Technique::ccsi(CommPolicy::kAlwaysSplit)},
+      {"4T_oosi_AS/hhhh", "hhhh", 4, Technique::oosi(CommPolicy::kAlwaysSplit)},
+  };
+
+  std::cout << "Simulator throughput (budget " << opt.budget << " VLIW insns, "
+            << reps << " reps, best-of)\n\n";
+
+  std::vector<SpeedResult> results;
+  for (const SpeedPoint& p : points) {
+    SpeedResult r;
+    // Warm the memoized workload cache so timing excludes compilation.
+    opt.fast_forward = true;
+    (void)time_once(p.workload, p.threads, p.technique, opt, r.run);
+
+    RunResult base_run, fast_run;
+    double base = 1e300, fast = 1e300;
+    for (int i = 0; i < reps; ++i) {
+      opt.fast_forward = false;
+      base = std::min(base,
+                      time_once(p.workload, p.threads, p.technique, opt,
+                                base_run));
+      opt.fast_forward = true;
+      fast = std::min(fast,
+                      time_once(p.workload, p.threads, p.technique, opt,
+                                fast_run));
+    }
+    check_identical(p.label, base_run, fast_run);
+    r.run = fast_run;
+    r.base_seconds = base;
+    r.fast_seconds = fast;
+    results.push_back(r);
+  }
+
+  Table table({"config", "cycles", "Mcycles/s base", "Mcycles/s fast",
+               "Mops/s fast", "fast/base"});
+  Json arr = Json::array();
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const SpeedPoint& p = points[i];
+    const SpeedResult& r = results[i];
+    const double cycles = static_cast<double>(r.run.sim.cycles);
+    const double ops = static_cast<double>(r.run.sim.ops_issued);
+    const double base_cps = cycles / r.base_seconds;
+    const double fast_cps = cycles / r.fast_seconds;
+    table.add_row({p.label, std::to_string(r.run.sim.cycles),
+                   Table::fmt(base_cps / 1e6, 2), Table::fmt(fast_cps / 1e6, 2),
+                   Table::fmt(ops / r.fast_seconds / 1e6, 2),
+                   Table::fmt(fast_cps / base_cps, 2)});
+
+    Json pj = Json::object();
+    pj.set("label", p.label)
+        .set("workload", p.workload)
+        .set("threads", p.threads)
+        .set("technique", p.technique.name())
+        .set("cycles", r.run.sim.cycles)
+        .set("ops_issued", r.run.sim.ops_issued)
+        .set("wall_seconds_base", r.base_seconds)
+        .set("wall_seconds_fast", r.fast_seconds)
+        .set("cycles_per_sec_base", base_cps)
+        .set("cycles_per_sec_fast", fast_cps)
+        .set("ops_per_sec_fast", ops / r.fast_seconds)
+        .set("fast_over_base", fast_cps / base_cps);
+    arr.push(std::move(pj));
+  }
+
+  Json doc = Json::object();
+  doc.set("experiment", "sim_speed")
+      .set("budget", opt.budget)
+      .set("timeslice", opt.timeslice)
+      .set("scale", opt.scale)
+      .set("reps", reps)
+      .set("points", std::move(arr));
+  write_json_file(cli.get("json", "BENCH_sim_speed.json"), std::move(doc));
+
+  std::cout << table.to_text();
+  std::cout << "\nStats are verified bit-identical between the base and fast "
+               "paths before any ratio is reported.\n";
+  return 0;
+}

@@ -1,0 +1,26 @@
+# Golden-stats check: run a bench at --quick and byte-compare its JSON
+# trajectory against the checked-in golden file. Any difference means the
+# simulator's cycle-level behaviour changed.
+#
+# Arguments: BENCH (bench executable), GOLDEN (checked-in golden JSON),
+#            OUT_DIR (scratch directory), TAG (name for scratch files).
+set(out "${OUT_DIR}/golden_check_${TAG}.json")
+
+execute_process(
+  COMMAND ${BENCH} --quick --json ${out}
+  RESULT_VARIABLE run_rc
+  OUTPUT_QUIET)
+if(NOT run_rc EQUAL 0)
+  message(FATAL_ERROR "golden check: ${BENCH} --quick failed (rc=${run_rc})")
+endif()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files ${out} ${GOLDEN}
+  RESULT_VARIABLE cmp_rc)
+if(NOT cmp_rc EQUAL 0)
+  message(FATAL_ERROR
+          "golden check: ${out} differs from ${GOLDEN} — the simulator's "
+          "statistics are no longer bit-identical to the golden trajectory. "
+          "If the behaviour change is intentional, regenerate the golden "
+          "file and explain the change in the PR.")
+endif()

@@ -1,0 +1,146 @@
+// In-flight NUAL register writes plus a per-cluster write-window index.
+//
+// The less-than-or-equal machine contract makes reading a register inside a
+// producer's latency window a compiler bug, so the simulator asserts on
+// every operand read. Scanning the pending-write list per read is the cost
+// this index removes: per cluster, a 64-bit GPR bitmap and an 8-bit breg
+// bitmap record which registers have *any* write in flight. The overwhelming
+// majority of reads test one bit and move on; only a set bit (a genuine
+// in-window register, or a stale bit awaiting compaction) pays for the scan.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "arch/regfile.hpp"
+#include "isa/operation.hpp"
+
+namespace vexsim {
+
+// A register write in flight: issued, becomes visible `visible_at` (NUAL:
+// value lands `latency` cycles after issue; the compiler guarantees no
+// consumer reads earlier).
+struct PendingWrite {
+  std::uint64_t visible_at = 0;
+  std::uint64_t seq = 0;  // sequence number of the producing instruction
+  bool to_breg = false;
+  std::uint8_t cluster = 0;
+  std::uint8_t idx = 0;
+  std::uint32_t value = 0;
+};
+
+class PendingWriteQueue {
+ public:
+  using const_iterator = std::vector<PendingWrite>::const_iterator;
+
+  void push(const PendingWrite& w) {
+    writes_.push_back(w);
+    if (w.visible_at < earliest_visible_) earliest_visible_ = w.visible_at;
+    if (w.visible_at > latest_visible_) latest_visible_ = w.visible_at;
+    mark(w);
+  }
+
+  // No write becomes visible before this cycle: commit passes earlier than
+  // it are provably no-ops and skip the compaction walk entirely.
+  [[nodiscard]] std::uint64_t earliest_visible_at() const {
+    return earliest_visible_;
+  }
+  // Every write is visible by this cycle: a commit pass at or after it
+  // drains the queue completely (short latencies make this the common case).
+  [[nodiscard]] std::uint64_t latest_visible_at() const {
+    return latest_visible_;
+  }
+
+  // Full-drain commit: calls `drain` on every write in order, then clears.
+  // Only valid when the caller knows nothing stays (latest_visible_at()).
+  template <typename Drain>
+  void drain_all(Drain&& drain) {
+    for (const PendingWrite& w : writes_) drain(w);
+    clear();
+  }
+
+  // Architectural commit of every in-flight write straight to the register
+  // file, then clear — the precise-state operation shared by detach, halt,
+  // and fault rollback (which skips the faulting instruction's own writes
+  // via `skip_seq`; kNoSeq skips nothing, seq numbers start at 1).
+  static constexpr std::uint64_t kNoSeq = 0;
+  void commit_all_to(RegFile& regs, std::uint64_t skip_seq = kNoSeq) {
+    for (const PendingWrite& w : writes_) {
+      if (w.seq == skip_seq) continue;
+      if (w.to_breg)
+        regs.set_breg(w.cluster, w.idx, w.value != 0);
+      else
+        regs.set_gpr(w.cluster, w.idx, w.value);
+    }
+    clear();
+  }
+
+  // Keeps exactly the writes for which `keep` returns true (callers commit or
+  // re-buffer the dropped ones inside the predicate) and rebuilds the index.
+  template <typename Keep>
+  void compact(Keep&& keep) {
+    gpr_window_.fill(0);
+    breg_window_.fill(0);
+    earliest_visible_ = kNever;
+    latest_visible_ = 0;
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < writes_.size(); ++i) {
+      if (!keep(static_cast<const PendingWrite&>(writes_[i]))) continue;
+      writes_[kept] = writes_[i];
+      mark(writes_[kept]);
+      if (writes_[kept].visible_at < earliest_visible_)
+        earliest_visible_ = writes_[kept].visible_at;
+      if (writes_[kept].visible_at > latest_visible_)
+        latest_visible_ = writes_[kept].visible_at;
+      ++kept;
+    }
+    writes_.resize(kept);
+  }
+
+  void clear() {
+    writes_.clear();
+    gpr_window_.fill(0);
+    breg_window_.fill(0);
+    earliest_visible_ = kNever;
+    latest_visible_ = 0;
+  }
+
+  // False guarantees no write to (cluster, idx) is in flight; true means a
+  // write *may* be — callers fall back to scanning the queue.
+  [[nodiscard]] bool maybe_pending(bool to_breg, int cluster, int idx) const {
+    const auto c = static_cast<std::size_t>(cluster);
+    return to_breg ? ((breg_window_[c] >> idx) & 1u) != 0
+                   : ((gpr_window_[c] >> idx) & 1u) != 0;
+  }
+
+  [[nodiscard]] bool empty() const { return writes_.empty(); }
+  [[nodiscard]] std::size_t size() const { return writes_.size(); }
+  [[nodiscard]] const_iterator begin() const { return writes_.begin(); }
+  [[nodiscard]] const_iterator end() const { return writes_.end(); }
+
+ private:
+  void mark(const PendingWrite& w) {
+    const auto c = static_cast<std::size_t>(w.cluster);
+    if (w.to_breg)
+      breg_window_[c] = static_cast<std::uint8_t>(breg_window_[c] |
+                                                  (1u << w.idx));
+    else
+      gpr_window_[c] |= 1ull << w.idx;
+  }
+
+  static constexpr std::uint64_t kNever = ~0ull;
+
+  std::vector<PendingWrite> writes_;
+  std::uint64_t earliest_visible_ = kNever;
+  std::uint64_t latest_visible_ = 0;
+  // Registers with any write in flight, per cluster (GPR count ≤ 64,
+  // breg count ≤ 8 — both static ISA bounds).
+  std::array<std::uint64_t, kMaxClusters> gpr_window_{};
+  std::array<std::uint8_t, kMaxClusters> breg_window_{};
+};
+
+static_assert(kNumGprs <= 64, "GPR write window is a 64-bit bitmap");
+static_assert(kNumBregs <= 8, "breg write window is an 8-bit bitmap");
+
+}  // namespace vexsim

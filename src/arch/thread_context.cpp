@@ -10,6 +10,9 @@ ThreadContext::ThreadContext(int asid, std::shared_ptr<const Program> program)
   VEXSIM_CHECK_MSG(program_->finalized(),
                    "program must be finalize()d before execution");
   VEXSIM_CHECK(!program_->code.empty());
+  code_ = program_->code.data();
+  decoded_insns_ = program_->decoded->data();
+  instr_addr_ = program_->instr_addr.data();
   respawn();
   respawns = 0;
 }
@@ -31,6 +34,7 @@ void ThreadContext::respawn() {
   rf_buffer.clear();
   store_buffer.clear();
   channels.fill(ChannelState{});
+  channels_dirty = false;
   fault = FaultInfo{};
   for (const DataSegment& seg : program_->data)
     mem.poke_bytes(seg.addr, seg.bytes.data(), seg.bytes.size());

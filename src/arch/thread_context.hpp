@@ -6,12 +6,18 @@
 // pipeline (src/sim) manipulate it directly. All cluster indices stored here
 // are *logical* (program view); the static cluster renaming of Section IV is
 // applied only when mapping to physical machine resources.
+//
+// Field layout is deliberate: the members the cycle loop touches every cycle
+// (pc, run state, the three issue gates, issue progress) sit together at the
+// front of the object so a refill/merge probe of an idle thread stays within
+// the first cache lines; the respawn-time and statistics members follow.
 #pragma once
 
 #include <cstdint>
 #include <memory>
 #include <vector>
 
+#include "arch/pending_writes.hpp"
 #include "arch/regfile.hpp"
 #include "isa/program.hpp"
 #include "mem/main_memory.hpp"
@@ -19,18 +25,6 @@
 namespace vexsim {
 
 enum class RunState : std::uint8_t { kReady, kHalted, kFaulted };
-
-// A register write in flight: issued, becomes visible `visible_at` (NUAL:
-// value lands `latency` cycles after issue; the compiler guarantees no
-// consumer reads earlier).
-struct PendingWrite {
-  std::uint64_t visible_at = 0;
-  std::uint64_t seq = 0;  // sequence number of the producing instruction
-  bool to_breg = false;
-  std::uint8_t cluster = 0;
-  std::uint8_t idx = 0;
-  std::uint32_t value = 0;
-};
 
 // Delay-buffer entries (Figure 9): results of split-issued operations are
 // held here and committed to the register file / memory when the last part
@@ -61,15 +55,22 @@ struct ChannelState {
 };
 
 // Issue progress of the thread's current VLIW instruction. pending_ops[c] is
-// a bitmask over bundle positions still to issue on logical cluster c.
+// a bitmask over bundle positions still to issue on logical cluster c. `dec`
+// caches the instruction's decode-cache entry for the merge engine and the
+// operand fetch (set at refill, cleared with the rest of the progress).
 struct IssueProgress {
   bool active = false;
+  bool was_split = false;  // issued over more than one cycle
+  int pending_count = 0;
+  std::array<std::uint8_t, kMaxClusters> pending_ops{};
+  // Clusters with a non-zero pending mask (kept in sync by the refill and
+  // the merge engine's take): the select loops walk set bits only.
+  std::uint32_t pending_clusters = 0;
+  const DecodedInstruction* dec = nullptr;
   std::uint64_t seq = 0;
   std::uint64_t started_at = 0;
-  std::array<std::uint8_t, kMaxClusters> pending_ops{};
-  int pending_count = 0;
-  bool was_split = false;  // issued over more than one cycle
 
+  // Derived variant for tests/tools that fill pending_ops by hand.
   [[nodiscard]] std::uint32_t pending_cluster_mask() const {
     std::uint32_t m = 0;
     for (int c = 0; c < kMaxClusters; ++c)
@@ -108,7 +109,15 @@ class ThreadContext {
   [[nodiscard]] int asid() const { return asid_; }
 
   [[nodiscard]] const VliwInstruction& current_instruction() const {
-    return program_->code[pc];
+    return code_[pc];
+  }
+  // The decode-cache entry of the instruction at `pc`.
+  [[nodiscard]] const DecodedInstruction& current_decoded() const {
+    return decoded_insns_[pc];
+  }
+  // Byte address of the instruction at `at` (ICache model).
+  [[nodiscard]] std::uint32_t instr_addr(std::uint32_t at) const {
+    return instr_addr_[at];
   }
   [[nodiscard]] bool at_end() const { return pc >= program_->code.size(); }
 
@@ -116,21 +125,23 @@ class ThreadContext {
   // be identical across all multithreading techniques.
   [[nodiscard]] std::uint64_t arch_fingerprint(int clusters) const;
 
-  // --- mutable execution state, driven by the simulator ---
+  // --- hot state, touched every cycle by refill/merge/execute ---
   std::uint32_t pc = 0;
   RunState state = RunState::kReady;
-  std::uint64_t seq = 0;                // instructions started
+  bool fetch_done = false;              // current pc fetched from ICache
+  bool halt_at_completion = false;
+  bool channels_dirty = false;          // any ChannelState written since reset
+  std::int32_t redirect_target = -1;    // taken branch target, applied at completion
   std::uint64_t mem_block_until = 0;    // D-miss: next instruction gated
   std::uint64_t fetch_ready_at = 0;     // I-miss gate
   std::uint64_t next_issue_at = 0;      // branch-penalty gate
-  bool fetch_done = false;              // current pc fetched from ICache
-  std::int32_t redirect_target = -1;    // taken branch target, applied at completion
-  bool halt_at_completion = false;
+  std::uint64_t seq = 0;                // instructions started
+  IssueProgress issue;
+  PendingWriteQueue pending_writes;     // probed by every operand read
 
+  // --- architectural + buffered state ---
   RegFile regs;
   MainMemory mem;
-  IssueProgress issue;
-  std::vector<PendingWrite> pending_writes;
   std::vector<BufferedRegWrite> rf_buffer;
   std::vector<BufferedStore> store_buffer;
   std::array<ChannelState, kNumChannels> channels{};
@@ -143,6 +154,11 @@ class ThreadContext {
  private:
   int asid_;
   std::shared_ptr<const Program> program_;
+  // Raw views into program_-owned storage: the per-cycle accessors above
+  // index these directly instead of chasing shared_ptr/vector headers.
+  const VliwInstruction* code_ = nullptr;
+  const DecodedInstruction* decoded_insns_ = nullptr;
+  const std::uint32_t* instr_addr_ = nullptr;
 };
 
 }  // namespace vexsim

@@ -6,6 +6,7 @@
 #include <cstdint>
 
 #include "core/resources.hpp"
+#include "isa/decoded_program.hpp"
 #include "isa/instruction.hpp"
 #include "util/inline_vec.hpp"
 
@@ -13,6 +14,9 @@ namespace vexsim {
 
 struct SelectedOp {
   Operation op;
+  // Decode-cache entry of `op` (operand-read flags, class, access size);
+  // points into the owning program's immutable DecodedProgram.
+  const DecodedOp* dec = nullptr;
   std::int8_t hw_slot = -1;          // hardware thread slot that issued it
   std::uint8_t logical_cluster = 0;  // program-view cluster (register access)
   std::uint8_t physical_cluster = 0; // after cluster renaming (resources)

@@ -1,5 +1,7 @@
 #include "core/merge_engine.hpp"
 
+#include <bit>
+
 #include "util/check.hpp"
 
 namespace vexsim {
@@ -18,52 +20,71 @@ bool MergeEngine::bundle_fits(const ResourceUse& use, int physical,
 void MergeEngine::take(ThreadContext& ctx, int cluster, std::uint8_t mask,
                        int rotation, ExecPacket& packet) {
   const Bundle& bundle = ctx.current_instruction().bundle(cluster);
+  const DecodedBundle& db = ctx.issue.dec->bundle(cluster);
   const int physical = physical_cluster(cluster, rotation);
   const auto p = static_cast<std::size_t>(physical);
+  const bool whole_bundle = mask == db.full_mask;
+  if (whole_bundle) packet.used[p].add(db.whole_use);
   for (std::size_t i = 0; i < bundle.size(); ++i) {
     if ((mask & (1u << i)) == 0) continue;
-    packet.used[p].add(bundle[i]);
+    if (!whole_bundle) packet.used[p].add(db.ops[i].use);
     SelectedOp sel;
     sel.op = bundle[i];
+    sel.dec = &db.ops[i];
     sel.hw_slot = static_cast<std::int8_t>(hw_slot_);
     sel.logical_cluster = static_cast<std::uint8_t>(cluster);
     sel.physical_cluster = static_cast<std::uint8_t>(physical);
     packet.ops.push_back(sel);
     --ctx.issue.pending_count;
   }
-  ctx.issue.pending_ops[static_cast<std::size_t>(cluster)] &=
-      static_cast<std::uint8_t>(~mask);
+  const std::uint8_t left = static_cast<std::uint8_t>(
+      ctx.issue.pending_ops[static_cast<std::size_t>(cluster)] & ~mask);
+  ctx.issue.pending_ops[static_cast<std::size_t>(cluster)] = left;
+  if (left == 0) ctx.issue.pending_clusters &= ~(1u << cluster);
   if (packet.owner[p] == -1) packet.owner[p] = static_cast<std::int8_t>(hw_slot_);
+}
+
+// Use of the still-pending subset of cluster `c`: the precomputed whole-bundle
+// table on the (overwhelmingly common) full mask, recomputation otherwise.
+const ResourceUse& MergeEngine::pending_use(const ThreadContext& ctx, int c,
+                                            std::uint8_t mask,
+                                            ResourceUse& scratch) const {
+  const DecodedBundle& db = ctx.issue.dec->bundle(c);
+  if (mask == db.full_mask) return db.whole_use;
+  scratch = bundle_use(ctx.current_instruction().bundle(c), mask);
+  return scratch;
 }
 
 bool MergeEngine::select_whole(ThreadContext& ctx, int rotation,
                                ExecPacket& packet) {
-  const VliwInstruction& insn = ctx.current_instruction();
   // First pass: every pending bundle must fit simultaneously. Accumulate
   // hypothetical use per physical cluster so two bundles of this thread that
   // rename onto the same physical cluster are rejected coherently (cannot
   // happen with rotation renaming, but keeps the check airtight).
-  for (int c = 0; c < cfg_->clusters; ++c) {
+  const std::uint32_t clusters = ctx.issue.pending_clusters;
+  for (std::uint32_t m = clusters; m != 0; m &= m - 1) {
+    const int c = std::countr_zero(m);
     const std::uint8_t mask = ctx.issue.pending_ops[static_cast<std::size_t>(c)];
-    if (mask == 0) continue;
-    const ResourceUse use = bundle_use(insn.bundle(c), mask);
+    ResourceUse scratch;
+    const ResourceUse& use = pending_use(ctx, c, mask, scratch);
     if (!bundle_fits(use, physical_cluster(c, rotation), packet)) return false;
   }
-  for (int c = 0; c < cfg_->clusters; ++c) {
-    const std::uint8_t mask = ctx.issue.pending_ops[static_cast<std::size_t>(c)];
-    if (mask != 0) take(ctx, c, mask, rotation, packet);
+  for (std::uint32_t m = clusters; m != 0; m &= m - 1) {
+    const int c = std::countr_zero(m);
+    take(ctx, c, ctx.issue.pending_ops[static_cast<std::size_t>(c)], rotation,
+         packet);
   }
   return true;
 }
 
 int MergeEngine::select_bundles(ThreadContext& ctx, int rotation,
                                 ExecPacket& packet) {
-  const VliwInstruction& insn = ctx.current_instruction();
   int selected = 0;
-  for (int c = 0; c < cfg_->clusters; ++c) {
+  for (std::uint32_t m = ctx.issue.pending_clusters; m != 0; m &= m - 1) {
+    const int c = std::countr_zero(m);
     const std::uint8_t mask = ctx.issue.pending_ops[static_cast<std::size_t>(c)];
-    if (mask == 0) continue;
-    const ResourceUse use = bundle_use(insn.bundle(c), mask);
+    ResourceUse scratch;
+    const ResourceUse& use = pending_use(ctx, c, mask, scratch);
     if (!bundle_fits(use, physical_cluster(c, rotation), packet)) continue;
     const int before = ctx.issue.pending_count;
     take(ctx, c, mask, rotation, packet);
@@ -74,18 +95,19 @@ int MergeEngine::select_bundles(ThreadContext& ctx, int rotation,
 
 int MergeEngine::select_operations(ThreadContext& ctx, int rotation,
                                    ExecPacket& packet) {
-  const VliwInstruction& insn = ctx.current_instruction();
+  const DecodedInstruction& dec = *ctx.issue.dec;
   int selected = 0;
-  for (int c = 0; c < cfg_->clusters; ++c) {
+  for (std::uint32_t cm = ctx.issue.pending_clusters; cm != 0; cm &= cm - 1) {
+    const int c = std::countr_zero(cm);
     const std::uint8_t mask = ctx.issue.pending_ops[static_cast<std::size_t>(c)];
-    if (mask == 0) continue;
-    const Bundle& bundle = insn.bundle(c);
+    const DecodedBundle& db = dec.bundle(c);
     const int physical = physical_cluster(c, rotation);
-    for (std::size_t i = 0; i < bundle.size(); ++i) {
-      if ((mask & (1u << i)) == 0) continue;
-      ResourceUse use;
-      use.add(bundle[i]);
-      if (!bundle_fits(use, physical, packet)) continue;
+    // Walk the set bits of the pending mask in ascending position order.
+    for (std::uint8_t m = mask; m != 0;
+         m = static_cast<std::uint8_t>(m & (m - 1))) {
+      const auto i = static_cast<std::size_t>(
+          std::countr_zero(static_cast<unsigned>(m)));
+      if (!bundle_fits(db.ops[i].use, physical, packet)) continue;
       take(ctx, c, static_cast<std::uint8_t>(1u << i), rotation, packet);
       ++selected;
     }
@@ -98,15 +120,15 @@ SelectResult MergeEngine::try_select(ThreadContext& ctx, int rotation,
   SelectResult result;
   if (!ctx.issue.active || ctx.issue.pending_count == 0) return result;
   hw_slot_ = hw_slot;
+  const DecodedInstruction& dec = *ctx.issue.dec;
 
   const int pending_before = ctx.issue.pending_count;
   const bool whole_instruction_pending =
-      ctx.issue.pending_count == ctx.current_instruction().op_count();
+      ctx.issue.pending_count == dec.op_count;
 
   SplitLevel split = cfg_->technique.split;
   if (split != SplitLevel::kNone &&
-      cfg_->technique.comm == CommPolicy::kNoSplit &&
-      ctx.current_instruction().has_comm()) {
+      cfg_->technique.comm == CommPolicy::kNoSplit && dec.has_comm) {
     split = SplitLevel::kNone;  // NS: never split communication instructions
     ++stats_.comm_nosplit_forced;
   }

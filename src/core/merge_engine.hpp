@@ -67,6 +67,14 @@ class MergeEngine {
   [[nodiscard]] bool bundle_fits(const ResourceUse& use, int physical,
                                  const ExecPacket& packet) const;
 
+  // Resource use of the pending subset of logical cluster `c`: returns the
+  // decode cache's whole-bundle table when the mask is full (the only mask
+  // whole/bundle selection ever produces), computing into `scratch`
+  // otherwise.
+  [[nodiscard]] const ResourceUse& pending_use(const ThreadContext& ctx,
+                                               int c, std::uint8_t mask,
+                                               ResourceUse& scratch) const;
+
   void take(ThreadContext& ctx, int cluster, std::uint8_t mask, int rotation,
             ExecPacket& packet);
 

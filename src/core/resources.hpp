@@ -1,42 +1,17 @@
-// Per-cluster issue resource accounting.
+// Collision-logic primitives (the CL boxes of Figure 7).
 //
-// A 4-issue cluster has 4 issue slots backed by 4 ALUs, 2 multipliers and
-// 1 load/store unit (Section IV); branch operations need a branch unit.
-// These counts are what the operation-level collision logic (CL of Figure 7)
-// checks; the cluster-level variant only checks "is the cluster untouched".
+// The ResourceUse accounting itself lives one layer down in
+// isa/resources.hpp (the decode cache precomputes its tables at program
+// load); this header re-exports it for the merge hardware and adds the
+// collision predicates used by the merge engine and its tests.
 #pragma once
 
 #include <cstdint>
 
 #include "isa/config.hpp"
-#include "isa/instruction.hpp"
+#include "isa/resources.hpp"
 
 namespace vexsim {
-
-struct ResourceUse {
-  std::uint8_t slots = 0;
-  std::uint8_t alu = 0;
-  std::uint8_t mul = 0;
-  std::uint8_t mem = 0;
-  std::uint8_t br = 0;
-
-  void add(const Operation& op);
-  void add(const ResourceUse& other);
-
-  [[nodiscard]] bool empty() const { return slots == 0; }
-
-  // Would `this + extra` still fit within the cluster limits?
-  [[nodiscard]] bool fits_with(const ResourceUse& extra,
-                               const ClusterResourceConfig& limits,
-                               int branch_units) const;
-
-  friend bool operator==(const ResourceUse&, const ResourceUse&) = default;
-};
-
-// Resource use of the subset of `bundle` selected by `mask` (bit i = op i).
-[[nodiscard]] ResourceUse bundle_use(const Bundle& bundle, std::uint8_t mask);
-
-// --- Collision-logic primitives (the CL boxes of Figure 7) ---
 
 // Cluster-level CL: two instructions collide if they touch a common cluster.
 [[nodiscard]] inline bool cluster_collision(std::uint32_t used_mask_a,

@@ -39,6 +39,7 @@ RunResult run_workload_on(const MachineConfig& cfg,
   params.max_cycles = opt.max_cycles;
   params.seed = opt.seed;
   params.respawn = true;
+  params.fast_forward = opt.fast_forward;
   MultiprogramDriver driver(cfg, std::move(programs), params);
   return driver.run();
 }

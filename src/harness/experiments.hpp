@@ -22,6 +22,9 @@ struct ExperimentOptions {
   std::uint64_t timeslice = 100'000;  // cycles between context switches
   std::uint64_t max_cycles = 80'000'000;
   std::uint64_t seed = 42;
+  // Idle-cycle batching (bit-identical stats either way); micro_sim_speed
+  // turns it off to time the pure cycle-by-cycle path.
+  bool fast_forward = true;
 
   // Applies --budget/--timeslice/--seed/--scale/--paper/--quick.
   static ExperimentOptions from_cli(const Cli& cli);

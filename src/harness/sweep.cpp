@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdio>
 #include <cstdlib>
 #include <exception>
 #include <iostream>
@@ -26,6 +27,9 @@ SweepOptions SweepOptions::from_cli(const Cli& cli) {
       static_cast<int>(cli.get_int("progress", opts.progress_every));
   VEXSIM_CHECK_MSG(opts.progress_every >= 0,
                    "--progress must be >= 0, got " << opts.progress_every);
+  opts.flush_every = static_cast<int>(cli.get_int("flush", opts.flush_every));
+  VEXSIM_CHECK_MSG(opts.flush_every >= 0,
+                   "--flush must be >= 0, got " << opts.flush_every);
   return opts;
 }
 
@@ -40,6 +44,12 @@ std::vector<RunResult> run_sweep(const std::vector<SweepPoint>& points,
   std::atomic<std::size_t> next{0};
   std::atomic<std::size_t> completed{0};
   std::mutex progress_mutex;
+  // Incremental-flush bookkeeping, guarded by progress_mutex: which points
+  // have finished and how far the fully-complete prefix reaches.
+  std::vector<char> done(points.size(), 0);
+  std::size_t prefix = 0;
+  const bool flushing = opts.flush_every > 0 && opts.flush_fn != nullptr;
+  std::atomic<bool> flush_failed{false};
   std::ostream* progress_to =
       opts.progress_stream != nullptr ? opts.progress_stream : &std::cerr;
   auto worker = [&] {
@@ -52,13 +62,33 @@ std::vector<RunResult> run_sweep(const std::vector<SweepPoint>& points,
       } catch (...) {
         errors[i] = std::current_exception();
       }
-      if (opts.progress_every > 0) {
-        const std::size_t done = completed.fetch_add(1) + 1;
-        if (done % static_cast<std::size_t>(opts.progress_every) == 0 ||
-            done == points.size()) {
-          const std::lock_guard<std::mutex> lock(progress_mutex);
-          *progress_to << "sweep: " << done << "/" << points.size()
-                       << " points" << std::endl;
+      const std::size_t done_count = completed.fetch_add(1) + 1;
+      if (opts.progress_every > 0 &&
+          (done_count % static_cast<std::size_t>(opts.progress_every) == 0 ||
+           done_count == points.size())) {
+        const std::lock_guard<std::mutex> lock(progress_mutex);
+        *progress_to << "sweep: " << done_count << "/" << points.size()
+                     << " points" << std::endl;
+      }
+      if (flushing && !flush_failed.load(std::memory_order_relaxed)) {
+        const std::lock_guard<std::mutex> lock(progress_mutex);
+        // An errored point never counts as done: the complete prefix stops
+        // before it, so a salvaged partial file holds only real results.
+        done[i] = errors[i] ? 0 : 1;
+        while (prefix < points.size() && done[prefix] != 0) ++prefix;
+        // The final complete document is written by the caller; only
+        // genuinely partial states flush.
+        if (done_count % static_cast<std::size_t>(opts.flush_every) == 0 &&
+            done_count < points.size()) {
+          try {
+            opts.flush_fn(results, prefix);
+          } catch (...) {
+            // A failing flush (full disk, unwritable path) must not abort
+            // the sweep: the in-memory results outrank the checkpoint.
+            flush_failed.store(true, std::memory_order_relaxed);
+            *progress_to << "sweep: incremental flush failed; flushing "
+                            "disabled for this run" << std::endl;
+          }
         }
       }
     }
@@ -164,6 +194,23 @@ Json sweep_json(const std::string& experiment,
   return doc;
 }
 
+Json sweep_json_partial(const std::string& experiment,
+                        const std::vector<SweepPoint>& points,
+                        const std::vector<RunResult>& results,
+                        std::size_t count) {
+  VEXSIM_CHECK(points.size() == results.size());
+  VEXSIM_CHECK(count <= points.size());
+  Json doc = Json::object();
+  doc.set("experiment", experiment);
+  doc.set("partial", true);
+  doc.set("points_total", static_cast<std::uint64_t>(points.size()));
+  Json arr = Json::array();
+  for (std::size_t i = 0; i < count; ++i)
+    arr.push(point_json(points[i], results[i]));
+  doc.set("points", std::move(arr));
+  return doc;
+}
+
 const RunResult& result_for(const std::vector<SweepPoint>& points,
                             const std::vector<RunResult>& results,
                             const std::string& label) {
@@ -177,10 +224,29 @@ const RunResult& result_for(const std::vector<SweepPoint>& points,
 std::vector<RunResult> run_sweep_and_dump(
     const Cli& cli, const std::string& experiment,
     const std::vector<SweepPoint>& points) {
-  std::vector<RunResult> results =
-      run_sweep(points, SweepOptions::from_cli(cli));
-  write_json_file(cli.get("json", "BENCH_" + experiment + ".json"),
-                  sweep_json(experiment, points, results));
+  const std::string path = cli.get("json", "BENCH_" + experiment + ".json");
+  SweepOptions opts = SweepOptions::from_cli(cli);
+  // Write-then-rename: a reader (or a crash) mid-write never sees a
+  // truncated document at the target path — in particular, a failing final
+  // write must not destroy the last flushed checkpoint.
+  const auto write_atomically = [&path](const Json& doc) {
+    const std::string tmp = path + ".tmp";
+    write_json_file(tmp, doc);
+    VEXSIM_CHECK_MSG(std::rename(tmp.c_str(), path.c_str()) == 0,
+                     "failed to move " << tmp << " over " << path);
+  };
+  // --flush N: overwrite the target file with the completed prefix every N
+  // points so a long sweep is inspectable (and partially salvageable)
+  // mid-run. The completed sweep rewrites the file in its final form below.
+  if (opts.flush_every > 0) {
+    opts.flush_fn = [&points, &experiment, &write_atomically](
+                        const std::vector<RunResult>& partial,
+                        std::size_t prefix) {
+      write_atomically(sweep_json_partial(experiment, points, partial, prefix));
+    };
+  }
+  const std::vector<RunResult> results = run_sweep(points, opts);
+  write_atomically(sweep_json(experiment, points, results));
   return results;
 }
 

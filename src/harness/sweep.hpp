@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <iosfwd>
 #include <string>
 #include <vector>
@@ -33,8 +34,16 @@ struct SweepOptions {
   // long paper-scale sweeps stay observable without touching the results.
   int progress_every = 0;
   std::ostream* progress_stream = nullptr;  // nullptr = std::cerr
+  // When > 0 and `flush_fn` is set, `flush_fn(results, n)` fires after every
+  // `flush_every` completed points with the in-progress result vector and
+  // the longest fully-complete prefix length n — run_sweep_and_dump uses it
+  // to write a partial BENCH_*.json so long paper-scale sweeps are
+  // inspectable mid-run. Called under the sweep's bookkeeping lock;
+  // results[0..n) are safe to read.
+  int flush_every = 0;
+  std::function<void(const std::vector<RunResult>&, std::size_t)> flush_fn;
 
-  // Applies --jobs/--progress.
+  // Applies --jobs/--progress/--flush.
   static SweepOptions from_cli(const Cli& cli);
 };
 
@@ -58,6 +67,15 @@ struct SweepOptions {
 [[nodiscard]] Json sweep_json(const std::string& experiment,
                               const std::vector<SweepPoint>& points,
                               const std::vector<RunResult>& results);
+
+// Partial-flush variant: the first `count` points only, marked with
+// "partial": true and the total point count so a mid-run file is never
+// mistaken for a finished trajectory. The final document written when the
+// sweep completes is the plain sweep_json() form.
+[[nodiscard]] Json sweep_json_partial(const std::string& experiment,
+                                      const std::vector<SweepPoint>& points,
+                                      const std::vector<RunResult>& results,
+                                      std::size_t count);
 
 // Bench-binary entry point: runs the sweep with --jobs workers (progress
 // via --progress N) and writes the trajectory to --json (default

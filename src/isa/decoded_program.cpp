@@ -1,0 +1,56 @@
+#include "isa/decoded_program.hpp"
+
+#include "isa/opcode.hpp"
+#include "util/check.hpp"
+
+namespace vexsim {
+
+DecodedOp DecodedProgram::decode_op(const Operation& op) {
+  DecodedOp d;
+  d.cls = op.cls();
+  d.use.add(op);
+  std::uint8_t flags = 0;
+  if (reads_src1(op.opc)) flags |= DecodedOp::kReadsSrc1;
+  // Operand b of the scalar evaluation: movi takes the immediate outright;
+  // otherwise src2 is a register unless the encoding marked it immediate.
+  if (op.opc == Opcode::kMovi) {
+    flags |= DecodedOp::kSrc2Imm;
+  } else if (reads_src2(op.opc)) {
+    flags |= op.src2_is_imm ? DecodedOp::kSrc2Imm : DecodedOp::kSrc2Reg;
+  }
+  if (reads_bsrc(op.opc)) flags |= DecodedOp::kReadsBsrc;
+  if (is_load(op.opc)) flags |= DecodedOp::kLoad;
+  if (op.dst_is_breg) flags |= DecodedOp::kDstBreg;
+  d.flags = flags;
+  if (d.cls == OpClass::kMem)
+    d.mem_size = static_cast<std::uint8_t>(mem_access_size(op.opc));
+  return d;
+}
+
+DecodedProgram::DecodedProgram(const std::vector<VliwInstruction>& code) {
+  insns_.reserve(code.size());
+  for (const VliwInstruction& insn : code) {
+    DecodedInstruction dec;
+    int ops = 0;
+    for (int c = 0; c < kMaxClusters; ++c) {
+      const Bundle& bundle = insn.bundle(c);
+      DecodedBundle& db = dec.bundles[static_cast<std::size_t>(c)];
+      VEXSIM_CHECK(bundle.size() <= kMaxIssuePerCluster);
+      db.full_mask =
+          static_cast<std::uint8_t>((1u << bundle.size()) - 1u);
+      for (std::size_t i = 0; i < bundle.size(); ++i) {
+        db.ops[i] = decode_op(bundle[i]);
+        db.whole_use.add(bundle[i]);
+        if (bundle[i].cls() == OpClass::kComm) dec.has_comm = true;
+        if (is_branch(bundle[i].opc)) dec.has_branch = true;
+      }
+      dec.full_masks[static_cast<std::size_t>(c)] = db.full_mask;
+      if (db.full_mask != 0) dec.used_cluster_mask |= 1u << c;
+      ops += static_cast<int>(bundle.size());
+    }
+    dec.op_count = static_cast<std::uint8_t>(ops);
+    insns_.push_back(dec);
+  }
+}
+
+}  // namespace vexsim

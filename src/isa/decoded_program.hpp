@@ -1,0 +1,95 @@
+// Precomputed decode cache: the per-instruction side-structure built once at
+// program load so the per-cycle hot paths (merge engine, operand fetch)
+// index tables instead of re-deriving facts from the instruction stream.
+//
+// What is cached, and why it is sufficient:
+//
+//  * Per cluster, the ResourceUse of the *whole* bundle plus a per-operation
+//    singleton use. These are the only masks the merge hardware ever needs:
+//    whole-instruction and per-bundle selection are all-or-nothing at bundle
+//    granularity (the pending mask of a cluster is either full or empty), and
+//    operation-level selection probes one operation at a time.
+//  * Per operation, the dataflow facts execute() would otherwise re-derive
+//    from opcode classification every cycle: operand-read flags, the operand-b
+//    source (register vs immediate), the operation class, and the memory
+//    access size.
+//  * Per instruction, the op count and has_comm/has_branch summaries that
+//    gate split-issue policy (CommPolicy::kNoSplit) and completion.
+//
+// The cache is immutable and machine-independent (no latencies, no cluster
+// limits), so one DecodedProgram serves every simulator configuration the
+// program runs on. Program::finalize() builds it.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "isa/instruction.hpp"
+#include "isa/resources.hpp"
+
+namespace vexsim {
+
+// Dataflow facts of one operation, resolved once at decode.
+struct DecodedOp {
+  // Flag bits mirror the opcode.hpp classification helpers.
+  static constexpr std::uint8_t kReadsSrc1 = 1u << 0;  // reads gpr[src1]
+  static constexpr std::uint8_t kSrc2Reg = 1u << 1;    // operand b = gpr[src2]
+  static constexpr std::uint8_t kSrc2Imm = 1u << 2;    // operand b = imm
+  static constexpr std::uint8_t kReadsBsrc = 1u << 3;  // reads breg[bsrc]
+  static constexpr std::uint8_t kLoad = 1u << 4;       // memory read
+  static constexpr std::uint8_t kDstBreg = 1u << 5;    // writes a breg
+
+  OpClass cls = OpClass::kNop;
+  std::uint8_t flags = 0;
+  std::uint8_t mem_size = 0;  // access bytes for kMem, else 0
+  ResourceUse use;            // singleton use (slots = 1)
+
+  [[nodiscard]] bool has(std::uint8_t flag) const {
+    return (flags & flag) != 0;
+  }
+};
+
+// One cluster's slice of a decoded instruction.
+struct DecodedBundle {
+  ResourceUse whole_use;       // use of the complete bundle
+  std::uint8_t full_mask = 0;  // (1 << bundle.size()) - 1
+  std::array<DecodedOp, kMaxIssuePerCluster> ops{};  // [i] valid below size
+};
+
+struct DecodedInstruction {
+  std::array<DecodedBundle, kMaxClusters> bundles;
+  // bundles[c].full_mask, gathered contiguously: issue-progress refill is
+  // one 8-byte copy instead of a per-cluster walk.
+  std::array<std::uint8_t, kMaxClusters> full_masks{};
+  std::uint32_t used_cluster_mask = 0;  // clusters with a non-empty bundle
+  std::uint8_t op_count = 0;
+  bool has_comm = false;    // subject of the NS comm policy
+  bool has_branch = false;
+
+  [[nodiscard]] const DecodedBundle& bundle(int cluster) const {
+    return bundles[static_cast<std::size_t>(cluster)];
+  }
+};
+
+class DecodedProgram {
+ public:
+  explicit DecodedProgram(const std::vector<VliwInstruction>& code);
+
+  [[nodiscard]] const DecodedInstruction& insn(std::size_t pc) const {
+    return insns_[pc];
+  }
+  [[nodiscard]] const DecodedInstruction* data() const {
+    return insns_.data();
+  }
+  [[nodiscard]] std::size_t size() const { return insns_.size(); }
+
+  // Decode of a single operation; exposed so tests can cross-check the
+  // cached flags against the opcode.hpp classification functions.
+  [[nodiscard]] static DecodedOp decode_op(const Operation& op);
+
+ private:
+  std::vector<DecodedInstruction> insns_;
+};
+
+}  // namespace vexsim

@@ -153,5 +153,20 @@ bool uses_imm_always(Opcode opc) {
   return opc == Opcode::kMovi || is_mem(opc) || opc == Opcode::kBr ||
          opc == Opcode::kBrf || opc == Opcode::kGoto;
 }
+int mem_access_size(Opcode opc) {
+  switch (opc) {
+    case Opcode::kLdw:
+    case Opcode::kStw: return 4;
+    case Opcode::kLdh:
+    case Opcode::kLdhu:
+    case Opcode::kSth: return 2;
+    case Opcode::kLdb:
+    case Opcode::kLdbu:
+    case Opcode::kStb: return 1;
+    default:
+      VEXSIM_CHECK_MSG(false, "not a memory opcode");
+  }
+  return 0;
+}
 
 }  // namespace vexsim

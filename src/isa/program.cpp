@@ -16,6 +16,7 @@ void Program::finalize() {
     addr += encoded_size_bytes(insn);
   }
   code_bytes = addr - code_base;
+  decoded = std::make_shared<const DecodedProgram>(code);
 }
 
 void Program::add_data(std::uint32_t addr, std::vector<std::uint8_t> bytes) {

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "isa/decoded_program.hpp"
 #include "isa/instruction.hpp"
 
 namespace vexsim {
@@ -23,13 +24,16 @@ struct Program {
   std::map<std::uint32_t, std::string> labels;  // instr index -> label
 
   // Derived by finalize(): byte address of each instruction (for the ICache
-  // model) computed from the binary encoding sizes.
+  // model) computed from the binary encoding sizes, plus the decode cache
+  // the simulator hot paths index instead of re-deriving per cycle.
   std::vector<std::uint32_t> instr_addr;
   std::uint32_t code_bytes = 0;
+  std::shared_ptr<const DecodedProgram> decoded;
 
   void finalize();
   [[nodiscard]] bool finalized() const {
-    return instr_addr.size() == code.size();
+    return instr_addr.size() == code.size() && decoded != nullptr &&
+           decoded->size() == code.size();
   }
 
   [[nodiscard]] std::size_t size() const { return code.size(); }

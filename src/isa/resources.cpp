@@ -1,4 +1,4 @@
-#include "core/resources.hpp"
+#include "isa/resources.hpp"
 
 namespace vexsim {
 

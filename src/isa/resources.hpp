@@ -1,0 +1,43 @@
+// Per-cluster issue resource accounting.
+//
+// A 4-issue cluster has 4 issue slots backed by 4 ALUs, 2 multipliers and
+// 1 load/store unit (Section IV); branch operations need a branch unit.
+// These counts are what the operation-level collision logic (CL of Figure 7)
+// checks; the cluster-level variant only checks "is the cluster untouched".
+//
+// This lives in isa (not core) because the decode cache (decoded_program.hpp)
+// precomputes ResourceUse tables at program-load time, one layer below the
+// merge hardware that consumes them.
+#pragma once
+
+#include <cstdint>
+
+#include "isa/config.hpp"
+#include "isa/instruction.hpp"
+
+namespace vexsim {
+
+struct ResourceUse {
+  std::uint8_t slots = 0;
+  std::uint8_t alu = 0;
+  std::uint8_t mul = 0;
+  std::uint8_t mem = 0;
+  std::uint8_t br = 0;
+
+  void add(const Operation& op);
+  void add(const ResourceUse& other);
+
+  [[nodiscard]] bool empty() const { return slots == 0; }
+
+  // Would `this + extra` still fit within the cluster limits?
+  [[nodiscard]] bool fits_with(const ResourceUse& extra,
+                               const ClusterResourceConfig& limits,
+                               int branch_units) const;
+
+  friend bool operator==(const ResourceUse&, const ResourceUse&) = default;
+};
+
+// Resource use of the subset of `bundle` selected by `mask` (bit i = op i).
+[[nodiscard]] ResourceUse bundle_use(const Bundle& bundle, std::uint8_t mask);
+
+}  // namespace vexsim

@@ -14,6 +14,7 @@ Cache::Cache(const CacheConfig& cfg) : cfg_(cfg) {
   VEXSIM_CHECK_MSG(std::has_single_bit(sets_), "set count not 2^n");
   line_shift_ = static_cast<std::uint32_t>(std::countr_zero(cfg.line_bytes));
   ways_.assign(static_cast<std::size_t>(sets_) * cfg.assoc, Way{});
+  last_tag_.fill(kInvalid);
 }
 
 std::uint64_t Cache::tag_of(std::uint32_t asid, std::uint32_t addr) const {
@@ -31,11 +32,19 @@ bool Cache::access(std::uint32_t asid, std::uint32_t addr) {
   }
   ++tick_;
   const std::uint64_t tag = tag_of(asid, addr);
+  const std::uint32_t memo = asid % kMemoSlots;
+  if (tag == last_tag_[memo] && last_way_[memo]->tag == tag) {
+    last_way_[memo]->stamp = tick_;
+    ++stats_.hits;
+    return true;
+  }
   Way* set = &ways_[static_cast<std::size_t>(set_of(addr)) * cfg_.assoc];
   Way* victim = set;
   for (std::uint32_t w = 0; w < cfg_.assoc; ++w) {
     if (set[w].tag == tag) {
       set[w].stamp = tick_;
+      last_way_[memo] = &set[w];
+      last_tag_[memo] = tag;
       ++stats_.hits;
       return true;
     }
@@ -43,6 +52,8 @@ bool Cache::access(std::uint32_t asid, std::uint32_t addr) {
   }
   victim->tag = tag;
   victim->stamp = tick_;
+  last_way_[memo] = victim;
+  last_tag_[memo] = tag;
   ++stats_.misses;
   return false;
 }
@@ -59,6 +70,8 @@ bool Cache::would_hit(std::uint32_t asid, std::uint32_t addr) const {
 void Cache::reset() {
   for (Way& w : ways_) w = Way{};
   tick_ = 0;
+  last_way_.fill(nullptr);
+  last_tag_.fill(kInvalid);
   stats_ = CacheStats{};
 }
 

@@ -7,6 +7,7 @@
 // configuration for both ICache and DCache, 20-cycle miss penalty, no L2).
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -28,6 +29,21 @@ struct CacheStats {
 class Cache {
  public:
   explicit Cache(const CacheConfig& cfg);
+  // Copies must not carry the memo's raw pointers into the source's ways_.
+  Cache(const Cache& other) { *this = other; }
+  Cache& operator=(const Cache& other) {
+    cfg_ = other.cfg_;
+    sets_ = other.sets_;
+    line_shift_ = other.line_shift_;
+    ways_ = other.ways_;
+    tick_ = other.tick_;
+    stats_ = other.stats_;
+    last_way_.fill(nullptr);
+    last_tag_.fill(kInvalid);
+    return *this;
+  }
+  Cache(Cache&&) = default;
+  Cache& operator=(Cache&&) = default;
 
   // Returns true on hit. On miss the line is filled (write-allocate) with
   // LRU replacement. Perfect caches always hit.
@@ -57,6 +73,15 @@ class Cache {
   std::uint32_t line_shift_ = 0;
   std::vector<Way> ways_;  // sets_ × assoc
   std::uint64_t tick_ = 0;
+  // Last way hit per address space: a thread's consecutive accesses to one
+  // line (sequential fetch, strided data) skip the set scan even though the
+  // threads of the shared cache interleave. Validated against the live tag,
+  // so replacement invalidates an entry for free. ASIDs are workload
+  // instance numbers (not hw slots), so the table is sized well past any
+  // realistic co-scheduled set; an asid collision only costs the shortcut.
+  static constexpr std::uint32_t kMemoSlots = 32;
+  std::array<Way*, kMemoSlots> last_way_{};
+  std::array<std::uint64_t, kMemoSlots> last_tag_;
   CacheStats stats_;
 };
 

@@ -8,13 +8,23 @@
 namespace vexsim {
 
 const MainMemory::Page* MainMemory::find_page(std::uint32_t addr) const {
-  const auto it = pages_.find(addr >> kPageBits);
-  return it == pages_.end() ? nullptr : &it->second;
+  const std::uint32_t index = addr >> kPageBits;
+  if (index == cached_index_) return cached_page_;
+  const auto it = pages_.find(index);
+  if (it == pages_.end()) return nullptr;  // absence is not cached: a store
+                                           // may create the page later
+  cached_index_ = index;
+  cached_page_ = const_cast<Page*>(&it->second);
+  return cached_page_;
 }
 
 MainMemory::Page& MainMemory::page_for(std::uint32_t addr) {
-  Page& p = pages_[addr >> kPageBits];
+  const std::uint32_t index = addr >> kPageBits;
+  if (index == cached_index_) return *cached_page_;
+  Page& p = pages_[index];
   if (p.empty()) p.resize(kPageSize, 0);
+  cached_index_ = index;
+  cached_page_ = &p;
   return p;
 }
 
@@ -48,9 +58,17 @@ bool MainMemory::store(std::uint32_t addr, int size, std::uint32_t value) {
 
 void MainMemory::poke_bytes(std::uint32_t addr, const std::uint8_t* bytes,
                             std::size_t n) {
-  for (std::size_t i = 0; i < n; ++i) {
-    Page& p = page_for(addr + static_cast<std::uint32_t>(i));
-    p[(addr + static_cast<std::uint32_t>(i)) & (kPageSize - 1)] = bytes[i];
+  // Copy page-sized runs so loading a data segment costs one page lookup
+  // per 64 KiB instead of one per byte (respawns reload all segments).
+  std::size_t i = 0;
+  while (i < n) {
+    const std::uint32_t a = addr + static_cast<std::uint32_t>(i);
+    Page& p = page_for(a);
+    const std::uint32_t off = a & (kPageSize - 1);
+    const std::size_t run =
+        std::min(n - i, static_cast<std::size_t>(kPageSize - off));
+    std::copy(bytes + i, bytes + i + run, p.begin() + off);
+    i += run;
   }
 }
 

@@ -20,6 +20,16 @@ class MainMemory {
   static constexpr std::uint32_t kGuardLimit = 0x100;  // null-page guard
 
   MainMemory() = default;
+  // Copies must not alias the source's page storage through the memo.
+  MainMemory(const MainMemory& other) : pages_(other.pages_) {}
+  MainMemory& operator=(const MainMemory& other) {
+    pages_ = other.pages_;
+    cached_index_ = kNoPage;
+    cached_page_ = nullptr;
+    return *this;
+  }
+  MainMemory(MainMemory&&) = default;
+  MainMemory& operator=(MainMemory&&) = default;
 
   // size ∈ {1,2,4}. Returns false on fault (misaligned / guard page); the
   // value is sign- or zero-extended by the caller (ISA level), not here.
@@ -33,7 +43,11 @@ class MainMemory {
   void poke_u32(std::uint32_t addr, std::uint32_t value);
   [[nodiscard]] std::uint32_t peek_u32(std::uint32_t addr) const;
 
-  void clear() { pages_.clear(); }
+  void clear() {
+    pages_.clear();
+    cached_index_ = kNoPage;
+    cached_page_ = nullptr;
+  }
 
   // Deterministic digest of all touched pages — used by equivalence tests to
   // compare final memory states across techniques.
@@ -41,10 +55,16 @@ class MainMemory {
 
  private:
   using Page = std::vector<std::uint8_t>;
+  static constexpr std::uint32_t kNoPage = ~0u;
   [[nodiscard]] const Page* find_page(std::uint32_t addr) const;
   Page& page_for(std::uint32_t addr);
 
   std::unordered_map<std::uint32_t, Page> pages_;
+  // One-entry page cache: kernel working sets hammer the same page, so the
+  // common access skips the hash lookup. Page storage is node-based
+  // (unordered_map), so cached pointers stay valid until clear().
+  mutable std::uint32_t cached_index_ = kNoPage;
+  mutable Page* cached_page_ = nullptr;
 };
 
 }  // namespace vexsim

@@ -12,6 +12,7 @@ MultiprogramDriver::MultiprogramDriver(
     std::vector<std::shared_ptr<const Program>> programs, DriverParams params)
     : cfg_(cfg), params_(params), sim_(cfg), rng_(params.seed) {
   VEXSIM_CHECK_MSG(!programs.empty(), "workload needs at least one program");
+  sim_.set_fast_forward(params_.fast_forward);
   instances_.reserve(programs.size());
   for (std::size_t i = 0; i < programs.size(); ++i)
     instances_.push_back(std::make_unique<ThreadContext>(
@@ -69,43 +70,61 @@ RunResult MultiprogramDriver::run() {
   std::uint64_t next_switch = params_.timeslice;
   bool switch_pending = false;
 
+  int last_ops = 0;
   while (sim_.cycle() < params_.max_cycles) {
-    sim_.step();
+    // Idle-cycle batching must never jump the clock over a driver decision
+    // point: the next timeslice expiry (drain start) or the cycle budget.
+    // Probing is only worthwhile after an empty cycle — a cycle that issued
+    // something almost always leaves work in flight.
+    if (last_ops == 0) {
+      std::uint64_t ff_limit = params_.max_cycles;
+      if (!switch_pending && instances_.size() > 1)
+        ff_limit = std::min(ff_limit, next_switch);
+      sim_.fast_forward(ff_limit);
+    }
+    const std::uint64_t retired_before = sim_.stats().instructions_retired;
+    const std::uint64_t faults_before = sim_.stats().faults;
+    last_ops = sim_.step();
 
-    // Respawn benchmarks that ran to completion within their slice.
-    for (int s = 0; s < cfg_.hw_threads; ++s) {
-      const int idx = running_[static_cast<std::size_t>(s)];
-      if (idx < 0) continue;
-      ThreadContext& inst = *instances_[static_cast<std::size_t>(idx)];
-      if (inst.state == RunState::kHalted && params_.respawn &&
-          inst.total_instructions < params_.budget) {
-        inst.respawn();
-      } else if (inst.state != RunState::kReady) {
-        // Finished (no respawn) or faulted: free the slot and pull in the
-        // next idle instance, if any.
-        sim_.detach(s);
-        running_[static_cast<std::size_t>(s)] = -1;
-        for (std::size_t j = 0; j < instances_.size(); ++j) {
-          const bool already_running =
-              std::find(running_.begin(), running_.end(),
-                        static_cast<int>(j)) != running_.end();
-          if (already_running ||
-              instances_[j]->state != RunState::kReady)
-            continue;
-          sim_.attach(s, instances_[j].get());
-          running_[static_cast<std::size_t>(s)] = static_cast<int>(j);
-          break;
+    // Instance states only move when an instruction retires or faults; the
+    // respawn/refill scan and the termination checks are no-ops otherwise.
+    if (sim_.stats().instructions_retired != retired_before ||
+        sim_.stats().faults != faults_before) {
+      // Respawn benchmarks that ran to completion within their slice.
+      for (int s = 0; s < cfg_.hw_threads; ++s) {
+        const int idx = running_[static_cast<std::size_t>(s)];
+        if (idx < 0) continue;
+        ThreadContext& inst = *instances_[static_cast<std::size_t>(idx)];
+        if (inst.state == RunState::kHalted && params_.respawn &&
+            inst.total_instructions < params_.budget) {
+          inst.respawn();
+        } else if (inst.state != RunState::kReady) {
+          // Finished (no respawn) or faulted: free the slot and pull in the
+          // next idle instance, if any.
+          sim_.detach(s);
+          running_[static_cast<std::size_t>(s)] = -1;
+          for (std::size_t j = 0; j < instances_.size(); ++j) {
+            const bool already_running =
+                std::find(running_.begin(), running_.end(),
+                          static_cast<int>(j)) != running_.end();
+            if (already_running ||
+                instances_[j]->state != RunState::kReady)
+              continue;
+            sim_.attach(s, instances_[j].get());
+            running_[static_cast<std::size_t>(s)] = static_cast<int>(j);
+            break;
+          }
         }
       }
+
+      if (budget_reached()) break;
+
+      // All instances done (run-to-completion mode)?
+      if (std::all_of(instances_.begin(), instances_.end(), [](const auto& t) {
+            return t->state != RunState::kReady;
+          }))
+        break;
     }
-
-    if (budget_reached()) break;
-
-    // All instances done (run-to-completion mode)?
-    if (std::all_of(instances_.begin(), instances_.end(), [](const auto& t) {
-          return t->state != RunState::kReady;
-        }))
-      break;
 
     // Timeslice handling: drain, then switch.
     if (!switch_pending && sim_.cycle() >= next_switch &&

@@ -26,6 +26,10 @@ struct DriverParams {
   std::uint64_t max_cycles = ~0ull;     // safety valve
   std::uint64_t seed = 12345;
   bool respawn = true;  // restart finished benchmarks (paper behaviour)
+  // Batch provably-idle cycles arithmetically (Simulator::fast_forward).
+  // Statistics are bit-identical either way; off retains the pure
+  // cycle-by-cycle loop for cross-checking and speed measurement.
+  bool fast_forward = true;
 };
 
 struct InstanceResult {

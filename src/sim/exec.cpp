@@ -56,22 +56,6 @@ std::uint32_t eval_scalar(Opcode opc, std::uint32_t a, std::uint32_t b,
   return 0;
 }
 
-int mem_access_size(Opcode opc) {
-  switch (opc) {
-    case Opcode::kLdw:
-    case Opcode::kStw: return 4;
-    case Opcode::kLdh:
-    case Opcode::kLdhu:
-    case Opcode::kSth: return 2;
-    case Opcode::kLdb:
-    case Opcode::kLdbu:
-    case Opcode::kStb: return 1;
-    default:
-      VEXSIM_CHECK_MSG(false, "not a memory opcode");
-  }
-  return 0;
-}
-
 std::uint32_t extend_loaded(Opcode opc, std::uint32_t raw) {
   switch (opc) {
     case Opcode::kLdw: return raw;

@@ -15,9 +15,6 @@ namespace vexsim {
 [[nodiscard]] std::uint32_t eval_scalar(Opcode opc, std::uint32_t a,
                                         std::uint32_t b, bool bv);
 
-// Access size in bytes for a memory opcode.
-[[nodiscard]] int mem_access_size(Opcode opc);
-
 // Sign/zero extension of a raw loaded value according to the load opcode.
 [[nodiscard]] std::uint32_t extend_loaded(Opcode opc, std::uint32_t raw);
 

@@ -7,23 +7,17 @@
 
 namespace vexsim {
 
-namespace {
-// A store staged during the execute phase; applied after all operand reads
-// of the cycle so that same-instruction loads observe pre-instruction memory.
-struct StagedStore {
-  ThreadContext* ctx;
-  std::uint8_t cluster;
-  std::uint32_t addr;
-  std::uint8_t size;
-  std::uint32_t value;
-  bool buffered;  // split-issued: goes to the delay buffer, not memory
-};
-}  // namespace
-
 Simulator::Simulator(const MachineConfig& cfg)
     : cfg_(cfg), merge_(cfg_), icache_(cfg.icache), dcache_(cfg.dcache) {
   cfg_.validate();
   packet_.clear(cfg_.clusters);
+  for (const OpClass cls : {OpClass::kNop, OpClass::kAlu, OpClass::kMul,
+                            OpClass::kMem, OpClass::kBranch, OpClass::kComm})
+    lat_by_class_[static_cast<std::size_t>(cls)] = cfg_.lat.for_class(cls);
+  lat_breg_result_ = cfg_.lat.cmp_to_branch;
+  for (int s = 0; s < kMaxHwThreads; ++s)
+    rotation_[static_cast<std::size_t>(s)] =
+        s < cfg_.hw_threads ? cfg_.renaming_rotation(s) : 0;
 }
 
 void Simulator::attach(int slot, ThreadContext* ctx) {
@@ -32,7 +26,18 @@ void Simulator::attach(int slot, ThreadContext* ctx) {
                    "slot " << slot << " already occupied");
   slots_[static_cast<std::size_t>(slot)] = ctx;
   if (ctx != nullptr) {
-    ctx->program().validate(cfg_.clusters);
+    // Validation walks the whole program, and context switches re-attach the
+    // same handful of programs every timeslice — remember what passed. The
+    // memo holds shared_ptrs so a remembered address can never be recycled
+    // by a different (unvalidated) program.
+    bool seen = false;
+    for (const std::shared_ptr<const Program>& p : validated_programs_)
+      if (p.get() == &ctx->program()) seen = true;
+    if (!seen) {
+      ctx->program().validate(cfg_.clusters);
+      if (validated_programs_.size() < kMaxValidatedPrograms)
+        validated_programs_.push_back(ctx->program_ptr());
+    }
     // A freshly (re)attached thread re-fetches its current instruction.
     ctx->fetch_done = false;
   }
@@ -49,13 +54,7 @@ ThreadContext* Simulator::detach(int slot) {
   // In-flight NUAL writes are architecturally determined; commit them now so
   // the context can be rescheduled later (the switched-out thread's state
   // must be precise).
-  for (const PendingWrite& w : ctx->pending_writes) {
-    if (w.to_breg)
-      ctx->regs.set_breg(w.cluster, w.idx, w.value != 0);
-    else
-      ctx->regs.set_gpr(w.cluster, w.idx, w.value);
-  }
-  ctx->pending_writes.clear();
+  ctx->pending_writes.commit_all_to(ctx->regs);
   return ctx;
 }
 
@@ -68,13 +67,7 @@ bool Simulator::quiesced() const {
 }
 
 void Simulator::commit_pending_writes(ThreadContext& ctx) {
-  std::size_t kept = 0;
-  for (std::size_t i = 0; i < ctx.pending_writes.size(); ++i) {
-    const PendingWrite& w = ctx.pending_writes[i];
-    if (w.visible_at > cycle_) {
-      ctx.pending_writes[kept++] = w;
-      continue;
-    }
+  const auto commit_one = [&](const PendingWrite& w) {
     if (ctx.issue.active && ctx.issue.seq == w.seq) {
       // The producing instruction is still partially issued: the result goes
       // to the split delay buffer (Figure 8) and drains at last-part.
@@ -85,8 +78,17 @@ void Simulator::commit_pending_writes(ThreadContext& ctx) {
     } else {
       ctx.regs.set_gpr(w.cluster, w.idx, w.value);
     }
+  };
+  if (ctx.pending_writes.latest_visible_at() <= cycle_) {
+    // Common case with short latencies: everything commits, nothing stays.
+    ctx.pending_writes.drain_all(commit_one);
+    return;
   }
-  ctx.pending_writes.resize(kept);
+  ctx.pending_writes.compact([&](const PendingWrite& w) {
+    if (w.visible_at > cycle_) return true;  // still in its latency window
+    commit_one(w);
+    return false;
+  });
 }
 
 void Simulator::refill_slot(int slot) {
@@ -104,7 +106,7 @@ void Simulator::refill_slot(int slot) {
     return;
   }
   if (!ctx->fetch_done) {
-    const std::uint32_t addr = ctx->program().instr_addr[ctx->pc];
+    const std::uint32_t addr = ctx->instr_addr(ctx->pc);
     const bool hit =
         icache_.access(static_cast<std::uint32_t>(ctx->asid()), addr);
     ctx->fetch_done = true;
@@ -114,19 +116,16 @@ void Simulator::refill_slot(int slot) {
       return;
     }
   }
-  const VliwInstruction& insn = ctx->program().code[ctx->pc];
+  const DecodedInstruction& dec = ctx->current_decoded();
   IssueProgress& iss = ctx->issue;
   iss.active = true;
   iss.seq = ++ctx->seq;
   iss.started_at = cycle_;
   iss.was_split = false;
-  iss.pending_count = 0;
-  for (int c = 0; c < cfg_.clusters; ++c) {
-    const Bundle& b = insn.bundle(c);
-    iss.pending_ops[static_cast<std::size_t>(c)] =
-        static_cast<std::uint8_t>((1u << b.size()) - 1u);
-    iss.pending_count += static_cast<int>(b.size());
-  }
+  iss.dec = &dec;
+  iss.pending_count = dec.op_count;
+  iss.pending_ops = dec.full_masks;
+  iss.pending_clusters = dec.used_cluster_mask;
 }
 
 void Simulator::assert_no_pending_write(const ThreadContext& ctx, bool to_breg,
@@ -134,7 +133,9 @@ void Simulator::assert_no_pending_write(const ThreadContext& ctx, bool to_breg,
   // Less-than-or-equal machine contract: reading a register while a write to
   // it is still in its latency window is a compiler scheduling bug. Writes of
   // the *same* instruction are exempt — same-cycle reads legally observe the
-  // old value (Figure 3 swap semantics).
+  // old value (Figure 3 swap semantics). Callers pre-filter with the
+  // write-window bitmap, so this scan runs only when a write may be in
+  // flight for the register.
   for (const PendingWrite& w : ctx.pending_writes) {
     if (w.to_breg == to_breg && w.cluster == cluster && w.idx == idx &&
         w.visible_at > cycle_ && w.seq != ctx.issue.seq) {
@@ -156,60 +157,67 @@ void Simulator::write_result(ThreadContext& ctx, const Operation& op,
   w.cluster = op.cluster;
   w.idx = op.dst;
   w.value = value;
-  ctx.pending_writes.push_back(w);
+  ctx.pending_writes.push(w);
 }
 
 void Simulator::execute_op(const SelectedOp& sel, ThreadContext& ctx) {
   if (ctx.fault.pending) return;  // instruction already faulted this cycle
   const Operation& op = sel.op;
+  const DecodedOp& dec = *sel.dec;
   const int c = sel.logical_cluster;
 
   auto read_gpr = [&](int idx) {
-    assert_no_pending_write(ctx, false, c, idx);
+    if (ctx.pending_writes.maybe_pending(false, c, idx))
+      assert_no_pending_write(ctx, false, c, idx);
     return ctx.regs.gpr(c, idx);
   };
   auto read_breg = [&](int idx) {
-    assert_no_pending_write(ctx, true, c, idx);
+    if (ctx.pending_writes.maybe_pending(true, c, idx))
+      assert_no_pending_write(ctx, true, c, idx);
     return ctx.regs.breg(c, idx);
   };
 
-  switch (op.cls()) {
+  switch (dec.cls) {
     case OpClass::kNop:
       break;
     case OpClass::kAlu:
     case OpClass::kMul: {
-      const std::uint32_t a = reads_src1(op.opc) ? read_gpr(op.src1) : 0;
+      const std::uint32_t a =
+          dec.has(DecodedOp::kReadsSrc1) ? read_gpr(op.src1) : 0;
       const std::uint32_t b =
-          op.opc == Opcode::kMovi
-              ? static_cast<std::uint32_t>(op.imm)
-              : (reads_src2(op.opc)
-                     ? (op.src2_is_imm ? static_cast<std::uint32_t>(op.imm)
-                                       : read_gpr(op.src2))
+          dec.has(DecodedOp::kSrc2Reg)
+              ? read_gpr(op.src2)
+              : (dec.has(DecodedOp::kSrc2Imm)
+                     ? static_cast<std::uint32_t>(op.imm)
                      : 0);
-      const bool bv = reads_bsrc(op.opc) ? read_breg(op.bsrc) : false;
+      const bool bv =
+          dec.has(DecodedOp::kReadsBsrc) ? read_breg(op.bsrc) : false;
       const std::uint32_t result = eval_scalar(op.opc, a, b, bv);
       // Branch-register results obey the compare-to-branch delay (the ISA
       // contract the compiler schedules against); GPR results use the
       // functional-unit latency.
-      const int latency = op.dst_is_breg ? cfg_.lat.cmp_to_branch
-                                         : cfg_.lat.for_class(op.cls());
+      const int latency =
+          dec.has(DecodedOp::kDstBreg)
+              ? lat_breg_result_
+              : lat_by_class_[static_cast<std::size_t>(dec.cls)];
       write_result(ctx, op, result, latency);
       break;
     }
     case OpClass::kMem: {
       const std::uint32_t addr =
           read_gpr(op.src1) + static_cast<std::uint32_t>(op.imm);
-      const int size = mem_access_size(op.opc);
+      const int size = dec.mem_size;
       ++mem_port_use_[sel.physical_cluster];
       const bool hit =
           dcache_.access(static_cast<std::uint32_t>(ctx.asid()), addr);
-      if (is_load(op.opc)) {
+      if (dec.has(DecodedOp::kLoad)) {
         std::uint32_t raw = 0;
         if (!ctx.mem.load(addr, size, raw)) {
           ctx.fault = FaultInfo{true, ctx.pc, addr};
           return;
         }
-        write_result(ctx, op, extend_loaded(op.opc, raw), cfg_.lat.mem);
+        write_result(ctx, op, extend_loaded(op.opc, raw),
+                     lat_by_class_[static_cast<std::size_t>(OpClass::kMem)]);
         if (!hit)
           ctx.mem_block_until =
               std::max(ctx.mem_block_until, cycle_ + cfg_.dcache.miss_penalty);
@@ -235,11 +243,13 @@ void Simulator::execute_op(const SelectedOp& sel, ThreadContext& ctx) {
         ctx.halt_at_completion = true;
         break;
       }
-      const bool bv = reads_bsrc(op.opc) ? read_breg(op.bsrc) : false;
+      const bool bv =
+          dec.has(DecodedOp::kReadsBsrc) ? read_breg(op.bsrc) : false;
       if (branch_taken(op.opc, bv)) ctx.redirect_target = op.imm;
       break;
     }
     case OpClass::kComm: {
+      ctx.channels_dirty = true;
       ChannelState& ch = ctx.channels[op.chan];
       if (op.opc == Opcode::kSend) {
         const std::uint32_t v = read_gpr(op.src1);
@@ -276,18 +286,13 @@ void Simulator::rollback_fault(ThreadContext& ctx) {
   // restores the boundary before the instruction (Section V-B).
   ctx.rf_buffer.clear();
   ctx.store_buffer.clear();
-  std::erase_if(ctx.pending_writes, [&](const PendingWrite& w) {
-    return w.seq == ctx.issue.seq;
-  });
-  // Earlier instructions' in-flight writes are architecturally committed.
-  for (const PendingWrite& w : ctx.pending_writes) {
-    if (w.to_breg)
-      ctx.regs.set_breg(w.cluster, w.idx, w.value != 0);
-    else
-      ctx.regs.set_gpr(w.cluster, w.idx, w.value);
+  // Earlier instructions' in-flight writes are architecturally committed;
+  // the faulting instruction's own writes are discarded.
+  ctx.pending_writes.commit_all_to(ctx.regs, ctx.issue.seq);
+  if (ctx.channels_dirty) {
+    ctx.channels.fill(ChannelState{});
+    ctx.channels_dirty = false;
   }
-  ctx.pending_writes.clear();
-  ctx.channels.fill(ChannelState{});
   ctx.issue = IssueProgress{};
   ctx.redirect_target = -1;
   ctx.halt_at_completion = false;
@@ -297,7 +302,7 @@ void Simulator::rollback_fault(ThreadContext& ctx) {
 }
 
 void Simulator::complete_instruction(int slot, ThreadContext& ctx) {
-  const int rotation = cfg_.renaming_rotation(slot);
+  const int rotation = rotation_[static_cast<std::size_t>(slot)];
   // Drain the delay buffers (last-part commit, Figure 8/9).
   for (const BufferedRegWrite& w : ctx.rf_buffer) {
     if (w.to_breg)
@@ -314,12 +319,14 @@ void Simulator::complete_instruction(int slot, ThreadContext& ctx) {
     VEXSIM_CHECK(ok);  // faults were detected at issue
   }
   ctx.store_buffer.clear();
-  ctx.channels.fill(ChannelState{});
+  if (ctx.channels_dirty) {
+    ctx.channels.fill(ChannelState{});
+    ctx.channels_dirty = false;
+  }
 
-  const VliwInstruction& insn = ctx.program().code[ctx.pc];
   ++ctx.counters.instructions;
   ++ctx.total_instructions;
-  ctx.counters.ops += static_cast<std::uint64_t>(insn.op_count());
+  ctx.counters.ops += static_cast<std::uint64_t>(ctx.issue.dec->op_count);
   ++stats_.instructions_retired;
   if (ctx.issue.was_split) {
     ++stats_.split_instructions;
@@ -341,13 +348,7 @@ void Simulator::complete_instruction(int slot, ThreadContext& ctx) {
   if (ctx.halt_at_completion || next >= ctx.program().code.size()) {
     // The final instruction's in-flight writes are architecturally
     // determined; commit them so the halted state is precise.
-    for (const PendingWrite& w : ctx.pending_writes) {
-      if (w.to_breg)
-        ctx.regs.set_breg(w.cluster, w.idx, w.value != 0);
-      else
-        ctx.regs.set_gpr(w.cluster, w.idx, w.value);
-    }
-    ctx.pending_writes.clear();
+    ctx.pending_writes.commit_all_to(ctx.regs);
     ctx.state = RunState::kHalted;
     return;
   }
@@ -368,11 +369,15 @@ int Simulator::step() {
     return 0;
   }
 
-  for (int s = 0; s < cfg_.hw_threads; ++s)
+  // Commit and refill are per-thread independent, so one pass serves both
+  // (a thread's refill never observes another thread's commits). The
+  // watermark test keeps the no-writes-due case call-free.
+  for (int s = 0; s < cfg_.hw_threads; ++s) {
     if (ThreadContext* ctx = slots_[static_cast<std::size_t>(s)])
-      commit_pending_writes(*ctx);
-
-  for (int s = 0; s < cfg_.hw_threads; ++s) refill_slot(s);
+      if (ctx->pending_writes.earliest_visible_at() <= cycle_)
+        commit_pending_writes(*ctx);
+    refill_slot(s);
+  }
 
   // Merge: rotating thread priority (Section VI-A).
   packet_.clear(cfg_.clusters);
@@ -381,28 +386,28 @@ int Simulator::step() {
     const int s = (priority_base_ + k) % n;
     ThreadContext* ctx = slots_[static_cast<std::size_t>(s)];
     if (ctx == nullptr || ctx->state != RunState::kReady) continue;
-    merge_.try_select(*ctx, cfg_.renaming_rotation(s), s, packet_);
+    merge_.try_select(*ctx, rotation_[static_cast<std::size_t>(s)], s,
+                      packet_);
   }
   priority_base_ = (priority_base_ + 1) % n;
 
   // Execute.
   mem_port_use_.fill(0);
-  std::array<bool, kMaxHwThreads> thread_in_packet{};
-  static thread_local std::vector<StagedStore> staged;
-  staged.clear();
+  std::uint32_t thread_mask = 0;
+  staged_.clear();
   for (const SelectedOp& sel : packet_.ops) {
     ThreadContext& ctx = *slots_[static_cast<std::size_t>(sel.hw_slot)];
-    thread_in_packet[static_cast<std::size_t>(sel.hw_slot)] = true;
+    thread_mask |= 1u << static_cast<unsigned>(sel.hw_slot);
     staged_store_ = StagedStoreData{};
     execute_op(sel, ctx);
     if (staged_store_.valid) {
       const bool buffered = ctx.issue.pending_count > 0;  // not the last part
-      staged.push_back(StagedStore{&ctx, staged_store_.cluster,
-                                   staged_store_.addr, staged_store_.size,
-                                   staged_store_.value, buffered});
+      staged_.push_back(StagedStore{&ctx, staged_store_.cluster,
+                                    staged_store_.addr, staged_store_.size,
+                                    staged_store_.value, buffered});
     }
   }
-  for (const StagedStore& st : staged) {
+  for (const StagedStore& st : staged_) {
     if (st.ctx->fault.pending) continue;
     if (st.buffered) {
       st.ctx->store_buffer.push_back(
@@ -441,15 +446,89 @@ int Simulator::step() {
     ++stats_.vertical_waste_cycles;
     if (drain_) ++stats_.drain_cycles;
   }
-  int threads_active = 0;
-  for (int s = 0; s < n; ++s)
-    if (thread_in_packet[static_cast<std::size_t>(s)]) ++threads_active;
-  if (threads_active > 1) ++stats_.multi_thread_cycles;
+  if ((thread_mask & (thread_mask - 1)) != 0) ++stats_.multi_thread_cycles;
   return ops;
+}
+
+std::uint64_t Simulator::fast_forward(std::uint64_t limit) {
+  if (!fast_forward_on_) return 0;
+  std::uint64_t skipped = 0;
+
+  // Phase 1: global memory-port drain stall. Stalled cycles issue nothing
+  // and touch nothing but their three counters (step()'s early return), so
+  // they fold into arithmetic. Stop at `limit` so the caller's next step()
+  // never lands beyond its decision point.
+  std::uint64_t next = cycle_ + 1;
+  if (stall_until_ > next) {
+    const std::uint64_t end = std::min(stall_until_, limit);
+    if (end > next) {
+      const std::uint64_t k = end - next;
+      stats_.cycles += k;
+      stats_.memport_stall_cycles += k;
+      stats_.vertical_waste_cycles += k;
+      cycle_ += k;
+      skipped += k;
+      next = cycle_ + 1;
+    }
+    // Still inside the stall window: the next step() must execute a stalled
+    // cycle (it is `limit`).
+    if (stall_until_ > next) return skipped;
+  }
+
+  // Phase 2: every context idle. A cycle can only act if some ready thread
+  // has an instruction in flight (its remaining parts merge every cycle) or
+  // can pass the refill gates. The earliest such cycle is the horizon; all
+  // cycles before it are empty and account as: cycles/vertical-waste (and
+  // drain under drain mode) plus the per-thread block counters refill_slot
+  // would have bumped, plus the priority rotation of the merge walk.
+  if (limit <= next) return skipped;
+  std::uint64_t horizon = ~0ull;
+  for (int s = 0; s < cfg_.hw_threads; ++s) {
+    const ThreadContext* ctx = slots_[static_cast<std::size_t>(s)];
+    if (ctx == nullptr || ctx->state != RunState::kReady) continue;
+    if (ctx->issue.active) return skipped;  // pending parts merge next cycle
+    if (drain_) continue;  // refill gated off: this thread generates no event
+    const std::uint64_t gate =
+        std::max(std::max(ctx->mem_block_until, ctx->next_issue_at),
+                 ctx->fetch_ready_at);
+    horizon = std::min(horizon, std::max(next, gate));
+  }
+  const std::uint64_t end = std::min(horizon, limit);
+  if (end <= next) return skipped;
+  const std::uint64_t k = end - next;
+
+  stats_.cycles += k;
+  stats_.vertical_waste_cycles += k;
+  if (drain_) {
+    stats_.drain_cycles += k;
+  } else {
+    for (int s = 0; s < cfg_.hw_threads; ++s) {
+      ThreadContext* ctx = slots_[static_cast<std::size_t>(s)];
+      if (ctx == nullptr || ctx->state != RunState::kReady) continue;
+      // Mirror refill_slot's gate order for cycles x in [next, end):
+      // x < mem_block_until counts a D-miss block; otherwise x inside
+      // [max(mem_block, next_issue), fetch_ready) counts an I-miss block.
+      if (ctx->mem_block_until > next)
+        ctx->counters.dmiss_block_cycles +=
+            std::min(end, ctx->mem_block_until) - next;
+      const std::uint64_t fetch_gate =
+          std::max(std::max(ctx->mem_block_until, ctx->next_issue_at), next);
+      if (ctx->fetch_ready_at > fetch_gate)
+        ctx->counters.imiss_block_cycles +=
+            std::min(end, ctx->fetch_ready_at) - fetch_gate;
+    }
+  }
+  const auto n_threads = static_cast<std::uint64_t>(cfg_.hw_threads);
+  priority_base_ = static_cast<int>(
+      (static_cast<std::uint64_t>(priority_base_) + k) % n_threads);
+  cycle_ += k;
+  skipped += k;
+  return skipped;
 }
 
 bool Simulator::run_to_halt(std::uint64_t max_cycles) {
   const std::uint64_t limit = cycle_ + max_cycles;
+  int last_ops = 0;
   while (cycle_ < limit) {
     bool any_live = false;
     for (int s = 0; s < cfg_.hw_threads; ++s) {
@@ -457,7 +536,10 @@ bool Simulator::run_to_halt(std::uint64_t max_cycles) {
       if (ctx != nullptr && ctx->state == RunState::kReady) any_live = true;
     }
     if (!any_live) return true;
-    step();
+    // A cycle that issued something almost always leaves work in flight;
+    // probing the fast path is only worthwhile after an empty cycle.
+    if (last_ops == 0) fast_forward(limit);
+    last_ops = step();
   }
   return false;
 }

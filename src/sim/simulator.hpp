@@ -17,6 +17,15 @@
 // Faults (e.g. a load touching the guard page) roll the thread back to the
 // instruction boundary: split-issued parts only ever wrote the delay
 // buffers, so rollback = discard buffers (Section V-B).
+//
+// Fast path: step() always simulates exactly one cycle, but when every
+// hardware context is provably blocked until a known future cycle (memory
+// stall drain, D-miss block, I-miss refill, branch penalty), fast_forward()
+// advances the clock and every per-cycle counter arithmetically instead of
+// iterating the idle cycles — with bit-identical statistics, enforced by the
+// golden-stats suite. Drivers call it before each step with a limit so the
+// clock never jumps over an external decision point (timeslice expiry,
+// max-cycles budget).
 #pragma once
 
 #include <array>
@@ -29,6 +38,7 @@
 #include "isa/config.hpp"
 #include "mem/cache.hpp"
 #include "sim/run_stats.hpp"
+#include "util/inline_vec.hpp"
 
 namespace vexsim {
 
@@ -48,6 +58,18 @@ class Simulator {
 
   // Advance one cycle. Returns the number of operations issued.
   int step();
+
+  // Advance the clock over cycles that provably cannot issue anything,
+  // accounting them exactly as step() would, and stop so that the next
+  // step() executes the first cycle that *can* act (or cycle `limit`,
+  // whichever is earlier — external controllers pass their next decision
+  // cycle). Returns the number of cycles skipped; 0 when the next cycle may
+  // have work, when `limit` is reached, or when the fast path is disabled.
+  std::uint64_t fast_forward(std::uint64_t limit);
+  // Disabling makes fast_forward() a no-op: every cycle is then iterated by
+  // step(). The stats must be bit-identical either way (golden suite).
+  void set_fast_forward(bool on) { fast_forward_on_ = on; }
+  [[nodiscard]] bool fast_forward_enabled() const { return fast_forward_on_; }
 
   // When true, no slot starts a *new* instruction (in-flight ones finish);
   // used by the driver to drain before a context switch.
@@ -80,7 +102,16 @@ class Simulator {
   void assert_no_pending_write(const ThreadContext& ctx, bool to_breg,
                                int cluster, int idx) const;
 
-  // A store captured during execute_op; applied after all reads of the cycle.
+  // A store captured during execute_op; applied after all reads of the cycle
+  // so that same-instruction loads observe pre-instruction memory.
+  struct StagedStore {
+    ThreadContext* ctx = nullptr;
+    std::uint8_t cluster = 0;
+    std::uint32_t addr = 0;
+    std::uint8_t size = 0;
+    std::uint32_t value = 0;
+    bool buffered = false;  // split-issued: goes to the delay buffer
+  };
   struct StagedStoreData {
     bool valid = false;
     std::uint8_t cluster = 0;
@@ -100,8 +131,21 @@ class Simulator {
   std::uint64_t stall_until_ = 0;  // global memory-port drain stall
   int priority_base_ = 0;
   bool drain_ = false;
+  bool fast_forward_on_ = true;
+  // Result latency per operation class, resolved once from the config so the
+  // execute path indexes a table instead of switching on the class.
+  std::array<int, 6> lat_by_class_{};
+  int lat_breg_result_ = 0;  // compare-to-branch contract latency
+  // Static cluster-renaming rotation per hardware slot (Section IV).
+  std::array<int, kMaxHwThreads> rotation_{};
   // Per-cycle memory-port pressure per physical cluster.
   std::array<int, kMaxClusters> mem_port_use_{};
+  // Stores staged this cycle (preallocated; at most one per selected op).
+  InlineVec<StagedStore, kMaxTotalIssue> staged_;
+  // Programs already validated against this machine (attach() cache). Held
+  // as shared_ptrs so remembered addresses cannot be recycled.
+  static constexpr std::size_t kMaxValidatedPrograms = 32;
+  std::vector<std::shared_ptr<const Program>> validated_programs_;
   SimStats stats_;
 };
 

@@ -1,0 +1,98 @@
+// Golden-stats regression suite: the exact statistics and architectural
+// fingerprints of small multiprogrammed runs, frozen from the pre-refactor
+// (seed) simulator. Any hot-path change — decode cache, fast path, merge
+// rewrite — must reproduce these numbers bit-for-bit; a diff here means the
+// "optimization" changed machine behaviour, not just wall-clock time.
+//
+// Regenerating: only when a PR *intentionally* changes cycle-level
+// semantics. Print the new values with harness::run_workload at the options
+// below and update the table together with the checked-in
+// tests/golden/*.golden.json files and an explanation in the PR.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+
+#include "harness/experiments.hpp"
+
+namespace vexsim {
+namespace {
+
+harness::ExperimentOptions golden_options() {
+  harness::ExperimentOptions opt;
+  opt.scale = 0.05;
+  opt.budget = 3'000;
+  opt.timeslice = 1'000;
+  opt.seed = 42;
+  return opt;
+}
+
+struct GoldenPoint {
+  const char* workload;
+  int threads;
+  Technique technique;
+  std::uint64_t cycles;
+  std::uint64_t ops_issued;
+  std::uint64_t instructions_retired;
+  std::uint64_t split_instructions;
+  std::uint64_t vertical_waste_cycles;
+  std::array<std::uint64_t, 4> fingerprints;
+};
+
+// Values produced by the seed simulator (PR 2 tree) at golden_options().
+const GoldenPoint kGolden[] = {
+    {"llmm", 2, Technique::csmt(), 4009ull, 7311ull, 4501ull, 0ull, 485ull,
+     {0x37395bef7e741f3full, 0xc9ac55fe60db08ffull, 0xf667c22bfbc6ae3dull,
+      0x4e540a076aabab32ull}},
+    {"llmm", 4, Technique::ccsi(CommPolicy::kAlwaysSplit), 5703ull, 19780ull,
+     10346ull, 2026ull, 142ull,
+     {0xb2a2c73068d953baull, 0xbbd33edc5dddf249ull, 0xdfca74e77637cf5bull,
+      0x2d036bf686561058ull}},
+    {"lmhh", 4, Technique::ccsi(CommPolicy::kNoSplit), 6462ull, 33474ull,
+     9070ull, 763ull, 184ull,
+     {0x37395bef7e741f3full, 0x28d49fc09892671aull, 0x36225787ba1a5b1full,
+      0xa7e8bc176adf1f56ull}},
+    {"hhhh", 4, Technique::oosi(CommPolicy::kAlwaysSplit), 5872ull, 58300ull,
+     9578ull, 3778ull, 544ull,
+     {0x9a2e9574664617eull, 0x1979a38b4c8cd705ull, 0x694beb749262bebull,
+      0xf698b2ad7ba78934ull}},
+    {"mmmm", 4, Technique::smt(), 3789ull, 23987ull, 11046ull, 0ull, 212ull,
+     {0xdfca74e77637cf5bull, 0x81cc298f9a0cfe34ull, 0x937bcdc09e09cd20ull,
+      0x2d036bf686561058ull}},
+};
+
+TEST(GoldenStats, SeedTrajectoriesReproduceBitExactly) {
+  for (const GoldenPoint& g : kGolden) {
+    const std::string what =
+        std::string(g.workload) + "/" + g.technique.name() + "/" +
+        std::to_string(g.threads) + "T";
+    const RunResult r =
+        harness::run_workload(g.workload, g.threads, g.technique,
+                              golden_options());
+    EXPECT_EQ(r.sim.cycles, g.cycles) << what;
+    EXPECT_EQ(r.sim.ops_issued, g.ops_issued) << what;
+    EXPECT_EQ(r.sim.instructions_retired, g.instructions_retired) << what;
+    EXPECT_EQ(r.sim.split_instructions, g.split_instructions) << what;
+    EXPECT_EQ(r.sim.vertical_waste_cycles, g.vertical_waste_cycles) << what;
+    ASSERT_EQ(r.instances.size(), g.fingerprints.size()) << what;
+    for (std::size_t i = 0; i < g.fingerprints.size(); ++i)
+      EXPECT_EQ(r.instances[i].arch_fingerprint, g.fingerprints[i])
+          << what << "/" << i;
+  }
+}
+
+TEST(GoldenStats, FastForwardOffMatchesTheSameGolden) {
+  // The golden table holds with the fast path disabled too — the two cycle
+  // engines are the same machine.
+  for (const GoldenPoint& g : kGolden) {
+    harness::ExperimentOptions opt = golden_options();
+    opt.fast_forward = false;
+    const RunResult r =
+        harness::run_workload(g.workload, g.threads, g.technique, opt);
+    EXPECT_EQ(r.sim.cycles, g.cycles) << g.workload;
+    EXPECT_EQ(r.sim.ops_issued, g.ops_issued) << g.workload;
+  }
+}
+
+}  // namespace
+}  // namespace vexsim

@@ -115,6 +115,56 @@ TEST(Sweep, ProgressReportingEveryNPoints) {
   EXPECT_TRUE(silent.str().empty());
 }
 
+TEST(Sweep, IncrementalFlushDeliversCompletePrefixes) {
+  const auto points = sample_points(9);  // six points
+  std::vector<std::size_t> prefixes;
+  std::vector<std::string> partial_docs;
+  SweepOptions opts;
+  opts.jobs = 3;
+  opts.flush_every = 2;
+  opts.flush_fn = [&](const std::vector<RunResult>& partial,
+                      std::size_t prefix) {
+    prefixes.push_back(prefix);
+    partial_docs.push_back(
+        sweep_json_partial("flush_test", points, partial, prefix).dump());
+  };
+  const auto results = run_sweep(points, opts);
+  ASSERT_EQ(results.size(), points.size());
+
+  // Flushes fire at 2 and 4 completed points (6/6 is the caller's final
+  // write, not a partial flush); prefixes never shrink.
+  ASSERT_EQ(prefixes.size(), 2u);
+  for (std::size_t i = 1; i < prefixes.size(); ++i)
+    EXPECT_LE(prefixes[i - 1], prefixes[i]);
+  for (std::size_t i = 0; i < prefixes.size(); ++i) {
+    EXPECT_LE(prefixes[i], points.size());
+    EXPECT_NE(partial_docs[i].find("\"partial\": true"), std::string::npos);
+    EXPECT_NE(partial_docs[i].find("\"points_total\": 6"), std::string::npos);
+  }
+
+  // A flushed prefix carries exactly the results the finished sweep reports.
+  const std::string full =
+      sweep_json_partial("flush_test", points, results, prefixes.back())
+          .dump();
+  EXPECT_EQ(partial_docs.back(), full);
+
+  // Flushing must not perturb the results themselves.
+  const auto quiet = run_sweep(points, 1);
+  for (std::size_t i = 0; i < results.size(); ++i)
+    EXPECT_EQ(results[i].sim.cycles, quiet[i].sim.cycles) << i;
+}
+
+TEST(Sweep, FlushDisabledByDefault) {
+  const auto points = sample_points(2);
+  int calls = 0;
+  SweepOptions opts;
+  opts.jobs = 2;
+  // flush_fn set but flush_every == 0: never called.
+  opts.flush_fn = [&](const std::vector<RunResult>&, std::size_t) { ++calls; };
+  (void)run_sweep(points, opts);
+  EXPECT_EQ(calls, 0);
+}
+
 TEST(Sweep, JsonDefaultNameAndGeometryAxis) {
   const auto points = sample_points(4);
   const auto results = run_sweep(points, 2);

@@ -1,0 +1,110 @@
+// The decode cache must agree exactly with what the hot paths previously
+// re-derived per cycle from the instruction stream and the opcode
+// classification helpers.
+#include "isa/decoded_program.hpp"
+
+#include <gtest/gtest.h>
+
+#include "isa/program.hpp"
+#include "isa/resources.hpp"
+#include "vasm/assembler.hpp"
+
+namespace vexsim {
+namespace {
+
+Program sample_program() {
+  return assemble(
+      "c0 add r1 = r2, r3 ; c0 mpyl r4 = r5, r6 ; c1 ldw r7 = 0x200[r0]\n"
+      "c0 cmplt b1 = r1, r4 ; c2 stw 0x204[r0] = r1 ; c3 movi r9 = 7\n"
+      "c0 send ch0 = r1 ; c1 recv r2 = ch0\n"
+      "c0 br b1, @0\n"
+      "c1 slct r3 = b0, r1, r2\n"
+      "c0 halt\n",
+      "decode_sample");
+}
+
+TEST(DecodedProgram, BuiltByFinalizeAndSized) {
+  Program p = sample_program();  // assemble() finalizes
+  p.finalize();                  // re-finalizing rebuilds consistently
+  ASSERT_NE(p.decoded, nullptr);
+  EXPECT_EQ(p.decoded->size(), p.code.size());
+  EXPECT_TRUE(p.finalized());
+}
+
+TEST(DecodedProgram, WholeBundleUseMatchesRecomputation) {
+  Program p = sample_program();
+  p.finalize();
+  for (std::size_t i = 0; i < p.code.size(); ++i) {
+    const DecodedInstruction& dec = p.decoded->insn(i);
+    for (int c = 0; c < kMaxClusters; ++c) {
+      const Bundle& bundle = p.code[i].bundle(c);
+      const DecodedBundle& db = dec.bundle(c);
+      const auto full = static_cast<std::uint8_t>((1u << bundle.size()) - 1u);
+      EXPECT_EQ(db.full_mask, full) << i << "/" << c;
+      EXPECT_EQ(db.whole_use, bundle_use(bundle, full)) << i << "/" << c;
+      EXPECT_EQ(dec.full_masks[static_cast<std::size_t>(c)], db.full_mask);
+      for (std::size_t k = 0; k < bundle.size(); ++k) {
+        ResourceUse one;
+        one.add(bundle[k]);
+        EXPECT_EQ(db.ops[k].use, one) << i << "/" << c << "/" << k;
+      }
+    }
+  }
+}
+
+TEST(DecodedProgram, SummariesMatchInstructionQueries) {
+  Program p = sample_program();
+  p.finalize();
+  for (std::size_t i = 0; i < p.code.size(); ++i) {
+    const DecodedInstruction& dec = p.decoded->insn(i);
+    EXPECT_EQ(static_cast<int>(dec.op_count), p.code[i].op_count()) << i;
+    EXPECT_EQ(dec.has_comm, p.code[i].has_comm()) << i;
+    EXPECT_EQ(dec.has_branch, p.code[i].has_branch()) << i;
+    EXPECT_EQ(dec.used_cluster_mask, p.code[i].used_cluster_mask()) << i;
+  }
+}
+
+TEST(DecodedProgram, OperandFlagsMatchOpcodeHelpers) {
+  Program p = sample_program();
+  p.finalize();
+  p.code[0].for_each_op([](const Operation& op) { (void)op; });
+  for (const VliwInstruction& insn : p.code) {
+    insn.for_each_op([](const Operation& op) {
+      const DecodedOp d = DecodedProgram::decode_op(op);
+      EXPECT_EQ(d.cls, op.cls());
+      EXPECT_EQ(d.has(DecodedOp::kReadsSrc1), reads_src1(op.opc));
+      EXPECT_EQ(d.has(DecodedOp::kReadsBsrc), reads_bsrc(op.opc));
+      EXPECT_EQ(d.has(DecodedOp::kLoad), is_load(op.opc));
+      EXPECT_EQ(d.has(DecodedOp::kDstBreg), op.dst_is_breg);
+      // Operand b source: movi and immediate-src2 forms read the immediate;
+      // the register form reads gpr[src2]; everything else reads neither.
+      if (op.opc == Opcode::kMovi) {
+        EXPECT_TRUE(d.has(DecodedOp::kSrc2Imm));
+        EXPECT_FALSE(d.has(DecodedOp::kSrc2Reg));
+      } else if (reads_src2(op.opc)) {
+        EXPECT_EQ(d.has(DecodedOp::kSrc2Imm), op.src2_is_imm);
+        EXPECT_EQ(d.has(DecodedOp::kSrc2Reg), !op.src2_is_imm);
+      } else {
+        EXPECT_FALSE(d.has(DecodedOp::kSrc2Imm));
+        EXPECT_FALSE(d.has(DecodedOp::kSrc2Reg));
+      }
+      if (op.cls() == OpClass::kMem)
+        EXPECT_EQ(static_cast<int>(d.mem_size), mem_access_size(op.opc));
+      else
+        EXPECT_EQ(d.mem_size, 0);
+    });
+  }
+}
+
+TEST(DecodedProgram, SingletonUseIsOneSlotOfTheRightClass) {
+  const Operation mul = ops::mpyl(2, 1, 2, 3);
+  const DecodedOp d = DecodedProgram::decode_op(mul);
+  EXPECT_EQ(d.use.slots, 1);
+  EXPECT_EQ(d.use.mul, 1);
+  EXPECT_EQ(d.use.alu, 0);
+  EXPECT_EQ(d.use.mem, 0);
+  EXPECT_EQ(d.use.br, 0);
+}
+
+}  // namespace
+}  // namespace vexsim
