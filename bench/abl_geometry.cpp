@@ -10,7 +10,8 @@
 // per-point statistics land in a JSON trajectory file.
 //
 // Flags: --scale, --budget, --timeslice, --seed, --quick, --paper,
-//        --jobs N, --json FILE (default BENCH_sweep.json).
+//        --jobs N, --json FILE (default BENCH_sweep.json),
+//        --cache[=DIR]/--no-cache (result cache), --timeout MS, --retries N.
 #include <algorithm>
 #include <iostream>
 #include <vector>

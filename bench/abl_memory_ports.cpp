@@ -11,7 +11,8 @@
 // per-point statistics land in a JSON trajectory file.
 //
 // Flags: --scale, --budget, --timeslice, --seed, --quick, --paper, --csv,
-//        --jobs N, --progress N, --flush N, --json FILE.
+//        --jobs N, --progress N, --flush N, --json FILE,
+//        --cache[=DIR]/--no-cache (result cache), --timeout MS, --retries N.
 #include <iostream>
 #include <vector>
 

@@ -16,7 +16,8 @@
 // bit-identical for any --jobs value and land in BENCH_abl_synth.json.
 //
 // Flags: --scale, --budget, --timeslice, --seed, --quick, --paper,
-//        --jobs N, --progress N, --json FILE (default BENCH_abl_synth.json).
+//        --jobs N, --progress N, --json FILE (default BENCH_abl_synth.json),
+//        --cache[=DIR]/--no-cache (result cache), --timeout MS, --retries N.
 #include <iomanip>
 #include <iostream>
 #include <sstream>

@@ -10,7 +10,8 @@
 // per-point statistics land in a JSON trajectory file.
 //
 // Flags: --scale, --budget, --seed, --quick, --paper, --csv, --jobs N,
-//        --progress N, --flush N, --json FILE.
+//        --progress N, --flush N, --json FILE,
+//        --cache[=DIR]/--no-cache (result cache), --timeout MS, --retries N.
 #include <iostream>
 #include <vector>
 

@@ -7,7 +7,8 @@
 // for any N) and the raw per-point statistics land in a JSON trajectory.
 //
 // Flags: --scale, --budget, --seed, --quick, --paper, --csv, --jobs N,
-//        --progress N, --json FILE (default BENCH_fig13_benchmarks.json).
+//        --progress N, --json FILE (default BENCH_fig13_benchmarks.json),
+//        --cache[=DIR]/--no-cache (result cache), --timeout MS, --retries N.
 #include <iostream>
 #include <vector>
 

@@ -7,7 +7,8 @@
 // per-point statistics land in a JSON trajectory file.
 //
 // Flags: --scale, --budget, --timeslice, --seed, --quick, --paper, --csv,
-//        --jobs N, --json FILE (default BENCH_sweep.json).
+//        --jobs N, --json FILE (default BENCH_sweep.json),
+//        --cache[=DIR]/--no-cache (result cache), --timeout MS, --retries N.
 #include <iostream>
 #include <vector>
 

@@ -8,7 +8,8 @@
 //
 // Flags: --scale, --budget, --timeslice, --seed, --quick, --paper, --csv,
 //        --per-workload (print each mix's IPC too), --jobs N, --progress N,
-//        --json FILE (default BENCH_fig16_absolute_ipc.json).
+//        --json FILE (default BENCH_fig16_absolute_ipc.json),
+//        --cache[=DIR]/--no-cache (result cache), --timeout MS, --retries N.
 #include <iostream>
 #include <string>
 #include <vector>

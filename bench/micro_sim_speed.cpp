@@ -10,7 +10,9 @@
 //
 // Flags: --reps N (timing repetitions, best-of), --budget/--timeslice/
 //        --scale/--seed/--quick/--paper, --json FILE (default
-//        BENCH_sim_speed.json).
+//        BENCH_sim_speed.json). The sweep result cache (--cache) does not
+//        apply here: this bench measures wall-clock, so every run must
+//        re-simulate.
 #include <chrono>
 #include <iostream>
 #include <string>

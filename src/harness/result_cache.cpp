@@ -1,0 +1,295 @@
+#include "harness/result_cache.hpp"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <bit>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "stats/json.hpp"
+#include "util/check.hpp"
+#include "wl_synth/spec.hpp"
+#include "workloads/workloads.hpp"
+
+namespace vexsim::harness {
+
+namespace {
+
+// Incremental FNV-1a over labelled fields, finished through the splitmix64
+// mixer so single-bit config changes flip half the key bits. Every value is
+// length- or tag-delimited, so field sequences never alias.
+class Fingerprint {
+ public:
+  Fingerprint& u64(std::uint64_t v) {
+    bytes(&v, sizeof v);
+    return *this;
+  }
+  Fingerprint& i64(std::int64_t v) { return u64(static_cast<std::uint64_t>(v)); }
+  Fingerprint& f64(double v) { return u64(std::bit_cast<std::uint64_t>(v)); }
+  Fingerprint& flag(bool v) { return u64(v ? 1 : 0); }
+  Fingerprint& str(std::string_view s) {
+    u64(s.size());
+    bytes(s.data(), s.size());
+    return *this;
+  }
+
+  [[nodiscard]] std::uint64_t finish() const {
+    std::uint64_t z = h_ + 0x9E3779B97F4A7C15ull;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  void bytes(const void* data, std::size_t n) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < n; ++i)
+      h_ = (h_ ^ p[i]) * 0x100000001B3ull;
+  }
+
+  std::uint64_t h_ = 0xCBF29CE484222325ull;  // FNV-1a 64-bit offset basis
+};
+
+void hash_cluster(Fingerprint& fp, const ClusterResourceConfig& c) {
+  fp.i64(c.issue_slots).i64(c.alus).i64(c.muls).i64(c.mem_units)
+      .i64(c.branch_units);
+}
+
+void hash_cache_config(Fingerprint& fp, const CacheConfig& c) {
+  fp.u64(c.size_bytes).u64(c.assoc).u64(c.line_bytes).u64(c.miss_penalty)
+      .flag(c.perfect);
+}
+
+void hash_machine(Fingerprint& fp, const MachineConfig& cfg) {
+  fp.i64(cfg.clusters);
+  hash_cluster(fp, cfg.cluster);
+  fp.u64(cfg.cluster_overrides.size());
+  for (const ClusterResourceConfig& c : cfg.cluster_overrides)
+    hash_cluster(fp, c);
+  fp.flag(cfg.branch_on_cluster0_only);
+  fp.i64(cfg.lat.alu).i64(cfg.lat.mul).i64(cfg.lat.mem).i64(cfg.lat.comm)
+      .i64(cfg.lat.cmp_to_branch).i64(cfg.lat.taken_branch_penalty);
+  hash_cache_config(fp, cfg.icache);
+  hash_cache_config(fp, cfg.dcache);
+  fp.i64(cfg.hw_threads);
+  fp.u64(static_cast<std::uint64_t>(cfg.technique.merge))
+      .u64(static_cast<std::uint64_t>(cfg.technique.split))
+      .u64(static_cast<std::uint64_t>(cfg.technique.comm));
+  fp.flag(cfg.cluster_renaming);
+  fp.u64(static_cast<std::uint64_t>(cfg.rf_org));
+  fp.flag(cfg.stall_on_store_miss);
+}
+
+// Resolved, order-canonical form of a workload name: a paper mix label
+// expands to its component list, and every synthetic component is rewritten
+// to its full canonical mangling, so equivalent spellings share one entry.
+std::string canonical_workload(const std::string& name) {
+  const wl::WorkloadSpec spec = wl::workload(name);
+  std::ostringstream os;
+  for (std::size_t i = 0; i < spec.benchmarks.size(); ++i) {
+    const std::string& component = spec.benchmarks[i];
+    if (i > 0) os << '+';
+    if (wl_synth::is_synth_name(component))
+      os << wl_synth::parse_spec(component).name();
+    else
+      os << component;
+  }
+  return os.str();
+}
+
+std::string key_hex(std::uint64_t key) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(key));
+  return buf;
+}
+
+Json counters_json(const ThreadCounters& c) {
+  Json j = Json::object();
+  j.set("instructions", c.instructions)
+      .set("ops", c.ops)
+      .set("taken_branches", c.taken_branches)
+      .set("split_instructions", c.split_instructions)
+      .set("dmiss_block_cycles", c.dmiss_block_cycles)
+      .set("imiss_block_cycles", c.imiss_block_cycles);
+  return j;
+}
+
+ThreadCounters counters_from_json(const Json& j) {
+  ThreadCounters c;
+  c.instructions = j.at("instructions").as_uint64();
+  c.ops = j.at("ops").as_uint64();
+  c.taken_branches = j.at("taken_branches").as_uint64();
+  c.split_instructions = j.at("split_instructions").as_uint64();
+  c.dmiss_block_cycles = j.at("dmiss_block_cycles").as_uint64();
+  c.imiss_block_cycles = j.at("imiss_block_cycles").as_uint64();
+  return c;
+}
+
+Json result_json(const RunResult& r) {
+  Json sim = Json::object();
+  sim.set("cycles", r.sim.cycles)
+      .set("ops_issued", r.sim.ops_issued)
+      .set("instructions_retired", r.sim.instructions_retired)
+      .set("split_instructions", r.sim.split_instructions)
+      .set("vertical_waste_cycles", r.sim.vertical_waste_cycles)
+      .set("multi_thread_cycles", r.sim.multi_thread_cycles)
+      .set("memport_stall_cycles", r.sim.memport_stall_cycles)
+      .set("drain_cycles", r.sim.drain_cycles)
+      .set("taken_branches", r.sim.taken_branches)
+      .set("faults", r.sim.faults);
+
+  Json icache = Json::object();
+  icache.set("hits", r.icache.hits).set("misses", r.icache.misses);
+  Json dcache = Json::object();
+  dcache.set("hits", r.dcache.hits).set("misses", r.dcache.misses);
+
+  Json merge = Json::object();
+  merge.set("full_selections", r.merge.full_selections)
+      .set("partial_selections", r.merge.partial_selections)
+      .set("blocked_selections", r.merge.blocked_selections)
+      .set("comm_nosplit_forced", r.merge.comm_nosplit_forced);
+
+  Json instances = Json::array();
+  for (const InstanceResult& inst : r.instances) {
+    Json ij = Json::object();
+    ij.set("name", inst.name)
+        .set("instructions", inst.instructions)
+        .set("respawns", inst.respawns)
+        .set("arch_fingerprint", inst.arch_fingerprint)
+        .set("faulted", inst.faulted)
+        .set("counters", counters_json(inst.counters));
+    instances.push(std::move(ij));
+  }
+
+  Json out = Json::object();
+  out.set("issue_width", r.issue_width)
+      .set("attempts", r.attempts)
+      .set("sim", std::move(sim))
+      .set("icache", std::move(icache))
+      .set("dcache", std::move(dcache))
+      .set("merge", std::move(merge))
+      .set("instances", std::move(instances));
+  return out;
+}
+
+RunResult result_from_json(const Json& j) {
+  RunResult r;
+  r.issue_width = static_cast<int>(j.at("issue_width").as_int64());
+  r.attempts = static_cast<int>(j.at("attempts").as_int64());
+
+  const Json& sim = j.at("sim");
+  r.sim.cycles = sim.at("cycles").as_uint64();
+  r.sim.ops_issued = sim.at("ops_issued").as_uint64();
+  r.sim.instructions_retired = sim.at("instructions_retired").as_uint64();
+  r.sim.split_instructions = sim.at("split_instructions").as_uint64();
+  r.sim.vertical_waste_cycles = sim.at("vertical_waste_cycles").as_uint64();
+  r.sim.multi_thread_cycles = sim.at("multi_thread_cycles").as_uint64();
+  r.sim.memport_stall_cycles = sim.at("memport_stall_cycles").as_uint64();
+  r.sim.drain_cycles = sim.at("drain_cycles").as_uint64();
+  r.sim.taken_branches = sim.at("taken_branches").as_uint64();
+  r.sim.faults = sim.at("faults").as_uint64();
+
+  r.icache.hits = j.at("icache").at("hits").as_uint64();
+  r.icache.misses = j.at("icache").at("misses").as_uint64();
+  r.dcache.hits = j.at("dcache").at("hits").as_uint64();
+  r.dcache.misses = j.at("dcache").at("misses").as_uint64();
+
+  const Json& merge = j.at("merge");
+  r.merge.full_selections = merge.at("full_selections").as_uint64();
+  r.merge.partial_selections = merge.at("partial_selections").as_uint64();
+  r.merge.blocked_selections = merge.at("blocked_selections").as_uint64();
+  r.merge.comm_nosplit_forced = merge.at("comm_nosplit_forced").as_uint64();
+
+  const Json& instances = j.at("instances");
+  for (std::size_t i = 0; i < instances.size(); ++i) {
+    const Json& ij = instances.at(i);
+    InstanceResult inst;
+    inst.name = ij.at("name").as_string();
+    inst.instructions = ij.at("instructions").as_uint64();
+    inst.respawns = ij.at("respawns").as_uint64();
+    inst.arch_fingerprint = ij.at("arch_fingerprint").as_uint64();
+    inst.faulted = ij.at("faulted").as_bool();
+    inst.counters = counters_from_json(ij.at("counters"));
+    r.instances.push_back(std::move(inst));
+  }
+  return r;
+}
+
+}  // namespace
+
+std::uint64_t point_fingerprint(const MachineConfig& cfg,
+                                const std::string& workload,
+                                const ExperimentOptions& opt) {
+  Fingerprint fp;
+  fp.str(kSimVersionTag);
+  hash_machine(fp, cfg);
+  fp.str(canonical_workload(workload));
+  fp.f64(opt.scale)
+      .u64(opt.budget)
+      .u64(opt.timeslice)
+      .u64(opt.max_cycles)
+      .u64(opt.seed)
+      .flag(opt.fast_forward);
+  return fp.finish();
+}
+
+ResultCache::ResultCache(std::string dir) : dir_(std::move(dir)) {
+  VEXSIM_CHECK_MSG(!dir_.empty(), "result cache directory must be non-empty");
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  VEXSIM_CHECK_MSG(!ec, "cannot create result cache directory " << dir_ << ": "
+                                                                << ec.message());
+}
+
+std::string ResultCache::entry_path(std::uint64_t key) const {
+  return dir_ + "/" + key_hex(key) + ".json";
+}
+
+std::optional<RunResult> ResultCache::load(std::uint64_t key) const {
+  std::ifstream is(entry_path(key), std::ios::binary);
+  if (!is.good()) return std::nullopt;  // plain miss
+  std::string text((std::istreambuf_iterator<char>(is)),
+                   std::istreambuf_iterator<char>());
+  try {
+    const Json doc = Json::parse(text);
+    // A record from another simulator version (or another key that landed
+    // on this path through tampering) is a miss, not an error.
+    if (doc.at("version").as_string() != kSimVersionTag) return std::nullopt;
+    if (doc.at("key").as_string() != key_hex(key)) return std::nullopt;
+    RunResult r = result_from_json(doc.at("result"));
+    r.cached = true;
+    r.cache_hit = true;
+    return r;
+  } catch (const CheckError&) {
+    return std::nullopt;  // corrupt or truncated record: treat as a miss
+  }
+}
+
+void ResultCache::store(std::uint64_t key, const std::string& workload,
+                        const RunResult& r) const {
+  VEXSIM_CHECK_MSG(!r.failed,
+                   "refusing to cache a failed point (" << r.error << ")");
+  Json doc = Json::object();
+  doc.set("version", std::string(kSimVersionTag))
+      .set("key", key_hex(key))
+      .set("workload", workload)
+      .set("result", result_json(r));
+
+  // Unique temp name per (process, store call): concurrent sweeps sharing a
+  // cache directory may race on the same key, and rename() then makes one
+  // of the two identical records win atomically.
+  static std::atomic<std::uint64_t> counter{0};
+  const std::string path = entry_path(key);
+  std::ostringstream tmp;
+  tmp << path << ".tmp." << ::getpid() << "."
+      << counter.fetch_add(1, std::memory_order_relaxed);
+  write_json_file(tmp.str(), doc);
+  VEXSIM_CHECK_MSG(std::rename(tmp.str().c_str(), path.c_str()) == 0,
+                   "failed to move " << tmp.str() << " over " << path);
+}
+
+}  // namespace vexsim::harness

@@ -2,13 +2,19 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
 #include <exception>
 #include <iostream>
+#include <memory>
 #include <mutex>
+#include <numeric>
+#include <sstream>
 #include <thread>
 
+#include "harness/result_cache.hpp"
 #include "util/check.hpp"
 
 namespace vexsim::harness {
@@ -30,38 +36,217 @@ SweepOptions SweepOptions::from_cli(const Cli& cli) {
   opts.flush_every = static_cast<int>(cli.get_int("flush", opts.flush_every));
   VEXSIM_CHECK_MSG(opts.flush_every >= 0,
                    "--flush must be >= 0, got " << opts.flush_every);
+  if (cli.has("cache") && !cli.get_bool("no-cache", false)) {
+    const std::string dir = cli.get("cache", "");
+    // Bare `--cache` parses as the boolean value "true"; map it to the
+    // default directory.
+    opts.cache_dir = (dir.empty() || dir == "true") ? "sweep-cache" : dir;
+  }
+  opts.point_timeout_ms =
+      static_cast<int>(cli.get_int("timeout", opts.point_timeout_ms));
+  VEXSIM_CHECK_MSG(opts.point_timeout_ms >= 0,
+                   "--timeout must be >= 0 ms, got " << opts.point_timeout_ms);
+  opts.max_retries =
+      static_cast<int>(cli.get_int("retries", opts.max_retries));
+  VEXSIM_CHECK_MSG(opts.max_retries >= 0,
+                   "--retries must be >= 0, got " << opts.max_retries);
   return opts;
 }
+
+namespace {
+
+// One simulation attempt under a wall-clock budget. The attempt runs on its
+// own thread; on timeout that thread is detached and keeps simulating into
+// state only it owns (shared_ptr), which is discarded when it finishes —
+// abandoning a hung attempt must never corrupt the sweep's results.
+struct AttemptState {
+  std::mutex m;
+  std::condition_variable cv;
+  bool done = false;
+  bool threw = false;
+  std::string error;
+  RunResult result;
+};
+
+bool attempt_with_timeout(const SweepPoint& point, int timeout_ms,
+                          RunResult& out, std::string& error) {
+  auto state = std::make_shared<AttemptState>();
+  std::thread runner([state, point] {  // `point` copied: may outlive caller
+    RunResult r;
+    bool threw = false;
+    std::string what;
+    try {
+      r = run_workload_on(point.cfg, point.workload, point.opt);
+    } catch (const std::exception& e) {
+      threw = true;
+      what = e.what();
+    } catch (...) {
+      threw = true;
+      what = "unknown exception";
+    }
+    {
+      const std::lock_guard<std::mutex> lock(state->m);
+      state->result = std::move(r);
+      state->threw = threw;
+      state->error = std::move(what);
+      state->done = true;
+    }
+    state->cv.notify_all();
+  });
+
+  std::unique_lock<std::mutex> lock(state->m);
+  const bool finished =
+      state->cv.wait_for(lock, std::chrono::milliseconds(timeout_ms),
+                         [&state] { return state->done; });
+  if (!finished) {
+    lock.unlock();
+    runner.detach();
+    error = "timed out after " + std::to_string(timeout_ms) + " ms";
+    return false;
+  }
+  lock.unlock();
+  runner.join();
+  if (state->threw) {
+    error = std::move(state->error);
+    return false;
+  }
+  out = std::move(state->result);
+  return true;
+}
+
+bool attempt_inline(const SweepPoint& point, RunResult& out,
+                    std::string& error) {
+  try {
+    out = run_workload_on(point.cfg, point.workload, point.opt);
+    return true;
+  } catch (const std::exception& e) {
+    error = e.what();
+    return false;
+  } catch (...) {
+    error = "unknown exception";
+    return false;
+  }
+}
+
+}  // namespace
 
 std::vector<RunResult> run_sweep(const std::vector<SweepPoint>& points,
                                  const SweepOptions& opts) {
   const int jobs = opts.jobs;
   VEXSIM_CHECK_MSG(jobs >= 1, "sweep needs at least one job, got " << jobs);
   VEXSIM_CHECK_MSG(opts.progress_every >= 0, "progress_every must be >= 0");
+  VEXSIM_CHECK_MSG(opts.point_timeout_ms >= 0, "point_timeout_ms must be >= 0");
+  VEXSIM_CHECK_MSG(opts.max_retries >= 0, "max_retries must be >= 0");
   std::vector<RunResult> results(points.size());
-  std::vector<std::exception_ptr> errors(points.size());
-
-  std::atomic<std::size_t> next{0};
-  std::atomic<std::size_t> completed{0};
-  std::mutex progress_mutex;
-  // Incremental-flush bookkeeping, guarded by progress_mutex: which points
-  // have finished and how far the fully-complete prefix reaches.
-  std::vector<char> done(points.size(), 0);
-  std::size_t prefix = 0;
-  const bool flushing = opts.flush_every > 0 && opts.flush_fn != nullptr;
-  std::atomic<bool> flush_failed{false};
+  // Per-point error text in the non-tolerant configuration; aggregated into
+  // one exception after the workers drain.
+  std::vector<std::string> fatal_errors(points.size());
+  std::vector<char> fatal(points.size(), 0);
   std::ostream* progress_to =
       opts.progress_stream != nullptr ? opts.progress_stream : &std::cerr;
+
+  // Cache pre-pass: hits are served in point order before the thread pool
+  // starts; only misses become worker items. A point whose fingerprint
+  // cannot be computed (unknown workload name) is uncacheable — the worker
+  // then surfaces the real resolution error.
+  std::unique_ptr<ResultCache> cache;
+  std::vector<std::uint64_t> keys(points.size(), 0);
+  std::vector<char> cacheable(points.size(), 0);
+  std::vector<std::size_t> todo;
+  todo.reserve(points.size());
+  std::size_t cache_hits = 0;
+  if (!opts.cache_dir.empty()) {
+    cache = std::make_unique<ResultCache>(opts.cache_dir);
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      try {
+        keys[i] = point_fingerprint(points[i].cfg, points[i].workload,
+                                    points[i].opt);
+        cacheable[i] = 1;
+      } catch (const CheckError&) {
+      }
+      if (cacheable[i] != 0) {
+        if (std::optional<RunResult> hit = cache->load(keys[i])) {
+          results[i] = std::move(*hit);
+          ++cache_hits;
+          continue;
+        }
+      }
+      todo.push_back(i);
+    }
+  } else {
+    todo.resize(points.size());
+    std::iota(todo.begin(), todo.end(), std::size_t{0});
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> completed{cache_hits};
+  std::mutex progress_mutex;
+  // Incremental-flush bookkeeping, guarded by progress_mutex: which points
+  // have finished and how far the fully-complete prefix reaches. Cache hits
+  // are complete before any worker starts.
+  std::vector<char> done(points.size(), 0);
+  std::size_t prefix = 0;
+  for (std::size_t i = 0; i < points.size(); ++i)
+    if (results[i].cache_hit) done[i] = 1;
+  while (prefix < points.size() && done[prefix] != 0) ++prefix;
+  const bool flushing = opts.flush_every > 0 && opts.flush_fn != nullptr;
+  std::atomic<bool> flush_failed{false};
+  std::atomic<bool> store_failed{false};
+  const int max_attempts = 1 + opts.max_retries;
   auto worker = [&] {
     for (;;) {
-      const std::size_t i = next.fetch_add(1);
-      if (i >= points.size()) return;
-      try {
-        const SweepPoint& p = points[i];
-        results[i] = run_workload_on(p.cfg, p.workload, p.opt);
-      } catch (...) {
-        errors[i] = std::current_exception();
+      const std::size_t t = next.fetch_add(1);
+      if (t >= todo.size()) return;
+      const std::size_t i = todo[t];
+      const SweepPoint& p = points[i];
+
+      RunResult r;
+      std::string error;
+      int used_attempts = 0;
+      bool ok = false;
+      // Retries re-run the point unchanged (same options, hence the same
+      // derived seed): wall-clock timeouts come from machine load, not from
+      // the simulation, so a retry of a timed-out point usually succeeds —
+      // bit-identically to a first-try success.
+      while (!ok && used_attempts < max_attempts) {
+        ++used_attempts;
+        ok = opts.point_timeout_ms > 0
+                 ? attempt_with_timeout(p, opts.point_timeout_ms, r, error)
+                 : attempt_inline(p, r, error);
       }
+
+      if (ok) {
+        r.attempts = used_attempts;
+        if (cache != nullptr && cacheable[i] != 0 &&
+            !store_failed.load(std::memory_order_relaxed)) {
+          try {
+            r.cached = true;
+            cache->store(keys[i], p.workload, r);
+          } catch (...) {
+            // An unwritable cache (full disk, permissions) degrades to
+            // uncached operation; the sweep's results outrank persistence.
+            r.cached = false;
+            store_failed.store(true, std::memory_order_relaxed);
+            const std::lock_guard<std::mutex> lock(progress_mutex);
+            *progress_to << "sweep: result-cache store failed; caching "
+                            "disabled for this run" << std::endl;
+          }
+        }
+        results[i] = std::move(r);
+      } else if (opts.failure_tolerant()) {
+        // Structured per-point failure: the sweep completes and the JSON
+        // records what went wrong where, instead of one bad point poisoning
+        // hours of finished work.
+        RunResult failure;
+        failure.failed = true;
+        failure.error = error;
+        failure.attempts = max_attempts;
+        results[i] = std::move(failure);
+      } else {
+        fatal_errors[i] = error;
+        fatal[i] = 1;
+      }
+
       const std::size_t done_count = completed.fetch_add(1) + 1;
       if (opts.progress_every > 0 &&
           (done_count % static_cast<std::size_t>(opts.progress_every) == 0 ||
@@ -72,9 +257,10 @@ std::vector<RunResult> run_sweep(const std::vector<SweepPoint>& points,
       }
       if (flushing && !flush_failed.load(std::memory_order_relaxed)) {
         const std::lock_guard<std::mutex> lock(progress_mutex);
-        // An errored point never counts as done: the complete prefix stops
-        // before it, so a salvaged partial file holds only real results.
-        done[i] = errors[i] ? 0 : 1;
+        // A fatally-errored point never counts as done: the complete prefix
+        // stops before it, so a salvaged partial file holds only real
+        // results. (A tolerated failure *is* a result.)
+        done[i] = fatal[i] != 0 ? 0 : 1;
         while (prefix < points.size() && done[prefix] != 0) ++prefix;
         // The final complete document is written by the caller; only
         // genuinely partial states flush.
@@ -95,7 +281,7 @@ std::vector<RunResult> run_sweep(const std::vector<SweepPoint>& points,
   };
 
   const std::size_t n_workers =
-      std::min(static_cast<std::size_t>(jobs), points.size());
+      std::min(static_cast<std::size_t>(jobs), todo.size());
   if (n_workers <= 1) {
     worker();
   } else {
@@ -105,8 +291,30 @@ std::vector<RunResult> run_sweep(const std::vector<SweepPoint>& points,
     for (std::thread& t : pool) t.join();
   }
 
-  for (const std::exception_ptr& e : errors)
-    if (e) std::rethrow_exception(e);
+  if (cache != nullptr)
+    *progress_to << "sweep: served " << cache_hits << "/" << points.size()
+                 << " points from result cache" << std::endl;
+
+  // Aggregate every fatal error into one exception: the first failure alone
+  // hides how widespread the breakage is (and which configs it touched).
+  std::size_t n_failed = 0;
+  for (const char f : fatal) n_failed += static_cast<std::size_t>(f);
+  if (n_failed > 0) {
+    constexpr std::size_t kMaxReported = 3;
+    std::ostringstream msg;
+    msg << "sweep: " << n_failed << "/" << points.size()
+        << " points failed; first " << std::min(n_failed, kMaxReported)
+        << ":";
+    std::size_t reported = 0;
+    for (std::size_t i = 0; i < points.size() && reported < kMaxReported; ++i) {
+      if (fatal[i] == 0) continue;
+      msg << (reported == 0 ? " " : "; ") << "'" << points[i].label
+          << "': " << fatal_errors[i];
+      ++reported;
+    }
+    if (n_failed > kMaxReported) msg << "; ...";
+    throw CheckError(msg.str());
+  }
   return results;
 }
 
@@ -176,6 +384,14 @@ Json point_json(const SweepPoint& p, const RunResult& r) {
       .set("caches", std::move(caches))
       .set("merge", std::move(merge))
       .set("instances", std::move(instances));
+  // Harness provenance. `cached` is cache membership (stored or served), so
+  // cold- and warm-cache sweeps serialize identically; per-run hit counts go
+  // to the progress stream instead. `attempts` replays from the cache record
+  // and is equally stable.
+  point.set("cached", r.cached)
+      .set("attempts", r.attempts)
+      .set("failed", r.failed);
+  if (r.failed) point.set("error", r.error);
   return point;
 }
 

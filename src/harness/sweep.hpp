@@ -7,6 +7,20 @@
 // serial run regardless of --jobs and of worker interleaving. Bench binaries
 // build their point lists up front, run the sweep, then render tables and a
 // machine-readable JSON trajectory from the in-order results.
+//
+// Scale-out features, all off by default:
+//  * Result caching (`cache_dir` / --cache): points whose content hash is
+//    already in the cache are served before the thread pool starts; misses
+//    run as usual and are persisted. Cached results are bit-identical to
+//    fresh ones (the golden suite is the referee), and a cold-cache run
+//    emits byte-identical JSON to a warm one.
+//  * Per-point timeout/retry (`point_timeout_ms` / `max_retries`): a
+//    timed-out or thrown point is re-attempted with its original derived
+//    seed. When either knob is set the sweep is failure-tolerant — a point
+//    that exhausts its attempts becomes a structured per-point failure
+//    (RunResult::failed + error, "failed": true in the JSON) instead of
+//    aborting the whole sweep. With both knobs at their defaults, failures
+//    aggregate into a single exception reporting every failed label.
 #pragma once
 
 #include <cstdint>
@@ -43,7 +57,39 @@ struct SweepOptions {
   int flush_every = 0;
   std::function<void(const std::vector<RunResult>&, std::size_t)> flush_fn;
 
-  // Applies --jobs/--progress/--flush.
+  // Content-addressed result cache directory (harness/result_cache.hpp);
+  // empty disables caching. Hits are served without touching the thread
+  // pool; misses are simulated and persisted. Served/total counts go to
+  // *progress_stream ("sweep: served K/N points from result cache").
+  std::string cache_dir;
+
+  // Wall-clock budget per simulation attempt; 0 = unlimited. A timed-out
+  // attempt is abandoned (its worker thread is detached and its state
+  // discarded) and the point is retried. Caveat: wall-clock timeouts are
+  // inherently nondeterministic — when one actually fires, the affected
+  // point's "attempts" count (and, if retries are exhausted, its "failed"
+  // record) reflects this machine's load, so byte-level trajectory
+  // identity across runs is only guaranteed while no attempt times out.
+  // Simulated statistics stay bit-identical regardless: a retried success
+  // re-runs with identical options and seed.
+  int point_timeout_ms = 0;
+  // Extra attempts after the first for a timed-out or thrown point. Each
+  // retry re-runs the point unchanged — same ExperimentOptions, same
+  // derived seed — so a success on any attempt is bit-identical to a
+  // first-try success.
+  int max_retries = 0;
+
+  // Failure tolerance is implied by configuring either retry knob: the
+  // operator asked for per-point fault handling, so an exhausted point is
+  // recorded as a structured failure instead of poisoning the sweep.
+  [[nodiscard]] bool failure_tolerant() const {
+    return point_timeout_ms > 0 || max_retries > 0;
+  }
+
+  // Applies --jobs/--progress/--flush/--cache[=DIR]/--no-cache/
+  // --timeout MS/--retries N. Bare `--cache` uses ./sweep-cache;
+  // --no-cache wins over --cache (so a wrapper script's cache can be
+  // disabled without editing it).
   static SweepOptions from_cli(const Cli& cli);
 };
 
@@ -55,8 +101,11 @@ struct SweepOptions {
 
 // Runs every point and returns results in point order. jobs == 1
 // degenerates to the serial loop; results are bit-identical for any job
-// count. If any point throws, the first failure in point order is rethrown
-// after all workers drain.
+// count. In the default (non-tolerant) configuration, point errors are
+// aggregated after all workers drain into one CheckError reporting the
+// failed-point count and the first few failing labels; with
+// failure_tolerant() options, failed points come back as structured
+// RunResult failures instead.
 [[nodiscard]] std::vector<RunResult> run_sweep(
     const std::vector<SweepPoint>& points, const SweepOptions& opts);
 [[nodiscard]] std::vector<RunResult> run_sweep(

@@ -49,6 +49,18 @@ struct RunResult {
   std::vector<InstanceResult> instances;
   int issue_width = 0;
 
+  // Harness provenance, filled by harness::run_sweep; a direct
+  // MultiprogramDriver::run() leaves the defaults.
+  int attempts = 1;    // simulation attempts behind this result (retries)
+  bool failed = false; // point exhausted its retries; stats above are empty
+  std::string error;   // failure description when `failed`
+  // `cached`: the result is persisted in the sweep result cache — true both
+  // when this run stored it and when a later run serves it, so cold- and
+  // warm-cache sweeps emit byte-identical JSON. `cache_hit`: served from
+  // the cache in *this* process; never serialized.
+  bool cached = false;
+  bool cache_hit = false;
+
   [[nodiscard]] double ipc() const { return sim.ipc(); }
 };
 

@@ -1,8 +1,11 @@
 #include "stats/json.hpp"
 
+#include <cctype>
+#include <cerrno>
 #include <cinttypes>
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 
 #include "util/check.hpp"
@@ -12,9 +15,11 @@ namespace vexsim {
 namespace {
 
 // Shortest representation that round-trips a double exactly; plain printf
-// so the output is independent of stream locale/precision state.
+// so the output is independent of stream locale/precision state. JSON has
+// no nan/inf literal, so non-finite values emit `null` — a bare `nan` token
+// would make the whole document unparseable for downstream consumers.
 std::string format_double(double v) {
-  VEXSIM_CHECK_MSG(std::isfinite(v), "JSON cannot represent " << v);
+  if (!std::isfinite(v)) return "null";
   for (int precision = 1; precision < 17; ++precision) {
     char shorter[32];
     std::snprintf(shorter, sizeof shorter, "%.*g", precision, v);
@@ -27,7 +32,295 @@ std::string format_double(double v) {
   return buf;
 }
 
+// Strict recursive-descent parser over the subset dump() emits. Every
+// deviation — bad escape, overflowing number, duplicate key, trailing
+// input — is a CheckError naming the byte offset, so a truncated or
+// hand-mangled cache record is reported (and treated by callers) as
+// corruption rather than silently misread.
+class Parser {
+ public:
+  explicit Parser(const std::string& text)
+      : begin_(text.c_str()), p_(begin_), end_(begin_ + text.size()) {}
+
+  Json parse_document() {
+    skip_ws();
+    Json v = parse_value();
+    skip_ws();
+    VEXSIM_CHECK_MSG(p_ == end_, "JSON parse error at offset "
+                                     << offset()
+                                     << ": trailing characters after value");
+    return v;
+  }
+
+ private:
+  [[nodiscard]] std::size_t offset() const {
+    return static_cast<std::size_t>(p_ - begin_);
+  }
+
+  [[noreturn]] void fail(const std::string& why) const {
+    VEXSIM_CHECK_MSG(false,
+                     "JSON parse error at offset " << offset() << ": " << why);
+    std::abort();  // unreachable: the check above throws
+  }
+
+  void skip_ws() {
+    while (p_ < end_ &&
+           (*p_ == ' ' || *p_ == '\t' || *p_ == '\n' || *p_ == '\r'))
+      ++p_;
+  }
+
+  char peek() const {
+    if (p_ >= end_) fail("unexpected end of input");
+    return *p_;
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++p_;
+  }
+
+  bool try_literal(const char* token) {
+    const std::size_t len = std::strlen(token);
+    if (static_cast<std::size_t>(end_ - p_) < len ||
+        std::memcmp(p_, token, len) != 0)
+      return false;
+    p_ += len;
+    return true;
+  }
+
+  Json parse_value() {
+    switch (peek()) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return Json(parse_string());
+      case 't':
+        if (try_literal("true")) return Json(true);
+        fail("invalid literal");
+      case 'f':
+        if (try_literal("false")) return Json(false);
+        fail("invalid literal");
+      case 'n':
+        if (try_literal("null")) return Json();
+        fail("invalid literal");
+      default: return parse_number();
+    }
+  }
+
+  Json parse_object() {
+    expect('{');
+    Json obj = Json::object();
+    skip_ws();
+    if (peek() == '}') {
+      ++p_;
+      return obj;
+    }
+    for (;;) {
+      skip_ws();
+      const std::string key = parse_string();
+      if (obj.find(key) != nullptr) fail("duplicate key \"" + key + "\"");
+      skip_ws();
+      expect(':');
+      skip_ws();
+      obj.set(key, parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++p_;
+        continue;
+      }
+      expect('}');
+      return obj;
+    }
+  }
+
+  Json parse_array() {
+    expect('[');
+    Json arr = Json::array();
+    skip_ws();
+    if (peek() == ']') {
+      ++p_;
+      return arr;
+    }
+    for (;;) {
+      skip_ws();
+      arr.push(parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++p_;
+        continue;
+      }
+      expect(']');
+      return arr;
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      if (p_ >= end_) fail("unterminated string");
+      const char c = *p_++;
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20)
+        fail("unescaped control character in string");
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (p_ >= end_) fail("unterminated escape");
+      const char esc = *p_++;
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': out += parse_unicode_escape(); break;
+        default: fail("invalid escape");
+      }
+    }
+  }
+
+  std::string parse_unicode_escape() {
+    if (end_ - p_ < 4) fail("truncated \\u escape");
+    unsigned code = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = *p_++;
+      code <<= 4;
+      if (c >= '0' && c <= '9') code |= static_cast<unsigned>(c - '0');
+      else if (c >= 'a' && c <= 'f') code |= static_cast<unsigned>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F') code |= static_cast<unsigned>(c - 'A' + 10);
+      else fail("invalid hex digit in \\u escape");
+    }
+    // The writer only emits \u00xx for control characters; surrogate pairs
+    // are outside the supported subset.
+    if (code >= 0xD800 && code <= 0xDFFF) fail("surrogate \\u escape");
+    std::string out;
+    if (code < 0x80) {
+      out += static_cast<char>(code);
+    } else if (code < 0x800) {
+      out += static_cast<char>(0xC0 | (code >> 6));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    } else {
+      out += static_cast<char>(0xE0 | (code >> 12));
+      out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    }
+    return out;
+  }
+
+  Json parse_number() {
+    const char* start = p_;
+    bool floating = false;
+    while (p_ < end_ &&
+           (std::isdigit(static_cast<unsigned char>(*p_)) != 0 || *p_ == '-' ||
+            *p_ == '+' || *p_ == '.' || *p_ == 'e' || *p_ == 'E')) {
+      floating |= (*p_ == '.' || *p_ == 'e' || *p_ == 'E');
+      ++p_;
+    }
+    const std::string token(start, p_);
+    if (token.empty()) fail("expected a value");
+    char* parse_end = nullptr;
+    errno = 0;
+    if (floating) {
+      const double v = std::strtod(token.c_str(), &parse_end);
+      if (parse_end != token.c_str() + token.size())
+        fail("malformed number '" + token + "'");
+      // strtod sets ERANGE for overflow (±HUGE_VAL) *and* underflow
+      // (subnormal or zero result). Only overflow is malformed: dump()
+      // legitimately emits subnormals like 5e-324, which must round-trip.
+      if (errno == ERANGE && (v == HUGE_VAL || v == -HUGE_VAL))
+        fail("out-of-range number '" + token + "'");
+      return Json(v);
+    }
+    if (token[0] == '-') {
+      const long long v = std::strtoll(token.c_str(), &parse_end, 10);
+      if (parse_end != token.c_str() + token.size() || errno == ERANGE)
+        fail("malformed or out-of-range integer '" + token + "'");
+      return Json(static_cast<std::int64_t>(v));
+    }
+    const unsigned long long v = std::strtoull(token.c_str(), &parse_end, 10);
+    if (parse_end != token.c_str() + token.size() || errno == ERANGE)
+      fail("malformed or out-of-range integer '" + token + "'");
+    return Json(static_cast<std::uint64_t>(v));
+  }
+
+  const char* begin_;
+  const char* p_;
+  const char* end_;
+};
+
 }  // namespace
+
+Json Json::parse(const std::string& text) {
+  return Parser(text).parse_document();
+}
+
+bool Json::as_bool() const {
+  VEXSIM_CHECK_MSG(kind_ == Kind::kBool, "as_bool() on non-bool JSON value");
+  return bool_;
+}
+
+std::int64_t Json::as_int64() const {
+  if (kind_ == Kind::kInt) return int_;
+  if (kind_ == Kind::kUint) {
+    VEXSIM_CHECK_MSG(uint_ <= static_cast<std::uint64_t>(INT64_MAX),
+                     "as_int64() overflow on " << uint_);
+    return static_cast<std::int64_t>(uint_);
+  }
+  VEXSIM_CHECK_MSG(false, "as_int64() on non-integer JSON value");
+  std::abort();  // unreachable: the check above throws
+}
+
+std::uint64_t Json::as_uint64() const {
+  if (kind_ == Kind::kUint) return uint_;
+  if (kind_ == Kind::kInt) {
+    VEXSIM_CHECK_MSG(int_ >= 0, "as_uint64() on negative value " << int_);
+    return static_cast<std::uint64_t>(int_);
+  }
+  VEXSIM_CHECK_MSG(false, "as_uint64() on non-integer JSON value");
+  std::abort();  // unreachable: the check above throws
+}
+
+double Json::as_double() const {
+  switch (kind_) {
+    case Kind::kDouble: return double_;
+    case Kind::kInt: return static_cast<double>(int_);
+    case Kind::kUint: return static_cast<double>(uint_);
+    default: break;
+  }
+  VEXSIM_CHECK_MSG(false, "as_double() on non-numeric JSON value");
+  std::abort();  // unreachable: the check above throws
+}
+
+const std::string& Json::as_string() const {
+  VEXSIM_CHECK_MSG(kind_ == Kind::kString,
+                   "as_string() on non-string JSON value");
+  return string_;
+}
+
+const Json* Json::find(const std::string& key) const {
+  VEXSIM_CHECK_MSG(is_object(), "find() on non-object JSON value");
+  for (const auto& [k, v] : children_)
+    if (k == key) return &v;
+  return nullptr;
+}
+
+const Json& Json::at(const std::string& key) const {
+  const Json* v = find(key);
+  VEXSIM_CHECK_MSG(v != nullptr, "missing JSON key \"" << key << "\"");
+  return *v;
+}
+
+const Json& Json::at(std::size_t i) const {
+  VEXSIM_CHECK_MSG(is_array(), "at(index) on non-array JSON value");
+  VEXSIM_CHECK_MSG(i < children_.size(),
+                   "JSON array index " << i << " out of range (size "
+                                       << children_.size() << ")");
+  return children_[i].second;
+}
 
 Json Json::object() {
   Json j;

@@ -1,10 +1,15 @@
-// Minimal deterministic JSON emission for machine-readable bench output.
+// Minimal deterministic JSON emission and strict parsing for
+// machine-readable bench output and the sweep result cache.
 //
-// Only what the sweep trajectory files need: objects, arrays, strings,
-// integers, doubles, and booleans. Emission order is insertion order and
-// number formatting is locale-independent and round-trip exact, so two
-// structurally equal documents serialize to byte-identical text — the
-// property the parallel-vs-serial sweep determinism checks rely on.
+// Only what the trajectory files and cache records need: objects, arrays,
+// strings, integers, doubles, and booleans. Emission order is insertion
+// order and number formatting is locale-independent and round-trip exact,
+// so two structurally equal documents serialize to byte-identical text —
+// the property the parallel-vs-serial sweep determinism checks rely on.
+// Non-finite doubles serialize as `null` (JSON has no nan/inf); consumers
+// treat a null metric as "undefined". The parser is deliberately strict
+// (no duplicate keys, no trailing input): cache records are produced by the
+// writer below, so anything the parser rejects is corruption.
 #pragma once
 
 #include <cstdint>
@@ -30,6 +35,12 @@ class Json {
   static Json object();
   static Json array();
 
+  // Strict parser for documents produced by dump(): throws CheckError on
+  // malformed input, duplicate object keys, numeric overflow, or trailing
+  // characters. Non-negative integers parse as unsigned, negative ones as
+  // signed; either re-serializes to the original text.
+  static Json parse(const std::string& text);
+
   // Object member access; `set` overwrites an existing key in place so the
   // original insertion order is preserved.
   Json& set(const std::string& key, Json value);
@@ -39,7 +50,28 @@ class Json {
 
   [[nodiscard]] bool is_object() const { return kind_ == Kind::kObject; }
   [[nodiscard]] bool is_array() const { return kind_ == Kind::kArray; }
+  [[nodiscard]] bool is_null() const { return kind_ == Kind::kNull; }
+  [[nodiscard]] bool is_bool() const { return kind_ == Kind::kBool; }
+  [[nodiscard]] bool is_string() const { return kind_ == Kind::kString; }
+  [[nodiscard]] bool is_number() const {
+    return kind_ == Kind::kInt || kind_ == Kind::kUint ||
+           kind_ == Kind::kDouble;
+  }
   [[nodiscard]] std::size_t size() const { return children_.size(); }
+
+  // Checked scalar access; throws CheckError on a kind mismatch (and on
+  // signedness that cannot represent the stored value).
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] std::int64_t as_int64() const;
+  [[nodiscard]] std::uint64_t as_uint64() const;
+  [[nodiscard]] double as_double() const;
+  [[nodiscard]] const std::string& as_string() const;
+
+  // Object member lookup: `find` returns nullptr when absent, `at` throws.
+  [[nodiscard]] const Json* find(const std::string& key) const;
+  [[nodiscard]] const Json& at(const std::string& key) const;
+  // Array element access, bounds-checked.
+  [[nodiscard]] const Json& at(std::size_t i) const;
 
   // Serializes with 2-space indentation and a trailing newline at top level.
   [[nodiscard]] std::string dump() const;

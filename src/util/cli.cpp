@@ -8,6 +8,18 @@
 namespace vexsim {
 
 Cli::Cli(int argc, const char* const* argv) {
+  // A repeated option is a hard error, not last-wins: in a sweep script a
+  // second `--seed`/`--budget` is almost always a typo'd flag name, and
+  // silently overwriting the first value masks it for the whole sweep.
+  const auto insert = [this](std::string name, std::string value) {
+    const auto it = options_.find(name);
+    VEXSIM_CHECK_MSG(it == options_.end(),
+                     "duplicate option --" << name << " (given '" << it->second
+                                           << "' and '" << value
+                                           << "'); each option may appear "
+                                              "only once");
+    options_.emplace(std::move(name), std::move(value));
+  };
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg.rfind("--", 0) != 0) {
@@ -17,11 +29,11 @@ Cli::Cli(int argc, const char* const* argv) {
     arg = arg.substr(2);
     const auto eq = arg.find('=');
     if (eq != std::string::npos) {
-      options_[arg.substr(0, eq)] = arg.substr(eq + 1);
+      insert(arg.substr(0, eq), arg.substr(eq + 1));
     } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
-      options_[arg] = argv[++i];
+      insert(std::move(arg), argv[++i]);
     } else {
-      options_[arg] = "true";
+      insert(std::move(arg), "true");
     }
   }
 }

@@ -1,6 +1,9 @@
 // Minimal command-line parsing shared by bench/example binaries.
 //
 // Supports `--name value`, `--name=value`, and boolean `--flag` forms.
+// Repeating an option is a hard error (CheckError from the constructor):
+// last-wins semantics would let a typo'd flag silently shadow a real one in
+// a sweep script.
 #pragma once
 
 #include <cstdint>

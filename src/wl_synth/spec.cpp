@@ -77,14 +77,28 @@ SynthSpec parse_spec(const std::string& name) {
   if (body.empty()) bad_spec(name, "empty spec");
 
   SynthSpec spec;
+  std::string seen_keys;  // every key may appear at most once
   std::size_t pos = 0;
+  int field_index = 0;
   while (pos <= body.size()) {
     const std::size_t dash = body.find('-', pos);
     const std::string field =
         body.substr(pos, dash == std::string::npos ? dash : dash - pos);
     pos = dash == std::string::npos ? body.size() + 1 : dash + 1;
-    if (field.size() < 2) bad_spec(name, "empty field '" + field + "'");
+    ++field_index;
+    // A zero-length field means a consecutive or trailing '-'; a one-char
+    // field is a key with no value. Name the spot so "i0.8--m0.3" and
+    // "i0.8-" are diagnosable at a glance.
+    if (field.empty())
+      bad_spec(name, "empty field #" + std::to_string(field_index) +
+                         " (consecutive or trailing '-')");
+    if (field.size() < 2)
+      bad_spec(name, "missing value for field '" + field + "'");
     const char key = field[0];
+    if (seen_keys.find(key) != std::string::npos)
+      bad_spec(name, std::string("duplicate field '") + key +
+                         "' (earlier value would be silently overridden)");
+    seen_keys += key;
     const std::string value = field.substr(1);
     switch (key) {
       case 'i': spec.ilp = parse_fraction(name, key, value); break;

@@ -1,0 +1,210 @@
+#include "harness/result_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "stats/json.hpp"
+#include "util/check.hpp"
+
+namespace vexsim::harness {
+namespace {
+
+ExperimentOptions tiny_options() {
+  ExperimentOptions opt;
+  opt.scale = 0.05;
+  opt.budget = 2'000;
+  opt.timeslice = 500;
+  opt.seed = 7;
+  return opt;
+}
+
+// Fresh per-test cache directory under the gtest scratch area.
+std::string fresh_dir(const std::string& tag) {
+  const std::string dir = testing::TempDir() + "/vexsim_result_cache_" + tag;
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+  return dir;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(is), std::istreambuf_iterator<char>()};
+}
+
+void write_file(const std::string& path, const std::string& text) {
+  std::ofstream os(path, std::ios::binary);
+  os << text;
+}
+
+TEST(PointFingerprint, StableAndSensitiveToEveryAxis) {
+  const MachineConfig cfg = MachineConfig::paper(2, Technique::csmt());
+  const ExperimentOptions opt = tiny_options();
+  const std::uint64_t base = point_fingerprint(cfg, "llmm", opt);
+  EXPECT_EQ(base, point_fingerprint(cfg, "llmm", opt));
+
+  // Any behaviour-affecting change must move the key.
+  ExperimentOptions seed = opt;
+  seed.seed = 8;
+  EXPECT_NE(base, point_fingerprint(cfg, "llmm", seed));
+  ExperimentOptions scale = opt;
+  scale.scale = 0.1;
+  EXPECT_NE(base, point_fingerprint(cfg, "llmm", scale));
+  ExperimentOptions budget = opt;
+  budget.budget += 1;
+  EXPECT_NE(base, point_fingerprint(cfg, "llmm", budget));
+
+  EXPECT_NE(base, point_fingerprint(cfg, "llhh", opt));
+  EXPECT_NE(base,
+            point_fingerprint(MachineConfig::paper(4, Technique::csmt()),
+                              "llmm", opt));
+  EXPECT_NE(base,
+            point_fingerprint(
+                MachineConfig::paper(2, Technique::ccsi(CommPolicy::kNoSplit)),
+                "llmm", opt));
+  MachineConfig renamed = cfg;
+  renamed.cluster_renaming = false;
+  EXPECT_NE(base, point_fingerprint(renamed, "llmm", opt));
+  MachineConfig asym = cfg;
+  asym.cluster_overrides.assign(static_cast<std::size_t>(asym.clusters),
+                                asym.cluster);
+  asym.cluster_overrides[0].issue_slots = 8;
+  asym.cluster_overrides[0].alus = 8;
+  EXPECT_NE(base, point_fingerprint(asym, "llmm", opt));
+}
+
+TEST(PointFingerprint, CanonicalizesSynthSpecSpelling) {
+  const MachineConfig cfg = MachineConfig::paper(2, Technique::csmt());
+  const ExperimentOptions opt = tiny_options();
+  // Field order and defaulted fields don't change the resolved program.
+  EXPECT_EQ(point_fingerprint(cfg, "synth:i0.8-m0.3", opt),
+            point_fingerprint(cfg, "synth:m0.3-i0.8", opt));
+  EXPECT_EQ(point_fingerprint(cfg, "synth:i0.5-m0.1-b0-c0-n64-s1", opt),
+            point_fingerprint(cfg, "synth:i0.5", opt));
+  // A changed dial does.
+  EXPECT_NE(point_fingerprint(cfg, "synth:i0.8-m0.3", opt),
+            point_fingerprint(cfg, "synth:i0.8-m0.4", opt));
+}
+
+TEST(PointFingerprint, UnknownWorkloadThrows) {
+  EXPECT_THROW((void)point_fingerprint(
+                   MachineConfig::paper(2, Technique::csmt()), "no-such-mix",
+                   tiny_options()),
+               CheckError);
+}
+
+TEST(ResultCache, StoreLoadRoundTripsEveryField) {
+  const ResultCache cache(fresh_dir("roundtrip"));
+  const MachineConfig cfg = MachineConfig::paper(2, Technique::csmt());
+  const ExperimentOptions opt = tiny_options();
+  RunResult fresh = run_workload_on(cfg, "llmm", opt);
+  fresh.attempts = 2;  // provenance must round-trip too
+  const std::uint64_t key = point_fingerprint(cfg, "llmm", opt);
+
+  EXPECT_FALSE(cache.load(key).has_value());  // cold cache: miss
+  cache.store(key, "llmm", fresh);
+  const auto loaded = cache.load(key);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_TRUE(loaded->cached);
+  EXPECT_TRUE(loaded->cache_hit);
+  EXPECT_EQ(loaded->attempts, 2);
+  EXPECT_FALSE(loaded->failed);
+
+  EXPECT_EQ(loaded->issue_width, fresh.issue_width);
+  EXPECT_EQ(loaded->sim.cycles, fresh.sim.cycles);
+  EXPECT_EQ(loaded->sim.ops_issued, fresh.sim.ops_issued);
+  EXPECT_EQ(loaded->sim.instructions_retired, fresh.sim.instructions_retired);
+  EXPECT_EQ(loaded->sim.split_instructions, fresh.sim.split_instructions);
+  EXPECT_EQ(loaded->sim.vertical_waste_cycles, fresh.sim.vertical_waste_cycles);
+  EXPECT_EQ(loaded->sim.multi_thread_cycles, fresh.sim.multi_thread_cycles);
+  EXPECT_EQ(loaded->sim.memport_stall_cycles, fresh.sim.memport_stall_cycles);
+  EXPECT_EQ(loaded->sim.drain_cycles, fresh.sim.drain_cycles);
+  EXPECT_EQ(loaded->sim.taken_branches, fresh.sim.taken_branches);
+  EXPECT_EQ(loaded->sim.faults, fresh.sim.faults);
+  EXPECT_EQ(loaded->icache.hits, fresh.icache.hits);
+  EXPECT_EQ(loaded->icache.misses, fresh.icache.misses);
+  EXPECT_EQ(loaded->dcache.hits, fresh.dcache.hits);
+  EXPECT_EQ(loaded->dcache.misses, fresh.dcache.misses);
+  EXPECT_EQ(loaded->merge.full_selections, fresh.merge.full_selections);
+  EXPECT_EQ(loaded->merge.partial_selections, fresh.merge.partial_selections);
+  EXPECT_EQ(loaded->merge.blocked_selections, fresh.merge.blocked_selections);
+  EXPECT_EQ(loaded->merge.comm_nosplit_forced, fresh.merge.comm_nosplit_forced);
+  ASSERT_EQ(loaded->instances.size(), fresh.instances.size());
+  for (std::size_t i = 0; i < fresh.instances.size(); ++i) {
+    const InstanceResult& a = fresh.instances[i];
+    const InstanceResult& b = loaded->instances[i];
+    EXPECT_EQ(b.name, a.name);
+    EXPECT_EQ(b.instructions, a.instructions);
+    EXPECT_EQ(b.respawns, a.respawns);
+    EXPECT_EQ(b.arch_fingerprint, a.arch_fingerprint);
+    EXPECT_EQ(b.faulted, a.faulted);
+    EXPECT_EQ(b.counters.instructions, a.counters.instructions);
+    EXPECT_EQ(b.counters.ops, a.counters.ops);
+    EXPECT_EQ(b.counters.taken_branches, a.counters.taken_branches);
+    EXPECT_EQ(b.counters.split_instructions, a.counters.split_instructions);
+    EXPECT_EQ(b.counters.dmiss_block_cycles, a.counters.dmiss_block_cycles);
+    EXPECT_EQ(b.counters.imiss_block_cycles, a.counters.imiss_block_cycles);
+  }
+}
+
+TEST(ResultCache, CorruptAndStaleRecordsAreMisses) {
+  const ResultCache cache(fresh_dir("corrupt"));
+  const MachineConfig cfg = MachineConfig::paper(2, Technique::csmt());
+  const ExperimentOptions opt = tiny_options();
+  const RunResult fresh = run_workload_on(cfg, "llmm", opt);
+  const std::uint64_t key = point_fingerprint(cfg, "llmm", opt);
+  cache.store(key, "llmm", fresh);
+  const std::string path = cache.entry_path(key);
+  const std::string good = read_file(path);
+
+  // Truncated record.
+  write_file(path, good.substr(0, good.size() / 2));
+  EXPECT_FALSE(cache.load(key).has_value());
+
+  // Arbitrary garbage.
+  write_file(path, "not json at all {{{");
+  EXPECT_FALSE(cache.load(key).has_value());
+
+  // Valid JSON with a missing field.
+  write_file(path, "{\n  \"version\": \"" + std::string(kSimVersionTag) +
+                       "\"\n}\n");
+  EXPECT_FALSE(cache.load(key).has_value());
+
+  // Stale simulator version: parseable, complete, but from another engine.
+  Json stale = Json::parse(good);
+  stale.set("version", "vexsim-sim-pr2");
+  write_file(path, stale.dump());
+  EXPECT_FALSE(cache.load(key).has_value());
+
+  // Key mismatch (record copied onto the wrong path).
+  Json moved = Json::parse(good);
+  moved.set("key", "0000000000000000");
+  write_file(path, moved.dump());
+  EXPECT_FALSE(cache.load(key).has_value());
+
+  // Restoring the original record restores the hit.
+  write_file(path, good);
+  EXPECT_TRUE(cache.load(key).has_value());
+}
+
+TEST(ResultCache, RefusesToStoreFailedResults) {
+  const ResultCache cache(fresh_dir("failed"));
+  RunResult failed;
+  failed.failed = true;
+  failed.error = "timed out";
+  EXPECT_THROW(cache.store(1, "llmm", failed), CheckError);
+}
+
+TEST(ResultCache, CreatesNestedDirectory) {
+  const std::string dir = fresh_dir("nested") + "/a/b";
+  const ResultCache cache(dir);
+  EXPECT_TRUE(std::filesystem::is_directory(dir));
+  EXPECT_EQ(cache.dir(), dir);
+}
+
+}  // namespace
+}  // namespace vexsim::harness

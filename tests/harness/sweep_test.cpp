@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <filesystem>
 #include <set>
 #include <sstream>
 #include <string>
@@ -183,6 +184,275 @@ TEST(Sweep, WorkerExceptionsPropagate) {
   points[1].workload = "no-such-mix";
   EXPECT_THROW((void)run_sweep(points, 4), CheckError);
   EXPECT_THROW((void)run_sweep(points, 1), CheckError);
+}
+
+std::string fresh_cache_dir(const std::string& tag) {
+  const std::string dir = testing::TempDir() + "/vexsim_sweep_cache_" + tag;
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+  return dir;
+}
+
+// Replaces every occurrence of `from` with `to`; asserts at least one match.
+std::string replace_all_in(std::string text, const std::string& from,
+                           const std::string& to) {
+  std::size_t pos = 0;
+  std::size_t n = 0;
+  while ((pos = text.find(from, pos)) != std::string::npos) {
+    text.replace(pos, from.size(), to);
+    pos += to.size();
+    ++n;
+  }
+  EXPECT_GT(n, 0u);
+  return text;
+}
+
+TEST(Sweep, CacheServesBitIdenticalResults) {
+  const auto points = sample_points(11);
+  SweepOptions opts;
+  opts.jobs = 3;
+  opts.cache_dir = fresh_cache_dir("bitident");
+
+  const auto cold = run_sweep(points, opts);
+  const auto warm = run_sweep(points, opts);
+  ASSERT_EQ(cold.size(), points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    EXPECT_FALSE(cold[i].cache_hit) << i;   // fresh simulation...
+    EXPECT_TRUE(cold[i].cached) << i;       // ...persisted on the way out
+    EXPECT_TRUE(warm[i].cache_hit) << i;    // served without simulating
+    EXPECT_TRUE(warm[i].cached) << i;
+  }
+
+  // The acceptance property: a cold-cache sweep and a warm-cache sweep
+  // serialize to byte-identical trajectories.
+  const std::string cold_json = sweep_json("cache_test", points, cold).dump();
+  const std::string warm_json = sweep_json("cache_test", points, warm).dump();
+  EXPECT_EQ(cold_json, warm_json);
+
+  // Against an uncached run, every simulated statistic is bit-identical;
+  // the only JSON difference is the documented `cached` provenance flag.
+  const auto uncached = run_sweep(points, 2);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    EXPECT_EQ(warm[i].sim.cycles, uncached[i].sim.cycles) << i;
+    EXPECT_EQ(warm[i].sim.ops_issued, uncached[i].sim.ops_issued) << i;
+    ASSERT_EQ(warm[i].instances.size(), uncached[i].instances.size());
+    for (std::size_t k = 0; k < warm[i].instances.size(); ++k)
+      EXPECT_EQ(warm[i].instances[k].arch_fingerprint,
+                uncached[i].instances[k].arch_fingerprint)
+          << i << "/" << k;
+  }
+  const std::string uncached_json =
+      sweep_json("cache_test", points, uncached).dump();
+  EXPECT_EQ(replace_all_in(uncached_json, "\"cached\": false",
+                           "\"cached\": true"),
+            warm_json);
+}
+
+TEST(Sweep, CacheSummaryLineReportsHitCounts) {
+  const auto points = sample_points(12);
+  SweepOptions opts;
+  opts.jobs = 2;
+  opts.cache_dir = fresh_cache_dir("summary");
+  std::ostringstream cold_log;
+  opts.progress_stream = &cold_log;
+  (void)run_sweep(points, opts);
+  EXPECT_NE(cold_log.str().find("served 0/6 points from result cache"),
+            std::string::npos)
+      << cold_log.str();
+  std::ostringstream warm_log;
+  opts.progress_stream = &warm_log;
+  (void)run_sweep(points, opts);
+  EXPECT_NE(warm_log.str().find("served 6/6 points from result cache"),
+            std::string::npos)
+      << warm_log.str();
+
+  // Without a cache directory the summary line never appears (the silent
+  // default-progress contract of ProgressReportingEveryNPoints).
+  std::ostringstream quiet;
+  SweepOptions off;
+  off.jobs = 2;
+  off.progress_stream = &quiet;
+  (void)run_sweep(points, off);
+  EXPECT_TRUE(quiet.str().empty());
+}
+
+TEST(Sweep, CacheHitsSkipTheWorkerPoolButKeepOrder) {
+  // Warm every point, then corrupt one entry: only that point re-simulates
+  // and the sweep still returns results in point order.
+  const auto points = sample_points(13);
+  SweepOptions opts;
+  opts.jobs = 4;
+  opts.cache_dir = fresh_cache_dir("partial");
+  const auto cold = run_sweep(points, opts);
+  // Clearing the whole directory but one record leaves 1 hit + 5 misses.
+  std::size_t kept = 0;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(opts.cache_dir)) {
+    if (kept++ > 0) std::filesystem::remove(entry.path());
+  }
+  std::ostringstream log;
+  opts.progress_stream = &log;
+  const auto mixed = run_sweep(points, opts);
+  EXPECT_NE(log.str().find("served 1/6 points from result cache"),
+            std::string::npos)
+      << log.str();
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    hits += mixed[i].cache_hit ? 1u : 0u;
+    EXPECT_EQ(mixed[i].sim.cycles, cold[i].sim.cycles) << i;
+  }
+  EXPECT_EQ(hits, 1u);
+  EXPECT_EQ(sweep_json("t", points, mixed).dump(),
+            sweep_json("t", points, cold).dump());
+}
+
+TEST(Sweep, AggregatedErrorReportsCountAndLabels) {
+  std::vector<SweepPoint> points = sample_points(1);
+  points[1].workload = "no-such-mix";
+  points[4].workload = "also-missing";
+  try {
+    (void)run_sweep(points, 4);
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("2/6 points failed"), std::string::npos) << what;
+    EXPECT_NE(what.find(points[1].label), std::string::npos) << what;
+    EXPECT_NE(what.find(points[4].label), std::string::npos) << what;
+    EXPECT_NE(what.find("no-such-mix"), std::string::npos) << what;
+  }
+}
+
+TEST(Sweep, RetriesExhaustedBecomeStructuredFailures) {
+  std::vector<SweepPoint> points = sample_points(3);
+  points[2].workload = "no-such-mix";
+  SweepOptions opts;
+  opts.jobs = 4;
+  opts.max_retries = 2;  // implies failure tolerance
+
+  const auto results = run_sweep(points, opts);  // must not throw
+  ASSERT_EQ(results.size(), points.size());
+  EXPECT_TRUE(results[2].failed);
+  EXPECT_EQ(results[2].attempts, 3);  // 1 try + 2 retries
+  EXPECT_NE(results[2].error.find("no-such-mix"), std::string::npos)
+      << results[2].error;
+  EXPECT_EQ(results[2].sim.cycles, 0u);
+
+  // Healthy points are untouched by the failure machinery...
+  const auto plain = run_sweep(sample_points(3), 1);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    if (i == 2) continue;
+    EXPECT_FALSE(results[i].failed) << i;
+    EXPECT_EQ(results[i].attempts, 1) << i;
+    EXPECT_EQ(results[i].sim.cycles, plain[i].sim.cycles) << i;
+  }
+  // ...and the whole tolerant sweep is deterministic across --jobs.
+  const auto serial = run_sweep(points, [] {
+    SweepOptions o;
+    o.jobs = 1;
+    o.max_retries = 2;
+    return o;
+  }());
+  EXPECT_EQ(sweep_json("t", points, results).dump(),
+            sweep_json("t", points, serial).dump());
+  // The failed point is visible in the trajectory.
+  const std::string text = sweep_json("t", points, results).dump();
+  EXPECT_NE(text.find("\"failed\": true"), std::string::npos);
+  EXPECT_NE(text.find("\"error\": "), std::string::npos);
+}
+
+TEST(Sweep, GenerousTimeoutIsBitIdenticalAcrossJobs) {
+  // A timeout that never fires must not perturb anything: same stats, one
+  // attempt per point, identical JSON for any worker count.
+  const auto points = sample_points(6);
+  SweepOptions opts;
+  opts.jobs = 4;
+  opts.point_timeout_ms = 600'000;
+  const auto timed = run_sweep(points, opts);
+  opts.jobs = 1;
+  const auto timed_serial = run_sweep(points, opts);
+  const auto plain = run_sweep(points, 2);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    EXPECT_EQ(timed[i].attempts, 1) << i;
+    EXPECT_FALSE(timed[i].failed) << i;
+    EXPECT_EQ(timed[i].sim.cycles, plain[i].sim.cycles) << i;
+  }
+  EXPECT_EQ(sweep_json("t", points, timed).dump(),
+            sweep_json("t", points, timed_serial).dump());
+  EXPECT_EQ(sweep_json("t", points, timed).dump(),
+            sweep_json("t", points, plain).dump());
+}
+
+TEST(Sweep, ExpiredTimeoutIsRecordedAsFailure) {
+  // A single deliberately heavy point (a ~second of simulation even on an
+  // idle machine) under a 25 ms budget: both attempts time out and the
+  // failure is structured. Only the heavy point runs under the tight
+  // timeout — external load slows the simulation down, which can only
+  // widen the margin, so this is stable under a parallel test suite.
+  std::vector<SweepPoint> points = {sample_points(7)[0]};
+  points[0].opt.budget = 1'000'000;
+  points[0].opt.timeslice = 100'000;
+  SweepOptions opts;
+  opts.jobs = 2;
+  opts.point_timeout_ms = 25;
+  opts.max_retries = 1;
+  const auto results = run_sweep(points, opts);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_TRUE(results[0].failed);
+  EXPECT_EQ(results[0].attempts, 2);
+  EXPECT_NE(results[0].error.find("timed out after 25 ms"), std::string::npos)
+      << results[0].error;
+  EXPECT_EQ(results[0].sim.cycles, 0u);
+  // The failure shows up in the trajectory rather than as an exception.
+  const std::string text = sweep_json("t", points, results).dump();
+  EXPECT_NE(text.find("\"failed\": true"), std::string::npos);
+  EXPECT_NE(text.find("timed out after 25 ms"), std::string::npos);
+}
+
+TEST(Sweep, FailedPointsAreNeverCached) {
+  std::vector<SweepPoint> points = sample_points(8);
+  points[1].workload = "no-such-mix";
+  SweepOptions opts;
+  opts.jobs = 2;
+  opts.max_retries = 1;
+  opts.cache_dir = fresh_cache_dir("failures");
+  const auto first = run_sweep(points, opts);
+  EXPECT_TRUE(first[1].failed);
+  EXPECT_FALSE(first[1].cached);
+  // The second run hits for the five good points and re-fails the bad one
+  // fresh — a transient failure must never be replayed from disk.
+  std::ostringstream log;
+  opts.progress_stream = &log;
+  const auto second = run_sweep(points, opts);
+  EXPECT_NE(log.str().find("served 5/6 points from result cache"),
+            std::string::npos)
+      << log.str();
+  EXPECT_TRUE(second[1].failed);
+  EXPECT_FALSE(second[1].cache_hit);
+  EXPECT_EQ(sweep_json("t", points, first).dump(),
+            sweep_json("t", points, second).dump());
+}
+
+TEST(Sweep, FromCliParsesCacheTimeoutRetries) {
+  const auto opts_for = [](std::initializer_list<const char*> args) {
+    std::vector<const char*> argv{"prog"};
+    argv.insert(argv.end(), args.begin(), args.end());
+    const Cli cli(static_cast<int>(argv.size()), argv.data());
+    return SweepOptions::from_cli(cli);
+  };
+  EXPECT_EQ(opts_for({}).cache_dir, "");
+  EXPECT_FALSE(opts_for({}).failure_tolerant());
+  EXPECT_EQ(opts_for({"--cache"}).cache_dir, "sweep-cache");
+  EXPECT_EQ(opts_for({"--cache", "my-dir"}).cache_dir, "my-dir");
+  EXPECT_EQ(opts_for({"--cache=my-dir"}).cache_dir, "my-dir");
+  // --no-cache wins so wrapper-script caches can be disabled per run.
+  EXPECT_EQ(opts_for({"--cache", "my-dir", "--no-cache"}).cache_dir, "");
+  EXPECT_EQ(opts_for({"--no-cache"}).cache_dir, "");
+  const SweepOptions t = opts_for({"--timeout", "250", "--retries", "2"});
+  EXPECT_EQ(t.point_timeout_ms, 250);
+  EXPECT_EQ(t.max_retries, 2);
+  EXPECT_TRUE(t.failure_tolerant());
+  EXPECT_THROW((void)opts_for({"--timeout", "-1"}), CheckError);
+  EXPECT_THROW((void)opts_for({"--retries", "-2"}), CheckError);
 }
 
 TEST(Sweep, ResultForLooksUpByLabel) {

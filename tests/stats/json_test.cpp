@@ -2,8 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <fstream>
+#include <limits>
 #include <string>
 
 #include "util/check.hpp"
@@ -85,6 +88,86 @@ TEST(Json, WriteJsonFile) {
   EXPECT_EQ(content, j.dump());
   std::remove(path.c_str());
   EXPECT_THROW(write_json_file("/nonexistent-dir/x.json", j), CheckError);
+}
+
+TEST(Json, NonFiniteDoublesEmitNull) {
+  // Invalid-JSON tokens like `nan`/`inf` would break every BENCH_*.json
+  // consumer; the writer degrades non-finite metrics to null instead.
+  EXPECT_EQ(Json(std::nan("")).dump(), "null\n");
+  EXPECT_EQ(Json(std::numeric_limits<double>::infinity()).dump(), "null\n");
+  EXPECT_EQ(Json(-std::numeric_limits<double>::infinity()).dump(), "null\n");
+  Json j = Json::object();
+  j.set("ipc", std::nan(""));
+  j.set("ok", 1.5);
+  EXPECT_EQ(j.dump(), "{\n  \"ipc\": null,\n  \"ok\": 1.5\n}\n");
+  // The emitted document stays parseable.
+  EXPECT_TRUE(Json::parse(j.dump()).at("ipc").is_null());
+}
+
+TEST(Json, ParseRoundTripsDumpedDocuments) {
+  Json doc = Json::object();
+  Json arr = Json::array();
+  arr.push(1).push(std::uint64_t{~0ull}).push(std::int64_t{-7}).push(0.25);
+  Json inner = Json::object();
+  inner.set("name", "a\"b\nc").set("flag", true).set("none", Json());
+  arr.push(std::move(inner));
+  doc.set("points", std::move(arr)).set("experiment", "x");
+  const std::string text = doc.dump();
+  EXPECT_EQ(Json::parse(text).dump(), text);
+}
+
+TEST(Json, ParseScalarAccessors) {
+  const Json doc = Json::parse(
+      "{\"u\": 18446744073709551615, \"i\": -42, \"d\": 0.5,"
+      " \"s\": \"hi\", \"b\": true, \"n\": null}");
+  EXPECT_EQ(doc.at("u").as_uint64(), ~0ull);
+  EXPECT_EQ(doc.at("i").as_int64(), -42);
+  EXPECT_DOUBLE_EQ(doc.at("d").as_double(), 0.5);
+  EXPECT_EQ(doc.at("s").as_string(), "hi");
+  EXPECT_TRUE(doc.at("b").as_bool());
+  EXPECT_TRUE(doc.at("n").is_null());
+  // Small non-negative integers are reachable through either signedness.
+  const Json small = Json::parse("{\"v\": 7}");
+  EXPECT_EQ(small.at("v").as_int64(), 7);
+  EXPECT_EQ(small.at("v").as_uint64(), 7u);
+  // find() distinguishes absent from null.
+  EXPECT_EQ(doc.find("missing"), nullptr);
+  EXPECT_NE(doc.find("n"), nullptr);
+  EXPECT_THROW((void)doc.at("missing"), CheckError);
+}
+
+TEST(Json, ParseArraysAndEscapes) {
+  const Json arr = Json::parse("[1, [2, 3], {\"k\": \"a\\u0001\\tb\"}]");
+  ASSERT_TRUE(arr.is_array());
+  ASSERT_EQ(arr.size(), 3u);
+  EXPECT_EQ(arr.at(std::size_t{0}).as_int64(), 1);
+  EXPECT_EQ(arr.at(std::size_t{1}).at(std::size_t{1}).as_int64(), 3);
+  EXPECT_EQ(&arr.at(std::size_t{2}).at("k"), arr.at(std::size_t{2}).find("k"));
+  EXPECT_EQ(arr.at(std::size_t{2}).at("k").as_string(),
+            std::string("a\x01\tb"));
+  EXPECT_THROW((void)arr.at(std::size_t{3}), CheckError);
+}
+
+TEST(Json, ParseRejectsMalformedInput) {
+  EXPECT_THROW((void)Json::parse(""), CheckError);
+  EXPECT_THROW((void)Json::parse("{"), CheckError);
+  EXPECT_THROW((void)Json::parse("{\"a\": 1,}"), CheckError);
+  EXPECT_THROW((void)Json::parse("[1 2]"), CheckError);
+  EXPECT_THROW((void)Json::parse("\"unterminated"), CheckError);
+  EXPECT_THROW((void)Json::parse("\"bad\\q\""), CheckError);
+  EXPECT_THROW((void)Json::parse("nul"), CheckError);
+  EXPECT_THROW((void)Json::parse("1 trailing"), CheckError);
+  EXPECT_THROW((void)Json::parse("1..5"), CheckError);
+  // 2^64 and -2^63-1 overflow their integer representations, and 1e999
+  // overflows double; but a subnormal (strtod underflow) is legitimate
+  // writer output and must round-trip.
+  EXPECT_THROW((void)Json::parse("18446744073709551616"), CheckError);
+  EXPECT_THROW((void)Json::parse("-9223372036854775809"), CheckError);
+  EXPECT_THROW((void)Json::parse("1e999"), CheckError);
+  const double denorm = 5e-324;
+  EXPECT_EQ(Json::parse(Json(denorm).dump()).as_double(), denorm);
+  // Duplicate keys are corruption, not last-wins.
+  EXPECT_THROW((void)Json::parse("{\"a\": 1, \"a\": 2}"), CheckError);
 }
 
 }  // namespace

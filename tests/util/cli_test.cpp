@@ -71,6 +71,28 @@ TEST(Cli, JobsRejectsGarbage) {
   EXPECT_THROW((void)make({"--jobs"}).jobs(), CheckError);  // bare flag -> "true"
 }
 
+TEST(Cli, DuplicateOptionIsHardError) {
+  // Last-wins would let `--seed 1 --seed 2` (or a typo'd flag that lands on
+  // an already-used name) silently mask a sweep misconfiguration.
+  EXPECT_THROW(make({"--seed", "1", "--seed", "2"}), CheckError);
+  EXPECT_THROW(make({"--flag=a", "--flag=b"}), CheckError);
+  EXPECT_THROW(make({"--quick", "--quick"}), CheckError);
+  EXPECT_THROW(make({"--jobs=4", "--jobs", "8"}), CheckError);
+  try {
+    make({"--seed=1", "--seed=2"});
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("duplicate option --seed"), std::string::npos) << what;
+    EXPECT_NE(what.find("'1'"), std::string::npos) << what;
+    EXPECT_NE(what.find("'2'"), std::string::npos) << what;
+  }
+  // Distinct options are unaffected.
+  const Cli ok = make({"--seed", "1", "--budget", "2"});
+  EXPECT_EQ(ok.get_int("seed", 0), 1);
+  EXPECT_EQ(ok.get_int("budget", 0), 2);
+}
+
 TEST(Cli, JobsRejectsOverflow) {
   EXPECT_THROW((void)make({"--jobs", "2147483648"}).jobs(), CheckError);
   EXPECT_THROW((void)make({"--jobs", "4294967297"}).jobs(), CheckError);

@@ -74,6 +74,46 @@ TEST(SynthSpec, RejectsBadSpecs) {
   EXPECT_THROW((void)parse_spec("synth:i"), CheckError);       // no value
 }
 
+TEST(SynthSpec, RejectsDuplicateFields) {
+  // Last-wins would silently drop the earlier dial — and alias two distinct
+  // spec strings onto one cache entry.
+  EXPECT_THROW((void)parse_spec("synth:i0.5-i0.6"), CheckError);
+  EXPECT_THROW((void)parse_spec("synth:s1-m0.2-s2"), CheckError);
+  try {
+    (void)parse_spec("synth:i0.5-m0.1-i0.5");
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("duplicate field 'i'"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(SynthSpec, EmptyFieldErrorsNameTheSpot) {
+  try {
+    (void)parse_spec("synth:i0.8--m0.3");  // consecutive '-'
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("empty field #2"), std::string::npos)
+        << e.what();
+  }
+  try {
+    (void)parse_spec("synth:i0.8-m0.3-");  // trailing '-'
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("empty field #3"), std::string::npos)
+        << e.what();
+  }
+  try {
+    (void)parse_spec("synth:i0.8-m");  // key with no value
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("missing value for field 'm'"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
 TEST(SynthSpec, ErrorMessageQuotesGrammar) {
   try {
     (void)parse_spec("synth:z9");
