@@ -5,9 +5,49 @@
 #include <array>
 #include <map>
 
+#include "cc/cluster_cost.hpp"
 #include "util/check.hpp"
 
 namespace vexsim::cc {
+
+bool AssignView::free_on(VReg v, int cluster) const {
+  if (v < 0) return true;
+  if (replicated != nullptr &&
+      static_cast<std::size_t>(v) < replicated->size() &&
+      ((*replicated)[static_cast<std::size_t>(v)] & (1u << cluster)) != 0)
+    return true;
+  if (remat_recipes != nullptr && remat_recipes->count(v) != 0) return true;
+  return false;
+}
+
+std::vector<int> ir_block_heights(const IrBlock& block,
+                                  const LatencyConfig& lat) {
+  const int n = static_cast<int>(block.body.size());
+  std::vector<int> height(static_cast<std::size_t>(n), 0);
+  // Last definition index per vreg, walked backwards: an op's height is the
+  // max over its consumers of (consumer height + producer latency).
+  std::map<VReg, std::vector<int>> readers;
+  auto note_read = [&readers](VReg v, int i) {
+    if (v >= 0) readers[v].push_back(i);
+  };
+  for (int i = n - 1; i >= 0; --i) {
+    const IrOp& op = block.body[static_cast<std::size_t>(i)];
+    if (has_dst(op.opc)) {
+      const int my_lat = op.dst_is_breg ? lat.cmp_to_branch
+                                        : lat.for_class(op_class(op.opc));
+      int h = 0;
+      for (int r : readers[op.dst])
+        h = std::max(h, height[static_cast<std::size_t>(r)] + my_lat);
+      height[static_cast<std::size_t>(i)] = h;
+      readers[op.dst].clear();
+    }
+    if (reads_src1(op.opc)) note_read(op.src1, i);
+    if (reads_src2(op.opc) && !op.src2_is_imm) note_read(op.src2, i);
+    if (op.opc == Opcode::kSlct || op.opc == Opcode::kSlctf)
+      note_read(op.bsrc, i);
+  }
+  return height;
+}
 
 std::vector<VRegInfo> analyze_vregs(const IrFunction& fn) {
   std::vector<VRegInfo> info(static_cast<std::size_t>(fn.next_vreg));
@@ -62,8 +102,9 @@ namespace {
 class Assigner {
  public:
   Assigner(const IrFunction& fn, const MachineConfig& cfg,
-           const std::vector<int>* preset_homes = nullptr)
-      : fn_(fn), cfg_(cfg) {
+           const std::vector<int>* preset_homes = nullptr,
+           const ClusterPolicy* policy = nullptr)
+      : fn_(fn), cfg_(cfg), policy_(policy) {
     out_.name = fn.name;
     out_.next_vreg = fn.next_vreg;
     out_.info = analyze_vregs(fn);
@@ -121,6 +162,15 @@ class Assigner {
   // Per-block alias map: (vreg, cluster) → local alias vreg.
   using AliasKey = std::pair<VReg, int>;
 
+  // Operand identities (vreg + redefinition version) a breg-writing
+  // compare consumed, recorded at its definition.
+  struct BregSnapshot {
+    VReg src1 = kNoVReg;
+    int src1_version = 0;
+    VReg src2 = kNoVReg;
+    int src2_version = 0;
+  };
+
   void lower_block(std::size_t b) {
     const IrBlock& in = fn_.blocks[b];
     out_.blocks.emplace_back();
@@ -130,8 +180,13 @@ class Assigner {
     out.target = in.target;
     aliases_.clear();
     breg_clones_.clear();
+    cur_block_ = b;
+    if (policy_ != nullptr && *policy_)
+      heights_ = ir_block_heights(in, cfg_.lat);
 
-    for (const IrOp& op : in.body) {
+    for (std::size_t op_i = 0; op_i < in.body.size(); ++op_i) {
+      const IrOp& op = in.body[op_i];
+      cur_index_ = op_i;
       const int cluster = choose_cluster(op);
       LOp lop;
       lop.opc = op.opc;
@@ -164,6 +219,28 @@ class Assigner {
       }
       note_class(lop);
       out.body.push_back(lop);
+      // Remember which operand values a breg-writing compare consumed, so
+      // a later clone can prove it would read the same values.
+      if (has_dst(op.opc) && lop.dst_is_breg && !lop.is_copy) {
+        BregSnapshot snap;
+        snap.src1 = reads_src1(lop.opc) ? lop.src1 : kNoVReg;
+        snap.src1_version = snap.src1 >= 0 ? version_of(snap.src1) : 0;
+        snap.src2 = lop.src2_is_imm ? kNoVReg : lop.src2;
+        snap.src2_version = snap.src2 >= 0 ? version_of(snap.src2) : 0;
+        breg_snapshot_[lop.dst] = snap;
+      }
+      // The block's branch condition must live on cluster 0. Clone the
+      // compare here, adjacent to the original, while its operands still
+      // hold the values the original read — a clone materialized at the
+      // terminator (the old behaviour) would re-localize operands after
+      // any interleaving redefinition and silently compare fresher values
+      // (x264's running-minimum update branch was decided by the *new*
+      // minimum).
+      if (in.term == Terminator::kBranch && has_dst(op.opc) &&
+          op.dst_is_breg && op.dst == in.cond && cluster != 0 &&
+          breg_clones_.find({op.dst, 0}) == breg_clones_.end()) {
+        (void)localize_breg(op.dst, 0, out);
+      }
       // Mirror the definition onto every replica cluster.
       if (has_dst(op.opc) &&
           static_cast<std::size_t>(op.dst) < replicate_mask_.size() &&
@@ -207,6 +284,30 @@ class Assigner {
     if (has_dst(op.opc)) {
       const auto& vi = out_.info[static_cast<std::size_t>(op.dst)];
       if (vi.global && vi.home_cluster >= 0) return vi.home_cluster;
+    }
+    if (policy_ != nullptr && *policy_) {
+      AssignView view;
+      view.cfg = &cfg_;
+      view.block = cur_block_;
+      view.op_index = cur_index_;
+      view.height = cur_index_ < heights_.size()
+                        ? heights_[cur_index_]
+                        : 0;
+      view.value_cluster = &def_cluster_;
+      view.replicated = &replicate_mask_;
+      view.remat_recipes = &remat_recipe_;
+      view.slot_count = &slot_count_;
+      view.alu_count = &alu_count_;
+      view.mul_count = &mul_count_;
+      view.mem_count = &mem_count_;
+      const int chosen = (*policy_)(op, view);
+      if (chosen >= 0 && chosen < cfg_.clusters) {
+        if (has_dst(op.opc)) {
+          auto& vi = out_.info[static_cast<std::size_t>(op.dst)];
+          if (vi.global && vi.home_cluster == -1) vi.home_cluster = chosen;
+        }
+        return chosen;
+      }
     }
     std::array<double, kMaxClusters> score{};
     auto operand_vote = [&](VReg v) {
@@ -273,12 +374,20 @@ class Assigner {
   void record_def(VReg v, int cluster) {
     def_cluster_[static_cast<std::size_t>(v)] = cluster;
     load_[static_cast<std::size_t>(cluster)] += 1.0;
+    ++def_version_[v];
+  }
+
+  [[nodiscard]] int version_of(VReg v) const {
+    const auto it = def_version_.find(v);
+    return it == def_version_.end() ? 0 : it->second;
   }
 
   void note_class(const LOp& lop) {
     const auto c = static_cast<std::size_t>(lop.cluster);
     if (op_class(lop.opc) == OpClass::kMem) ++mem_count_[c];
     if (op_class(lop.opc) == OpClass::kMul) ++mul_count_[c];
+    if (op_class(lop.opc) == OpClass::kAlu) ++alu_count_[c];
+    ++slot_count_[c];
   }
 
   void invalidate_aliases(VReg v) {
@@ -320,6 +429,7 @@ class Assigner {
         // Self-increment: g_c = g_c ± imm.
         clone.src1 = replica_of(op.dst, c);
       }
+      ++def_version_[clone.dst];
       note_class(clone);
       out.body.push_back(clone);
     }
@@ -398,6 +508,9 @@ class Assigner {
     copy.dst = out_.next_vreg++;
     copy.cluster = dc;
     copy.copy_dst_cluster = cluster;
+    // A copy occupies an issue slot on both end clusters.
+    ++slot_count_[static_cast<std::size_t>(dc)];
+    ++slot_count_[static_cast<std::size_t>(cluster)];
     out.body.push_back(copy);
     out_.info.push_back(VRegInfo{});  // alias is a plain local gpr
     def_cluster_.push_back(cluster);
@@ -423,6 +536,20 @@ class Assigner {
       if (lop.dst == v && lop.dst_is_breg) def = &lop;
     VEXSIM_CHECK_MSG(def != nullptr,
                      fn_.name << ": predicate def not found in block");
+    // Re-localizing the operands here replays the compare with *current*
+    // values; that is only the same predicate if nothing redefined them
+    // since the original executed (branch conditions are cloned eagerly at
+    // the definition for exactly this reason — see lower_block).
+    if (const auto snap = breg_snapshot_.find(v);
+        snap != breg_snapshot_.end()) {
+      const BregSnapshot& s = snap->second;
+      VEXSIM_CHECK_MSG(
+          (s.src1 < 0 || version_of(s.src1) == s.src1_version) &&
+              (s.src2 < 0 || version_of(s.src2) == s.src2_version),
+          fn_.name << ": cannot clone predicate v" << v << " onto cluster "
+                   << cluster
+                   << ": an operand was redefined since the compare");
+    }
     LOp clone = *def;
     // Register the clone's id and bookkeeping entries *before* localizing
     // its operands — localize() may allocate further alias vregs and the
@@ -443,6 +570,10 @@ class Assigner {
 
   const IrFunction& fn_;
   const MachineConfig& cfg_;
+  const ClusterPolicy* policy_ = nullptr;
+  std::size_t cur_block_ = 0;
+  std::size_t cur_index_ = 0;
+  std::vector<int> heights_;
   LFunction out_;
   std::vector<int> def_cluster_;
   std::vector<int> first_use_;
@@ -452,20 +583,32 @@ class Assigner {
   std::map<VReg, IrOp> remat_recipe_;
   std::map<AliasKey, VReg> aliases_;
   std::map<AliasKey, VReg> breg_clones_;
+  std::map<VReg, int> def_version_;
+  std::map<VReg, BregSnapshot> breg_snapshot_;
   std::array<double, kMaxClusters> load_{};
   std::array<int, kMaxClusters> mem_count_{};
   std::array<int, kMaxClusters> mul_count_{};
+  std::array<int, kMaxClusters> alu_count_{};
+  std::array<int, kMaxClusters> slot_count_{};
 };
 
 }  // namespace
 
 LFunction assign_clusters(const IrFunction& fn, const MachineConfig& cfg) {
+  return assign_clusters(fn, cfg, CompilerOptions{});
+}
+
+LFunction assign_clusters(const IrFunction& fn, const MachineConfig& cfg,
+                          const CompilerOptions& opt) {
   fn.validate();
+  const ClusterPolicy policy = opt.assign == AssignStrategy::kCostModel
+                                   ? make_cost_policy(fn, cfg)
+                                   : ClusterPolicy{};
   // Two-pass Bottom-Up-Greedy flavour: the first pass discovers where each
   // loop-carried (global) value is actually consumed; the second pass homes
   // globals there, which keeps serial recurrences on one cluster instead of
   // ping-ponging through inter-cluster copies.
-  Assigner discovery(fn, cfg);
+  Assigner discovery(fn, cfg, nullptr, &policy);
   (void)discovery.run();
   std::vector<int> homes = discovery.first_use_cluster();
   homes.resize(static_cast<std::size_t>(fn.next_vreg), -1);
@@ -506,7 +649,7 @@ LFunction assign_clusters(const IrFunction& fn, const MachineConfig& cfg) {
     }
   }
 
-  Assigner final_pass(fn, cfg, &homes);
+  Assigner final_pass(fn, cfg, &homes, &policy);
   final_pass.set_replicated(std::move(replicate));
   return final_pass.run();
 }

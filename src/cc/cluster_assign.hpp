@@ -7,11 +7,15 @@
 // both halves issue in the same VLIW instruction).
 #pragma once
 
+#include <array>
 #include <cstdint>
+#include <functional>
+#include <map>
 #include <string>
 #include <vector>
 
 #include "cc/ir.hpp"
+#include "cc/options.hpp"
 #include "isa/config.hpp"
 
 namespace vexsim::cc {
@@ -65,7 +69,53 @@ struct LFunction {
 // compare per block instead).
 [[nodiscard]] std::vector<VRegInfo> analyze_vregs(const IrFunction& fn);
 
+// Per-decision view handed to a ClusterPolicy. All pointers stay valid for
+// the duration of the call only.
+struct AssignView {
+  const MachineConfig* cfg = nullptr;
+  std::size_t block = 0;
+  std::size_t op_index = 0;
+  // Critical-path height of the op within its block (RAW chains, latency
+  // weighted): how much downstream work waits on this result.
+  int height = 0;
+  // Cluster currently holding each vreg's value (-1 = not yet defined).
+  const std::vector<int>* value_cluster = nullptr;
+  // Clusters holding a replica of each vreg (induction replication) —
+  // reading a replicated value is free on any cluster in its mask.
+  const std::vector<std::uint32_t>* replicated = nullptr;
+  // Rematerialization recipes: values clonable onto any cluster instead of
+  // copied (keyed by vreg).
+  const std::map<VReg, IrOp>* remat_recipes = nullptr;
+  // Per-cluster tallies of work placed so far (copies count a slot on both
+  // end clusters).
+  const std::array<int, kMaxClusters>* slot_count = nullptr;
+  const std::array<int, kMaxClusters>* alu_count = nullptr;
+  const std::array<int, kMaxClusters>* mul_count = nullptr;
+  const std::array<int, kMaxClusters>* mem_count = nullptr;
+
+  // True when reading `v` costs nothing on `cluster` (replicated there or
+  // rematerializable).
+  [[nodiscard]] bool free_on(VReg v, int cluster) const;
+};
+
+// Chooses the execution cluster for `op`, or -1 to defer to the greedy
+// heuristic. Consulted only for ops without explicit hints or an already
+// pinned global home.
+using ClusterPolicy = std::function<int(const IrOp& op, const AssignView&)>;
+
+// Critical-path heights of a block's ops (RAW chains only), used by
+// cost-model policies to weigh communication on long chains.
+[[nodiscard]] std::vector<int> ir_block_heights(const IrBlock& block,
+                                                const LatencyConfig& lat);
+
 [[nodiscard]] LFunction assign_clusters(const IrFunction& fn,
                                         const MachineConfig& cfg);
+
+// Policy-selecting variant: CompilerOptions::assign == kCostModel installs
+// the cost-model policy (cc/cluster_cost.hpp); kGreedy reproduces the
+// two-parameter overload exactly.
+[[nodiscard]] LFunction assign_clusters(const IrFunction& fn,
+                                        const MachineConfig& cfg,
+                                        const CompilerOptions& opt);
 
 }  // namespace vexsim::cc

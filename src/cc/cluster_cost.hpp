@@ -1,0 +1,36 @@
+// Cost-model cluster assignment policy.
+//
+// Replaces the greedy chooser's fixed affinity votes with an explicit cost
+// function over the block's dependence structure and the machine's
+// per-cluster capacities:
+//
+//   cost(c) = communication + pressure
+//
+//   communication: each register operand living on another cluster (and
+//     neither replicated there nor rematerializable) costs a co-scheduled
+//     send/recv pair — one slot on both clusters plus `lat.comm` on the
+//     dependence chain. The charge scales with the op's critical-path
+//     height, so copies on long chains (which stretch the whole schedule)
+//     cost more than copies on short tails.
+//
+//   pressure: the projected schedule length each cluster needs for the
+//     work already placed on it, taken as the max over its issue-slot,
+//     ALU, multiplier and memory-port utilization *at that cluster's own
+//     capacities*. Greedy's flat load counter treats an 8-issue and a
+//     2-issue cluster alike; this term is what makes asymmetric
+//     geometries (8+4+2+2) fill proportionally.
+//
+// The policy is deterministic (ties break toward the lowest cluster
+// index) and plugs into the shared lowering machinery of
+// cc/cluster_assign.hpp, so copy insertion, induction replication and
+// rematerialization behave identically across assigners.
+#pragma once
+
+#include "cc/cluster_assign.hpp"
+
+namespace vexsim::cc {
+
+[[nodiscard]] ClusterPolicy make_cost_policy(const IrFunction& fn,
+                                             const MachineConfig& cfg);
+
+}  // namespace vexsim::cc

@@ -1,154 +1,34 @@
 #include "cc/compiler.hpp"
 
-#include <vector>
-
-#include "cc/cluster_assign.hpp"
-#include "cc/regalloc.hpp"
-#include "cc/schedule.hpp"
+#include "cc/pipeline.hpp"
 #include "util/check.hpp"
 
 namespace vexsim::cc {
 
-namespace {
-
-Operation lower_op(const LOp& op, const Allocation& alloc) {
-  Operation out;
-  out.opc = op.opc;
-  out.cluster = static_cast<std::uint8_t>(op.cluster);
-  out.imm = op.imm;
-  out.src2_is_imm = op.src2_is_imm;
-  auto gpr = [&alloc](VReg v) {
-    const int r = alloc.gpr_of[static_cast<std::size_t>(v)];
-    VEXSIM_CHECK_MSG(r >= 0, "unallocated gpr vreg " << v);
-    return static_cast<std::uint8_t>(r);
-  };
-  auto breg = [&alloc](VReg v) {
-    const int r = alloc.breg_of[static_cast<std::size_t>(v)];
-    VEXSIM_CHECK_MSG(r >= 0, "unallocated breg vreg " << v);
-    return static_cast<std::uint8_t>(r);
-  };
-  if (has_dst(op.opc)) {
-    if (op.dst_is_breg) {
-      out.dst = breg(op.dst);
-      out.dst_is_breg = true;
-    } else {
-      out.dst = gpr(op.dst);
-    }
-  }
-  if (reads_src1(op.opc)) out.src1 = gpr(op.src1);
-  if (reads_src2(op.opc) && !op.src2_is_imm) out.src2 = gpr(op.src2);
-  if (op.opc == Opcode::kSlct || op.opc == Opcode::kSlctf)
-    out.bsrc = breg(op.bsrc);
-  return out;
-}
-
-}  // namespace
-
 Program compile(const IrFunction& fn, const MachineConfig& cfg,
                 CompileStats* stats) {
-  const LFunction lfn = assign_clusters(fn, cfg);
-  const FunctionSchedule fsched = schedule(lfn, cfg);
-  const Allocation alloc = allocate(lfn, fsched, cfg);
+  return compile(fn, cfg, CompilerOptions{}, stats);
+}
 
-  Program prog;
-  prog.name = fn.name;
-
-  // Block start indices for branch patching.
-  std::vector<std::uint32_t> block_start(lfn.blocks.size(), 0);
-  std::uint32_t index = 0;
-  for (std::size_t b = 0; b < lfn.blocks.size(); ++b) {
-    block_start[b] = index;
-    index += static_cast<std::uint32_t>(fsched.blocks[b].length);
-  }
-
-  struct Patch {
-    std::size_t instr;
-    int cluster;
-    std::size_t op_index;
-    int target_block;
-  };
-  std::vector<Patch> patches;
-
-  for (std::size_t b = 0; b < lfn.blocks.size(); ++b) {
-    const LBlock& block = lfn.blocks[b];
-    const BlockSchedule& bs = fsched.blocks[b];
-    std::vector<VliwInstruction> insns(
-        static_cast<std::size_t>(bs.length));
-
-    for (std::size_t i = 0; i < block.body.size(); ++i) {
-      const LOp& op = block.body[i];
-      const auto cycle = static_cast<std::size_t>(bs.cycle_of[i]);
-      if (op.is_copy) {
-        const int chan = bs.chan_of[i];
-        VEXSIM_CHECK(chan >= 0 && chan < kNumChannels);
-        insns[cycle].add(ops::send(
-            op.cluster, alloc.gpr_of[static_cast<std::size_t>(op.src1)],
-            chan));
-        insns[cycle].add(ops::recv(
-            op.copy_dst_cluster,
-            alloc.gpr_of[static_cast<std::size_t>(op.dst)], chan));
-      } else {
-        insns[cycle].add(lower_op(op, alloc));
-      }
-    }
-
-    if (bs.term_cycle >= 0) {
-      const auto tc = static_cast<std::size_t>(bs.term_cycle);
-      switch (block.term) {
-        case Terminator::kBranch: {
-          const int breg =
-              alloc.breg_of[static_cast<std::size_t>(block.cond)];
-          VEXSIM_CHECK(breg >= 0);
-          Operation br = block.branch_if_false ? ops::brf(0, breg, 0)
-                                               : ops::br(0, breg, 0);
-          insns[tc].add(br);
-          patches.push_back(Patch{prog.code.size() + tc, 0,
-                                  insns[tc].bundle(0).size() - 1,
-                                  block.target});
-          break;
-        }
-        case Terminator::kGoto: {
-          insns[tc].add(ops::jump(0, 0));
-          patches.push_back(Patch{prog.code.size() + tc, 0,
-                                  insns[tc].bundle(0).size() - 1,
-                                  block.target});
-          break;
-        }
-        case Terminator::kHalt:
-          insns[tc].add(ops::halt(0));
-          break;
-        case Terminator::kFallthrough:
-          break;
-      }
-    }
-
-    prog.labels[static_cast<std::uint32_t>(prog.code.size())] =
-        fn.name + "_b" + std::to_string(b);
-    for (VliwInstruction& insn : insns) prog.code.push_back(insn);
-  }
-
-  for (const Patch& p : patches) {
-    Bundle& bundle = prog.code[p.instr].bundles[static_cast<std::size_t>(p.cluster)];
-    bundle[p.op_index].imm =
-        static_cast<std::int32_t>(block_start[static_cast<std::size_t>(p.target_block)]);
-  }
-
-  prog.finalize();
-  prog.validate(cfg.clusters);
-
-  if (stats != nullptr) {
-    stats->instructions = static_cast<int>(prog.code.size());
-    stats->copies_inserted = lfn.copies_inserted;
-    stats->cmps_cloned = lfn.cmps_cloned;
-    stats->max_gpr_pressure = alloc.max_gpr_pressure;
-    stats->operations = 0;
-    stats->empty_instructions = 0;
-    for (const VliwInstruction& insn : prog.code) {
-      stats->operations += insn.op_count();
-      if (insn.empty()) ++stats->empty_instructions;
+Program compile(const IrFunction& fn, const MachineConfig& cfg,
+                const CompilerOptions& opt, CompileStats* stats) {
+  if (opt.modulo_schedule) {
+    // Software pipelining promotes every loop-defined value to a stable
+    // global register; per-loop budgets keep that in bounds, but a function
+    // with many pipelined loops can still exhaust a register file only at
+    // allocation time. Fall back to the plain pipeline for the whole
+    // function rather than failing the compile.
+    try {
+      return Pipeline::standard(opt).run(fn, cfg, opt, stats);
+    } catch (const CheckError&) {
+      CompilerOptions plain = opt;
+      plain.modulo_schedule = false;
+      Program prog = Pipeline::standard(plain).run(fn, cfg, plain, stats);
+      if (stats != nullptr) ++stats->swp_fallbacks;
+      return prog;
     }
   }
-  return prog;
+  return Pipeline::standard(opt).run(fn, cfg, opt, stats);
 }
 
 }  // namespace vexsim::cc

@@ -9,6 +9,7 @@
 #pragma once
 
 #include "cc/ir.hpp"
+#include "cc/options.hpp"
 #include "isa/config.hpp"
 #include "isa/program.hpp"
 
@@ -21,6 +22,12 @@ struct CompileStats {
   int copies_inserted = 0;
   int cmps_cloned = 0;
   int max_gpr_pressure = 0;
+  // Software pipelining: counted loops examined, loops actually pipelined,
+  // and candidates that stayed on the list-scheduler path (no feasible II,
+  // register/stage budget, or a whole-function regalloc fallback).
+  int swp_candidates = 0;
+  int swp_loops = 0;
+  int swp_fallbacks = 0;
 
   [[nodiscard]] double ops_per_instruction() const {
     return instructions == 0
@@ -29,9 +36,17 @@ struct CompileStats {
   }
 };
 
-// Compiles `fn` for the machine in `cfg`. The returned program is finalized
-// and validated. Throws CheckError on IR errors or register exhaustion.
+// Compiles `fn` for the machine in `cfg` with the default (seed) pipeline.
+// The returned program is finalized and validated. Throws CheckError on IR
+// errors or register exhaustion.
 [[nodiscard]] Program compile(const IrFunction& fn, const MachineConfig& cfg,
+                              CompileStats* stats = nullptr);
+
+// Pipeline-variant compile. When modulo scheduling makes register
+// allocation infeasible for the whole function, recompiles once with it
+// disabled (stats then report the fallback).
+[[nodiscard]] Program compile(const IrFunction& fn, const MachineConfig& cfg,
+                              const CompilerOptions& opt,
                               CompileStats* stats = nullptr);
 
 }  // namespace vexsim::cc

@@ -1,0 +1,69 @@
+// Iterative modulo scheduling (software pipelining) of counted self-loops.
+//
+// Recognizes lowered blocks of the canonical counted-loop shape the Builder
+// kernels and the synthetic generator produce — a single-block do-while
+// whose back-branch tests a self-incremented global counter against an
+// immediate — and rewrites each into
+//
+//   guard      trip-count check: short trips take the original loop
+//   original   the unmodified list-scheduled loop (remainder path)
+//   goto       skips the pipelined code on the remainder path
+//   prologue   (stages-1) * II instructions filling the pipeline
+//   kernel     II instructions running `stages` iterations overlapped,
+//              back-branch rewritten to exit stages-1 iterations early
+//   epilogue   (stages-1) * II instructions draining in-flight iterations
+//
+// The II search is bounded below by the resource MII (per-cluster slots,
+// FU classes, copy channels, the reserved back-branch) and above by the
+// loop's list-schedule length and CompilerOptions::max_ii; recurrences are
+// handled by the scheduler itself (an II that cannot satisfy the
+// distance-annotated dependence edges fails and the search moves on). A
+// loop with no verifying II, or one that would exceed the register or
+// stage budgets, simply stays on the list-scheduler path.
+//
+// Register correctness without rotating registers or modulo variable
+// expansion: every GPR defined in the loop is promoted to a stable global
+// register, and the dependence edges constrain each value's reads to the
+// window between its write landing and the next iteration's redefinition
+// (the simulator's NUAL latency-window checker enforces exactly this
+// dynamically). Branch registers are block-local by ISA contract, so breg
+// def/use groups are constrained to one stage and renamed per emitted
+// instance.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "cc/options.hpp"
+#include "cc/schedule.hpp"
+
+namespace vexsim::cc {
+
+// One software-pipelined loop, as block indices into the rewritten
+// function.
+struct SwpLoop {
+  std::size_t guard_block = 0;
+  std::size_t orig_block = 0;
+  std::size_t prologue_block = 0;
+  std::size_t kernel_block = 0;
+  std::size_t epilogue_block = 0;
+  int ii = 0;
+  int stages = 0;
+};
+
+struct ModuloResult {
+  // Precomputed schedules for the prologue/kernel/epilogue blocks; the
+  // list scheduler adopts these verbatim.
+  std::map<std::size_t, BlockSchedule> pinned;
+  std::vector<SwpLoop> loops;
+  int candidates = 0;  // counted self-loops examined
+  int fallbacks = 0;   // candidates left on the list-scheduler path
+};
+
+// Rewrites `fn` in place. Deterministic; never throws on an unsuitable
+// loop (it falls back instead).
+[[nodiscard]] ModuloResult modulo_schedule_loops(LFunction& fn,
+                                                 const MachineConfig& cfg,
+                                                 const CompilerOptions& opt);
+
+}  // namespace vexsim::cc

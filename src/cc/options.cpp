@@ -1,0 +1,60 @@
+#include "cc/options.hpp"
+
+#include <array>
+#include <string_view>
+
+#include "util/check.hpp"
+
+namespace vexsim::cc {
+
+namespace {
+
+struct VariantEntry {
+  std::string_view name;
+  std::string_view alias;  // pipeN
+  AssignStrategy assign;
+  bool swp;
+};
+
+constexpr std::array<VariantEntry, 4> kVariants = {{
+    {"greedy", "pipe0", AssignStrategy::kGreedy, false},
+    {"cost", "pipe1", AssignStrategy::kCostModel, false},
+    {"cost_swp", "pipe2", AssignStrategy::kCostModel, true},
+    {"greedy_swp", "pipe3", AssignStrategy::kGreedy, true},
+}};
+
+}  // namespace
+
+std::string CompilerOptions::name() const {
+  for (const VariantEntry& v : kVariants)
+    if (v.assign == assign && v.swp == modulo_schedule)
+      return std::string(v.name);
+  return "greedy";  // unreachable: the variant table is exhaustive
+}
+
+CompilerOptions CompilerOptions::parse(const std::string& name) {
+  for (const VariantEntry& v : kVariants) {
+    if (name == v.name || name == v.alias) {
+      CompilerOptions opt;
+      opt.assign = v.assign;
+      opt.modulo_schedule = v.swp;
+      return opt;
+    }
+  }
+  VEXSIM_CHECK_MSG(false, "unknown compiler variant '"
+                              << name << "': valid names are ["
+                              << compiler_variant_names()
+                              << "] (pipe0..pipe3 aliases accepted)");
+  return {};
+}
+
+std::string compiler_variant_names() {
+  std::string names;
+  for (const VariantEntry& v : kVariants) {
+    if (!names.empty()) names += ", ";
+    names += std::string(v.name);
+  }
+  return names;
+}
+
+}  // namespace vexsim::cc

@@ -1,0 +1,50 @@
+// Compiler pass-pipeline options.
+//
+// A CompilerOptions value selects which variant of each optimization pass
+// the standard pipeline instantiates. The default reproduces the seed
+// compiler bit-for-bit (greedy cluster assignment, straight list
+// scheduling), so golden statistics stay frozen; the optimizing variants
+// are opt-in per experiment, per workload component ("synth:...-ccpipe1")
+// or per bench invocation (--cc=cost_swp).
+//
+// Variant names (parse() also accepts the pipeN aliases):
+//   greedy      pipe0   BUG-style greedy assigner, list scheduler (seed)
+//   cost        pipe1   cost-model cluster assigner, list scheduler
+//   cost_swp    pipe2   cost-model assigner + iterative modulo scheduling
+//   greedy_swp  pipe3   greedy assigner + iterative modulo scheduling
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace vexsim::cc {
+
+enum class AssignStrategy : std::uint8_t { kGreedy, kCostModel };
+
+struct CompilerOptions {
+  AssignStrategy assign = AssignStrategy::kGreedy;
+  // Software-pipeline innermost counted loops (iterative modulo
+  // scheduling); loops where no II at most `max_ii` verifies, or whose
+  // kernel would need more than `max_stages` overlapped iterations, fall
+  // back to the list scheduler.
+  bool modulo_schedule = false;
+  int max_ii = 64;
+  int max_stages = 6;
+
+  // Canonical variant name ("greedy", "cost", "cost_swp", "greedy_swp").
+  // Tunables (max_ii/max_stages) are not part of the name; cache keys and
+  // fingerprints hash every field separately.
+  [[nodiscard]] std::string name() const;
+
+  // Parses a variant name or pipeN alias. Throws CheckError listing the
+  // valid names on an unknown one.
+  static CompilerOptions parse(const std::string& name);
+
+  friend bool operator==(const CompilerOptions&,
+                         const CompilerOptions&) = default;
+};
+
+// Comma-separated valid variant names, for error messages and CLI help.
+[[nodiscard]] std::string compiler_variant_names();
+
+}  // namespace vexsim::cc

@@ -1,0 +1,286 @@
+#include "cc/pipeline.hpp"
+
+#include <utility>
+#include <vector>
+
+#include "cc/verifier.hpp"
+#include "util/check.hpp"
+
+namespace vexsim::cc {
+
+namespace {
+
+Operation lower_op(const LOp& op, const Allocation& alloc,
+                   const std::string& fn_name) {
+  Operation out;
+  out.opc = op.opc;
+  out.cluster = static_cast<std::uint8_t>(op.cluster);
+  out.imm = op.imm;
+  out.src2_is_imm = op.src2_is_imm;
+  auto gpr = [&alloc, &fn_name](VReg v) {
+    const int r = alloc.gpr_of[static_cast<std::size_t>(v)];
+    VEXSIM_CHECK_MSG(r >= 0, fn_name << ": unallocated gpr vreg " << v);
+    return static_cast<std::uint8_t>(r);
+  };
+  auto breg = [&alloc, &fn_name](VReg v) {
+    const int r = alloc.breg_of[static_cast<std::size_t>(v)];
+    VEXSIM_CHECK_MSG(r >= 0, fn_name << ": unallocated breg vreg " << v);
+    return static_cast<std::uint8_t>(r);
+  };
+  if (has_dst(op.opc)) {
+    if (op.dst_is_breg) {
+      out.dst = breg(op.dst);
+      out.dst_is_breg = true;
+    } else {
+      out.dst = gpr(op.dst);
+    }
+  }
+  if (reads_src1(op.opc)) out.src1 = gpr(op.src1);
+  if (reads_src2(op.opc) && !op.src2_is_imm) out.src2 = gpr(op.src2);
+  if (op.opc == Opcode::kSlct || op.opc == Opcode::kSlctf)
+    out.bsrc = breg(op.bsrc);
+  return out;
+}
+
+class IrVerifyPass final : public Pass {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "ir-verify"; }
+  void run(PassContext& ctx) const override { ctx.fn.validate(); }
+};
+
+class ClusterAssignPass final : public Pass {
+ public:
+  [[nodiscard]] std::string_view name() const override {
+    return "cluster-assign";
+  }
+  void run(PassContext& ctx) const override {
+    ctx.lfn = assign_clusters(ctx.fn, ctx.cfg, ctx.opt);
+    ctx.stats.copies_inserted = ctx.lfn.copies_inserted;
+    ctx.stats.cmps_cloned = ctx.lfn.cmps_cloned;
+  }
+};
+
+class ModuloSchedPass final : public Pass {
+ public:
+  [[nodiscard]] std::string_view name() const override {
+    return "modulo-sched";
+  }
+  void run(PassContext& ctx) const override {
+    ctx.swp = modulo_schedule_loops(ctx.lfn, ctx.cfg, ctx.opt);
+    ctx.stats.swp_candidates = ctx.swp.candidates;
+    ctx.stats.swp_loops = static_cast<int>(ctx.swp.loops.size());
+    ctx.stats.swp_fallbacks = ctx.swp.fallbacks;
+    // Guard blocks may add inter-cluster copies.
+    ctx.stats.copies_inserted = ctx.lfn.copies_inserted;
+  }
+};
+
+class ListSchedPass final : public Pass {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "list-sched"; }
+  void run(PassContext& ctx) const override {
+    ctx.sched = schedule(ctx.lfn, ctx.cfg, ctx.swp.pinned);
+  }
+};
+
+class RegAllocPass final : public Pass {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "regalloc"; }
+  void run(PassContext& ctx) const override {
+    ctx.alloc = allocate(ctx.lfn, ctx.sched, ctx.cfg);
+    ctx.stats.max_gpr_pressure = ctx.alloc.max_gpr_pressure;
+  }
+};
+
+class EmitPass final : public Pass {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "emit"; }
+
+  void run(PassContext& ctx) const override {
+    const LFunction& lfn = ctx.lfn;
+    const FunctionSchedule& fsched = ctx.sched;
+    const Allocation& alloc = ctx.alloc;
+
+    Program prog;
+    prog.name = lfn.name;
+
+    // Block start indices for branch patching.
+    std::vector<std::uint32_t> block_start(lfn.blocks.size(), 0);
+    std::uint32_t index = 0;
+    for (std::size_t b = 0; b < lfn.blocks.size(); ++b) {
+      block_start[b] = index;
+      index += static_cast<std::uint32_t>(fsched.blocks[b].length);
+    }
+
+    struct Patch {
+      std::size_t instr;
+      int cluster;
+      std::size_t op_index;
+      int target_block;
+    };
+    std::vector<Patch> patches;
+
+    for (std::size_t b = 0; b < lfn.blocks.size(); ++b) {
+      const LBlock& block = lfn.blocks[b];
+      const BlockSchedule& bs = fsched.blocks[b];
+      std::vector<VliwInstruction> insns(static_cast<std::size_t>(bs.length));
+
+      for (std::size_t i = 0; i < block.body.size(); ++i) {
+        const LOp& op = block.body[i];
+        const auto cycle = static_cast<std::size_t>(bs.cycle_of[i]);
+        if (op.is_copy) {
+          const int chan = bs.chan_of[i];
+          VEXSIM_CHECK(chan >= 0 && chan < kNumChannels);
+          insns[cycle].add(ops::send(
+              op.cluster, alloc.gpr_of[static_cast<std::size_t>(op.src1)],
+              chan));
+          insns[cycle].add(ops::recv(
+              op.copy_dst_cluster,
+              alloc.gpr_of[static_cast<std::size_t>(op.dst)], chan));
+        } else {
+          insns[cycle].add(lower_op(op, alloc, lfn.name));
+        }
+      }
+
+      if (bs.term_cycle >= 0) {
+        const auto tc = static_cast<std::size_t>(bs.term_cycle);
+        switch (block.term) {
+          case Terminator::kBranch: {
+            const int breg =
+                alloc.breg_of[static_cast<std::size_t>(block.cond)];
+            VEXSIM_CHECK(breg >= 0);
+            Operation br = block.branch_if_false ? ops::brf(0, breg, 0)
+                                                 : ops::br(0, breg, 0);
+            insns[tc].add(br);
+            patches.push_back(Patch{prog.code.size() + tc, 0,
+                                    insns[tc].bundle(0).size() - 1,
+                                    block.target});
+            break;
+          }
+          case Terminator::kGoto: {
+            insns[tc].add(ops::jump(0, 0));
+            patches.push_back(Patch{prog.code.size() + tc, 0,
+                                    insns[tc].bundle(0).size() - 1,
+                                    block.target});
+            break;
+          }
+          case Terminator::kHalt:
+            insns[tc].add(ops::halt(0));
+            break;
+          case Terminator::kFallthrough:
+            break;
+        }
+      }
+
+      prog.labels[static_cast<std::uint32_t>(prog.code.size())] =
+          lfn.name + "_b" + std::to_string(b);
+      for (VliwInstruction& insn : insns) prog.code.push_back(insn);
+    }
+
+    for (const Patch& p : patches) {
+      Bundle& bundle =
+          prog.code[p.instr].bundles[static_cast<std::size_t>(p.cluster)];
+      bundle[p.op_index].imm = static_cast<std::int32_t>(
+          block_start[static_cast<std::size_t>(p.target_block)]);
+    }
+
+    // Software-pipeline metadata: instruction spans of each
+    // prologue/kernel/epilogue region, for the verifier and the decode
+    // cache.
+    for (const SwpLoop& loop : ctx.swp.loops) {
+      SoftwarePipelinedLoop info;
+      info.prologue_start = block_start[loop.prologue_block];
+      info.kernel_start = block_start[loop.kernel_block];
+      info.epilogue_end =
+          block_start[loop.epilogue_block] +
+          static_cast<std::uint32_t>(
+              fsched.blocks[loop.epilogue_block].length);
+      info.ii = static_cast<std::uint16_t>(loop.ii);
+      info.stages = static_cast<std::uint16_t>(loop.stages);
+      prog.kernels.push_back(info);
+    }
+
+    prog.finalize();
+    prog.validate(ctx.cfg.clusters);
+
+    ctx.stats.instructions = static_cast<int>(prog.code.size());
+    ctx.stats.operations = 0;
+    ctx.stats.empty_instructions = 0;
+    for (const VliwInstruction& insn : prog.code) {
+      ctx.stats.operations += insn.op_count();
+      if (insn.empty()) ++ctx.stats.empty_instructions;
+    }
+    ctx.prog = std::move(prog);
+  }
+};
+
+class ProgramVerifyPass final : public Pass {
+ public:
+  [[nodiscard]] std::string_view name() const override {
+    return "program-verify";
+  }
+  void run(PassContext& ctx) const override {
+    verify_or_throw(ctx.prog, ctx.cfg);
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Pass> make_ir_verify_pass() {
+  return std::make_unique<IrVerifyPass>();
+}
+std::unique_ptr<Pass> make_cluster_assign_pass() {
+  return std::make_unique<ClusterAssignPass>();
+}
+std::unique_ptr<Pass> make_modulo_sched_pass() {
+  return std::make_unique<ModuloSchedPass>();
+}
+std::unique_ptr<Pass> make_list_sched_pass() {
+  return std::make_unique<ListSchedPass>();
+}
+std::unique_ptr<Pass> make_regalloc_pass() {
+  return std::make_unique<RegAllocPass>();
+}
+std::unique_ptr<Pass> make_emit_pass() { return std::make_unique<EmitPass>(); }
+std::unique_ptr<Pass> make_program_verify_pass() {
+  return std::make_unique<ProgramVerifyPass>();
+}
+
+Pipeline& Pipeline::add(std::unique_ptr<Pass> pass) {
+  VEXSIM_CHECK_MSG(pass != nullptr, "null compiler pass");
+  passes_.push_back(std::move(pass));
+  return *this;
+}
+
+std::vector<std::string> Pipeline::pass_names() const {
+  std::vector<std::string> names;
+  names.reserve(passes_.size());
+  for (const auto& pass : passes_) names.emplace_back(pass->name());
+  return names;
+}
+
+void Pipeline::run_passes(PassContext& ctx) const {
+  for (const auto& pass : passes_) pass->run(ctx);
+}
+
+Program Pipeline::run(IrFunction fn, const MachineConfig& cfg,
+                      const CompilerOptions& opt, CompileStats* stats) const {
+  PassContext ctx(cfg, opt, std::move(fn));
+  run_passes(ctx);
+  if (stats != nullptr) *stats = ctx.stats;
+  return std::move(ctx.prog);
+}
+
+Pipeline Pipeline::standard(const CompilerOptions& opt) {
+  Pipeline p;
+  p.add(make_ir_verify_pass());
+  p.add(make_cluster_assign_pass());
+  if (opt.modulo_schedule) p.add(make_modulo_sched_pass());
+  p.add(make_list_sched_pass());
+  p.add(make_regalloc_pass());
+  p.add(make_emit_pass());
+  p.add(make_program_verify_pass());
+  return p;
+}
+
+}  // namespace vexsim::cc

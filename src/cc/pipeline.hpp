@@ -1,0 +1,94 @@
+// Explicit compiler pass pipeline.
+//
+// The seed compiler was a hard-wired call chain (irgen → cluster_assign →
+// schedule → regalloc → emit → validate); this turns it into named,
+// individually-testable passes over a shared PassContext, with
+// CompilerOptions selecting the variant of each optimization pass:
+//
+//   ir-verify            structural IR validation
+//   cluster-assign[...]  greedy (BUG-style) or cost-model assignment
+//   modulo-sched         software-pipelines counted self-loops (opt-in)
+//   list-sched           list scheduling of the remaining blocks
+//   regalloc             stable globals + linear-scan locals
+//   emit                 send/recv expansion, branch patching, finalize
+//   program-verify       static legality (resources, pairing, kernels)
+//
+// Pipeline::standard(opt) builds the production pass list; tests build
+// partial pipelines and inspect the intermediate artifacts in PassContext.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cc/cluster_assign.hpp"
+#include "cc/compiler.hpp"
+#include "cc/modulo_sched.hpp"
+#include "cc/options.hpp"
+#include "cc/regalloc.hpp"
+#include "cc/schedule.hpp"
+
+namespace vexsim::cc {
+
+// Artifacts threaded between passes. Each pass reads the fields earlier
+// passes produced and fills its own; run() returns ctx.prog.
+struct PassContext {
+  const MachineConfig& cfg;
+  CompilerOptions opt;
+
+  IrFunction fn;        // input
+  LFunction lfn;        // after cluster-assign (modulo-sched rewrites it)
+  ModuloResult swp;     // after modulo-sched (empty otherwise)
+  FunctionSchedule sched;  // after list-sched (adopts swp.pinned)
+  Allocation alloc;     // after regalloc
+  Program prog;         // after emit
+  CompileStats stats;
+
+  PassContext(const MachineConfig& machine, CompilerOptions options,
+              IrFunction input)
+      : cfg(machine), opt(options), fn(std::move(input)) {}
+};
+
+class Pass {
+ public:
+  virtual ~Pass() = default;
+  [[nodiscard]] virtual std::string_view name() const = 0;
+  virtual void run(PassContext& ctx) const = 0;
+};
+
+class Pipeline {
+ public:
+  Pipeline() = default;
+  Pipeline(Pipeline&&) = default;
+  Pipeline& operator=(Pipeline&&) = default;
+
+  Pipeline& add(std::unique_ptr<Pass> pass);
+  [[nodiscard]] std::vector<std::string> pass_names() const;
+
+  // Runs every pass over `ctx` in order.
+  void run_passes(PassContext& ctx) const;
+
+  // Convenience: full run over `fn`, returning the finalized program.
+  [[nodiscard]] Program run(IrFunction fn, const MachineConfig& cfg,
+                            const CompilerOptions& opt,
+                            CompileStats* stats = nullptr) const;
+
+  // The production pipeline for `opt`.
+  [[nodiscard]] static Pipeline standard(const CompilerOptions& opt);
+
+ private:
+  std::vector<std::unique_ptr<Pass>> passes_;
+};
+
+// Individual pass factories, for partial pipelines in tests.
+[[nodiscard]] std::unique_ptr<Pass> make_ir_verify_pass();
+[[nodiscard]] std::unique_ptr<Pass> make_cluster_assign_pass();
+[[nodiscard]] std::unique_ptr<Pass> make_modulo_sched_pass();
+[[nodiscard]] std::unique_ptr<Pass> make_list_sched_pass();
+[[nodiscard]] std::unique_ptr<Pass> make_regalloc_pass();
+[[nodiscard]] std::unique_ptr<Pass> make_emit_pass();
+[[nodiscard]] std::unique_ptr<Pass> make_program_verify_pass();
+
+}  // namespace vexsim::cc

@@ -175,10 +175,29 @@ class BlockScheduler {
 }  // namespace
 
 FunctionSchedule schedule(const LFunction& fn, const MachineConfig& cfg) {
+  static const std::map<std::size_t, BlockSchedule> kNoPins;
+  return schedule(fn, cfg, kNoPins);
+}
+
+BlockSchedule schedule_block(const LBlock& block, const LFunction& fn,
+                             const MachineConfig& cfg) {
+  return BlockScheduler(block, fn, cfg).run();
+}
+
+FunctionSchedule schedule(const LFunction& fn, const MachineConfig& cfg,
+                          const std::map<std::size_t, BlockSchedule>& pinned) {
   FunctionSchedule out;
   out.blocks.reserve(fn.blocks.size());
-  for (const LBlock& block : fn.blocks)
-    out.blocks.push_back(BlockScheduler(block, fn, cfg).run());
+  for (std::size_t b = 0; b < fn.blocks.size(); ++b) {
+    if (const auto it = pinned.find(b); it != pinned.end()) {
+      VEXSIM_CHECK_MSG(it->second.cycle_of.size() == fn.blocks[b].body.size(),
+                       fn.name << ": pinned schedule for block " << b
+                               << " does not match its body");
+      out.blocks.push_back(it->second);
+    } else {
+      out.blocks.push_back(BlockScheduler(fn.blocks[b], fn, cfg).run());
+    }
+  }
   return out;
 }
 

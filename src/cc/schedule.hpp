@@ -15,6 +15,7 @@
 //     which makes cross-block NUAL timing safe under any issue delay.
 #pragma once
 
+#include <map>
 #include <vector>
 
 #include "cc/cluster_assign.hpp"
@@ -35,5 +36,18 @@ struct FunctionSchedule {
 
 [[nodiscard]] FunctionSchedule schedule(const LFunction& fn,
                                         const MachineConfig& cfg);
+
+// Schedules one block in isolation (the modulo scheduler uses this to
+// bound its II search by the list-schedule length).
+[[nodiscard]] BlockSchedule schedule_block(const LBlock& block,
+                                           const LFunction& fn,
+                                           const MachineConfig& cfg);
+
+// Pinned variant: blocks whose index appears in `pinned` adopt the given
+// schedule verbatim (modulo-scheduled prologue/kernel/epilogue blocks);
+// the rest are list-scheduled as usual.
+[[nodiscard]] FunctionSchedule schedule(
+    const LFunction& fn, const MachineConfig& cfg,
+    const std::map<std::size_t, BlockSchedule>& pinned);
 
 }  // namespace vexsim::cc

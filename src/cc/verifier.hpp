@@ -2,14 +2,20 @@
 //
 // Checks the properties the merging/split-issue hardware and the simulator
 // rely on:
-//   - per-instruction, per-cluster resource legality (slots and FU classes);
+//   - per-instruction, per-cluster resource legality (slots and FU
+//     classes, honouring asymmetric cluster_overrides geometries);
 //   - at most one control-flow operation per instruction;
 //   - send/recv pairing: every channel used by a send has exactly one recv
 //     in the same instruction and vice versa;
 //   - branch targets inside the program;
-//   - register indices in range.
-// (Latency/NUAL legality is enforced dynamically by the simulator's
-// latency-window checker, which sees the actual issue cycles.)
+//   - register indices in range;
+//   - software-pipelined kernels (Program::kernels): the back-branch
+//     closes the kernel span, and a cyclic replay of the steady state
+//     proves no operand read falls inside another instruction's
+//     latency window — the static mirror of the simulator's dynamic
+//     NUAL checker, wrapped around the kernel's modulo boundary.
+// (For straight-line code, latency/NUAL legality is enforced dynamically
+// by the simulator's latency-window checker.)
 #pragma once
 
 #include <string>

@@ -25,6 +25,8 @@ ExperimentOptions ExperimentOptions::from_cli(const Cli& cli) {
       "timeslice", static_cast<std::int64_t>(opt.timeslice)));
   opt.seed = static_cast<std::uint64_t>(cli.get_int(
       "seed", static_cast<std::int64_t>(opt.seed)));
+  if (cli.has("cc"))
+    opt.compiler = cc::CompilerOptions::parse(cli.get("cc", ""));
   return opt;
 }
 
@@ -32,7 +34,9 @@ RunResult run_workload_on(const MachineConfig& cfg,
                           const std::string& workload_name,
                           const ExperimentOptions& opt) {
   const wl::WorkloadSpec spec = wl::workload(workload_name);
-  auto programs = wl::build_workload(spec, cfg, opt.scale);
+  CompileSummary compile;
+  auto programs =
+      wl::build_workload(spec, cfg, opt.scale, opt.compiler, &compile);
   DriverParams params;
   params.timeslice = opt.timeslice;
   params.budget = opt.budget;
@@ -41,7 +45,9 @@ RunResult run_workload_on(const MachineConfig& cfg,
   params.respawn = true;
   params.fast_forward = opt.fast_forward;
   MultiprogramDriver driver(cfg, std::move(programs), params);
-  return driver.run();
+  RunResult result = driver.run();
+  result.compile = compile;
+  return result;
 }
 
 RunResult run_workload(const std::string& workload_name, int threads,
@@ -55,7 +61,9 @@ RunResult run_single(const std::string& benchmark, bool perfect_memory,
   MachineConfig cfg = MachineConfig::paper_single();
   cfg.icache.perfect = perfect_memory;
   cfg.dcache.perfect = perfect_memory;
-  auto program = wl::make_benchmark(benchmark, cfg, opt.scale);
+  cc::CompileStats stats;
+  auto program =
+      wl::make_benchmark(benchmark, cfg, opt.scale, opt.compiler, &stats);
   DriverParams params;
   params.timeslice = ~0ull;  // single program: no switching
   params.budget = opt.budget;
@@ -63,7 +71,14 @@ RunResult run_single(const std::string& benchmark, bool perfect_memory,
   params.seed = opt.seed;
   params.respawn = true;
   MultiprogramDriver driver(cfg, {std::move(program)}, params);
-  return driver.run();
+  RunResult result = driver.run();
+  result.compile.instructions = static_cast<std::uint64_t>(stats.instructions);
+  result.compile.operations = static_cast<std::uint64_t>(stats.operations);
+  result.compile.copies_inserted =
+      static_cast<std::uint64_t>(stats.copies_inserted);
+  result.compile.swp_loops = static_cast<std::uint64_t>(stats.swp_loops);
+  result.compile.present = true;
+  return result;
 }
 
 }  // namespace vexsim::harness

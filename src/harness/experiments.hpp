@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <string>
 
+#include "cc/options.hpp"
 #include "isa/config.hpp"
 #include "sim/driver.hpp"
 #include "util/cli.hpp"
@@ -25,8 +26,12 @@ struct ExperimentOptions {
   // Idle-cycle batching (bit-identical stats either way); micro_sim_speed
   // turns it off to time the pure cycle-by-cycle path.
   bool fast_forward = true;
+  // Compiler pass-pipeline variant the workload compiles with (--cc NAME;
+  // per-component "synth:...-cc..." fields override it). Part of the
+  // result-cache fingerprint and the workload memo key.
+  cc::CompilerOptions compiler;
 
-  // Applies --budget/--timeslice/--seed/--scale/--paper/--quick.
+  // Applies --budget/--timeslice/--seed/--scale/--paper/--quick/--cc.
   static ExperimentOptions from_cli(const Cli& cli);
 };
 

@@ -165,6 +165,13 @@ Json result_json(const RunResult& r) {
     instances.push(std::move(ij));
   }
 
+  Json compile = Json::object();
+  compile.set("instructions", r.compile.instructions)
+      .set("operations", r.compile.operations)
+      .set("copies_inserted", r.compile.copies_inserted)
+      .set("swp_loops", r.compile.swp_loops)
+      .set("present", r.compile.present);
+
   Json out = Json::object();
   out.set("issue_width", r.issue_width)
       .set("attempts", r.attempts)
@@ -172,6 +179,7 @@ Json result_json(const RunResult& r) {
       .set("icache", std::move(icache))
       .set("dcache", std::move(dcache))
       .set("merge", std::move(merge))
+      .set("compile", std::move(compile))
       .set("instances", std::move(instances));
   return out;
 }
@@ -204,6 +212,13 @@ RunResult result_from_json(const Json& j) {
   r.merge.blocked_selections = merge.at("blocked_selections").as_uint64();
   r.merge.comm_nosplit_forced = merge.at("comm_nosplit_forced").as_uint64();
 
+  const Json& compile = j.at("compile");
+  r.compile.instructions = compile.at("instructions").as_uint64();
+  r.compile.operations = compile.at("operations").as_uint64();
+  r.compile.copies_inserted = compile.at("copies_inserted").as_uint64();
+  r.compile.swp_loops = compile.at("swp_loops").as_uint64();
+  r.compile.present = compile.at("present").as_bool();
+
   const Json& instances = j.at("instances");
   for (std::size_t i = 0; i < instances.size(); ++i) {
     const Json& ij = instances.at(i);
@@ -234,6 +249,13 @@ std::uint64_t point_fingerprint(const MachineConfig& cfg,
       .u64(opt.max_cycles)
       .u64(opt.seed)
       .flag(opt.fast_forward);
+  // Compiler pass-pipeline options: every knob the compiled code depends
+  // on, so points simulated under different compiler settings can never
+  // alias one cache record.
+  fp.u64(static_cast<std::uint64_t>(opt.compiler.assign))
+      .flag(opt.compiler.modulo_schedule)
+      .i64(opt.compiler.max_ii)
+      .i64(opt.compiler.max_stages);
   return fp.finish();
 }
 

@@ -338,7 +338,8 @@ Json point_json(const SweepPoint& p, const RunResult& r) {
       .set("seed", p.opt.seed)
       .set("scale", p.opt.scale)
       .set("budget", p.opt.budget)
-      .set("timeslice", p.opt.timeslice);
+      .set("timeslice", p.opt.timeslice)
+      .set("cc", p.opt.compiler.name());
 
   Json sim = Json::object();
   sim.set("ipc", r.ipc())
@@ -376,6 +377,16 @@ Json point_json(const SweepPoint& p, const RunResult& r) {
     instances.push(std::move(ij));
   }
 
+  // Compile quality of the workload's static code (per-component stats
+  // summed by build_workload), so BENCH trajectories track the compiler
+  // alongside the machine.
+  Json compile = Json::object();
+  compile.set("ops_per_instruction", r.compile.ops_per_instruction())
+      .set("instructions", r.compile.instructions)
+      .set("operations", r.compile.operations)
+      .set("copies_inserted", r.compile.copies_inserted)
+      .set("swp_loops", r.compile.swp_loops);
+
   Json point = Json::object();
   point.set("label", p.label)
       .set("workload", p.workload)
@@ -383,6 +394,7 @@ Json point_json(const SweepPoint& p, const RunResult& r) {
       .set("sim", std::move(sim))
       .set("caches", std::move(caches))
       .set("merge", std::move(merge))
+      .set("compile", std::move(compile))
       .set("instances", std::move(instances));
   // Harness provenance. `cached` is cache membership (stored or served), so
   // cold- and warm-cache sweeps serialize identically; per-run hit counts go

@@ -27,7 +27,22 @@ DecodedOp DecodedProgram::decode_op(const Operation& op) {
   return d;
 }
 
-DecodedProgram::DecodedProgram(const std::vector<VliwInstruction>& code) {
+DecodedProgram::DecodedProgram(const std::vector<VliwInstruction>& code,
+                               const std::vector<SoftwarePipelinedLoop>&
+                                   kernels) {
+  if (!kernels.empty()) {
+    regions_.assign(code.size(), SwpRegion::kNone);
+    for (const SoftwarePipelinedLoop& k : kernels) {
+      VEXSIM_CHECK_MSG(k.epilogue_end <= code.size(),
+                       "software-pipeline span past end of code");
+      for (std::uint32_t i = k.prologue_start; i < k.kernel_start; ++i)
+        regions_[i] = SwpRegion::kPrologue;
+      for (std::uint32_t i = k.kernel_start; i < k.kernel_start + k.ii; ++i)
+        regions_[i] = SwpRegion::kKernel;
+      for (std::uint32_t i = k.kernel_start + k.ii; i < k.epilogue_end; ++i)
+        regions_[i] = SwpRegion::kEpilogue;
+    }
+  }
   insns_.reserve(code.size());
   for (const VliwInstruction& insn : code) {
     DecodedInstruction dec;

@@ -30,6 +30,23 @@
 
 namespace vexsim {
 
+// One software-pipelined loop's instruction spans, recorded by the
+// compiler's modulo-scheduling pass: [prologue_start, kernel_start) fills
+// the pipeline, [kernel_start, kernel_start + ii) is the steady-state
+// kernel (`stages` iterations in flight, back-branch in its last
+// instruction), and [kernel_start + ii, epilogue_end) drains it. The
+// verifier replays the kernel cyclically against this metadata; the decode
+// cache exposes the region of each instruction.
+struct SoftwarePipelinedLoop {
+  std::uint32_t prologue_start = 0;
+  std::uint32_t kernel_start = 0;
+  std::uint32_t epilogue_end = 0;  // one past the last epilogue instruction
+  std::uint16_t ii = 0;            // kernel length in instructions
+  std::uint16_t stages = 0;        // overlapped iterations in steady state
+};
+
+enum class SwpRegion : std::uint8_t { kNone, kPrologue, kKernel, kEpilogue };
+
 // Dataflow facts of one operation, resolved once at decode.
 struct DecodedOp {
   // Flag bits mirror the opcode.hpp classification helpers.
@@ -74,7 +91,9 @@ struct DecodedInstruction {
 
 class DecodedProgram {
  public:
-  explicit DecodedProgram(const std::vector<VliwInstruction>& code);
+  explicit DecodedProgram(const std::vector<VliwInstruction>& code,
+                          const std::vector<SoftwarePipelinedLoop>& kernels =
+                              {});
 
   [[nodiscard]] const DecodedInstruction& insn(std::size_t pc) const {
     return insns_[pc];
@@ -84,12 +103,20 @@ class DecodedProgram {
   }
   [[nodiscard]] std::size_t size() const { return insns_.size(); }
 
+  // Software-pipeline region of an instruction (prologue/epilogue-aware
+  // decode: tools and the verifier ask, the cycle hot paths never do).
+  [[nodiscard]] SwpRegion region_of(std::size_t pc) const {
+    return regions_.empty() ? SwpRegion::kNone : regions_[pc];
+  }
+
   // Decode of a single operation; exposed so tests can cross-check the
   // cached flags against the opcode.hpp classification functions.
   [[nodiscard]] static DecodedOp decode_op(const Operation& op);
 
  private:
   std::vector<DecodedInstruction> insns_;
+  // Empty when the program has no pipelined loops (the common case).
+  std::vector<SwpRegion> regions_;
 };
 
 }  // namespace vexsim

@@ -16,7 +16,23 @@ void Program::finalize() {
     addr += encoded_size_bytes(insn);
   }
   code_bytes = addr - code_base;
-  decoded = std::make_shared<const DecodedProgram>(code);
+  // Software-pipeline spans must describe a well-formed
+  // prologue/kernel/epilogue region before they reach the decode cache or
+  // the verifier.
+  for (const SoftwarePipelinedLoop& k : kernels) {
+    VEXSIM_CHECK_MSG(k.ii >= 1 && k.stages >= 2,
+                     name << ": degenerate software-pipeline span (ii="
+                          << k.ii << ", stages=" << k.stages << ")");
+    VEXSIM_CHECK_MSG(
+        k.kernel_start - k.prologue_start ==
+            static_cast<std::uint32_t>(k.ii) * (k.stages - 1u),
+        name << ": prologue span does not match (stages-1) * ii");
+    VEXSIM_CHECK_MSG(
+        k.epilogue_end >= k.kernel_start + k.ii &&
+            k.epilogue_end <= code.size(),
+        name << ": software-pipeline span out of range");
+  }
+  decoded = std::make_shared<const DecodedProgram>(code, kernels);
 }
 
 void Program::add_data(std::uint32_t addr, std::vector<std::uint8_t> bytes) {

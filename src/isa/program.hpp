@@ -22,6 +22,11 @@ struct Program {
   std::vector<DataSegment> data;
   std::uint32_t code_base = 0x0000'1000;  // byte address of instruction 0
   std::map<std::uint32_t, std::string> labels;  // instr index -> label
+  // Software-pipelined loop spans recorded by the compiler's modulo
+  // scheduler (empty for unpipelined programs). finalize() validates the
+  // spans and threads them into the decode cache; the verifier replays
+  // each kernel cyclically against them.
+  std::vector<SoftwarePipelinedLoop> kernels;
 
   // Derived by finalize(): byte address of each instruction (for the ICache
   // model) computed from the binary encoding sizes, plus the decode cache

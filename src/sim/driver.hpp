@@ -41,12 +41,31 @@ struct InstanceResult {
   ThreadCounters counters;
 };
 
+// Static compile-quality summary of a workload's programs, aggregated over
+// its components by the harness (plain counters here so the sim layer does
+// not depend on the compiler's CompileStats type).
+struct CompileSummary {
+  std::uint64_t instructions = 0;   // static VLIW instructions
+  std::uint64_t operations = 0;     // static operations
+  std::uint64_t copies_inserted = 0;  // inter-cluster send/recv pairs
+  std::uint64_t swp_loops = 0;        // software-pipelined loops
+  bool present = false;               // filled by the harness
+
+  [[nodiscard]] double ops_per_instruction() const {
+    return instructions == 0
+               ? 0.0
+               : static_cast<double>(operations) /
+                     static_cast<double>(instructions);
+  }
+};
+
 struct RunResult {
   SimStats sim;
   CacheStats icache;
   CacheStats dcache;
   MergeEngineStats merge;
   std::vector<InstanceResult> instances;
+  CompileSummary compile;  // filled by harness::run_workload_on
   int issue_width = 0;
 
   // Harness provenance, filled by harness::run_sweep; a direct

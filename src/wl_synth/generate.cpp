@@ -44,7 +44,12 @@ int chain_count(const SynthSpec& spec, const MachineConfig& cfg) {
 }
 
 Program generate(const SynthSpec& spec, const MachineConfig& cfg,
-                 double scale) {
+                 double scale, const cc::CompilerOptions& compiler,
+                 cc::CompileStats* stats) {
+  // A spec-level "cc" field pins this component's compiler regardless of
+  // the experiment-wide options.
+  const cc::CompilerOptions copt =
+      spec.has_compiler ? spec.compiler : compiler;
   using cc::Builder;
   using cc::VReg;
 
@@ -96,7 +101,33 @@ Program generate(const SynthSpec& spec, const MachineConfig& cfg,
                        ? static_cast<int>(
                              rng.below(static_cast<std::uint32_t>(cfg.clusters)))
                        : -1;
-    if (rng.chance(spec.mem_intensity)) {
+    if (spec.parallel_fraction > 0.0 && rng.chance(spec.parallel_fraction)) {
+      // Pipeline-parallel step: work seeded by the loop counter (an
+      // induction value, replicated across clusters), independent of the
+      // accumulator until a single fold at the end. The recurrence stays
+      // one ALU op per fold while the multiply/load chain hangs off it —
+      // the shape that gives modulo scheduling its II headroom. The
+      // chance() guard is short-circuited so p=0 specs keep the exact
+      // pre-dial Rng stream (and therefore their programs).
+      const VReg seeded = b.mpyi(
+          outer, static_cast<std::int32_t>(rng.below(61) * 2 + 3), cl);
+      const VReg mixed =
+          b.alu(Opcode::kXor, seeded,
+                invariants[rng.below(
+                    static_cast<std::uint32_t>(invariants.size()))],
+                cl);
+      VReg val = mixed;
+      if (rng.chance(spec.mem_intensity)) {
+        const VReg masked = b.alui(Opcode::kAnd, mixed,
+                                   static_cast<std::int32_t>(kPoolBytes - 4),
+                                   cl);
+        const VReg addr = b.alu(Opcode::kAdd, pool, masked, cl);
+        val = b.load(Opcode::kLdw, addr, 0, cc::kMemSpaceReadOnly, cl);
+        emitted += 3;
+      }
+      cur[k] = b.alu(Opcode::kXor, cur[k], val, cl);
+      emitted += 3;
+    } else if (rng.chance(spec.mem_intensity)) {
       if (rng.chance(0.25)) {
         // Chain-private output stream: disjoint address range and mem space
         // per chain, so stores of different chains neither alias nor carry
@@ -174,7 +205,7 @@ Program generate(const SynthSpec& spec, const MachineConfig& cfg,
   b.store(Opcode::kStw, out, 0, sum);
   b.halt();
 
-  Program prog = cc::compile(std::move(b).take(), cfg);
+  Program prog = cc::compile(std::move(b).take(), cfg, copt, stats);
   prog.add_data_words(kPoolBase, pool_words(spec.seed));
   prog.finalize();
   // Belt and braces: generation happens once per (spec, cfg, scale) thanks

@@ -18,6 +18,7 @@
 // compiler to materialize send/recv copy pairs.
 #pragma once
 
+#include "cc/compiler.hpp"
 #include "isa/config.hpp"
 #include "isa/program.hpp"
 #include "wl_synth/spec.hpp"
@@ -29,10 +30,14 @@ namespace vexsim::wl_synth {
 [[nodiscard]] int chain_count(const SynthSpec& spec, const MachineConfig& cfg);
 
 // Generates and compiles the program. Bit-identical output for identical
-// (spec, cfg, scale) — generation draws only on Rng(spec.seed). `scale`
-// multiplies the outer trip count like KernelScale does for the Figure-13
-// kernels. Throws CheckError if the spec cannot compile on `cfg`.
+// (spec, cfg, scale, compiler) — generation draws only on Rng(spec.seed).
+// `scale` multiplies the outer trip count like KernelScale does for the
+// Figure-13 kernels; `compiler` selects the pass-pipeline variant (a
+// spec-level "cc" field overrides it). Throws CheckError if the spec
+// cannot compile on `cfg`.
 [[nodiscard]] Program generate(const SynthSpec& spec, const MachineConfig& cfg,
-                               double scale = 1.0);
+                               double scale = 1.0,
+                               const cc::CompilerOptions& compiler = {},
+                               cc::CompileStats* stats = nullptr);
 
 }  // namespace vexsim::wl_synth

@@ -17,8 +17,9 @@ constexpr int kMaxOps = 4096;
   VEXSIM_CHECK_MSG(false, "bad synthetic spec '"
                               << name << "': " << why
                               << " (grammar: synth:i<ilp>-m<mem>-b<branch>-"
-                                 "c<comm>-n<ops>-s<seed>, fields optional, "
-                                 "i/m/b/c in [0,1], n in ["
+                                 "c<comm>-p<parallel>-n<ops>-s<seed>-"
+                                 "cc<compiler>, fields optional, i/m/b/c/p "
+                                 "in [0,1], n in ["
                               << kMinOps << "," << kMaxOps << "])");
   std::abort();  // unreachable: the check above throws
 }
@@ -63,7 +64,12 @@ std::string SynthSpec::name() const {
   std::ostringstream os;
   os << kSynthPrefix << "i" << format_dial(ilp) << "-m"
      << format_dial(mem_intensity) << "-b" << format_dial(branch_density)
-     << "-c" << format_dial(comm_density) << "-n" << ops << "-s" << seed;
+     << "-c" << format_dial(comm_density);
+  // Later dials stay out of the canonical name at their defaults so names
+  // minted before the dial existed keep their cache identity.
+  if (parallel_fraction != 0.0) os << "-p" << format_dial(parallel_fraction);
+  os << "-n" << ops << "-s" << seed;
+  if (has_compiler) os << "-cc" << compiler.name();
   return os.str();
 }
 
@@ -94,6 +100,24 @@ SynthSpec parse_spec(const std::string& name) {
                          " (consecutive or trailing '-')");
     if (field.size() < 2)
       bad_spec(name, "missing value for field '" + field + "'");
+    // Two-character "cc" key (compiler variant) before the single-char
+    // dials; 'C' marks it in the duplicate-key tracker.
+    if (field.size() >= 2 && field[0] == 'c' && field[1] == 'c') {
+      if (seen_keys.find('C') != std::string::npos)
+        bad_spec(name, "duplicate field 'cc' (earlier value would be "
+                       "silently overridden)");
+      seen_keys += 'C';
+      if (field.size() == 2) bad_spec(name, "missing value for field 'cc'");
+      try {
+        spec.compiler = cc::CompilerOptions::parse(field.substr(2));
+      } catch (const CheckError&) {
+        bad_spec(name, "unknown compiler variant '" + field.substr(2) +
+                           "' for field 'cc' (valid: " +
+                           cc::compiler_variant_names() + ")");
+      }
+      spec.has_compiler = true;
+      continue;
+    }
     const char key = field[0];
     if (seen_keys.find(key) != std::string::npos)
       bad_spec(name, std::string("duplicate field '") + key +
@@ -105,6 +129,9 @@ SynthSpec parse_spec(const std::string& name) {
       case 'm': spec.mem_intensity = parse_fraction(name, key, value); break;
       case 'b': spec.branch_density = parse_fraction(name, key, value); break;
       case 'c': spec.comm_density = parse_fraction(name, key, value); break;
+      case 'p':
+        spec.parallel_fraction = parse_fraction(name, key, value);
+        break;
       case 'n': {
         const std::uint64_t v = parse_uint(name, key, value);
         if (v < static_cast<std::uint64_t>(kMinOps) ||

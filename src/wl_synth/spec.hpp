@@ -17,13 +17,24 @@
 //             body operation
 //   c<float>  inter-cluster communication density in [0,1]: fraction of ops
 //             pinned to a random cluster (forces send/recv copies)
+//   p<float>  pipeline-parallel fraction in [0,1]: fraction of body steps
+//             that compute induction-derived work independent of the
+//             loop-carried accumulators (folded in with a single ALU op),
+//             which leaves the recurrence short and gives the modulo
+//             scheduler II headroom; 0 (default) keeps every step on the
+//             accumulator chain
 //   n<int>    dataflow operations per loop iteration, in [8, 4096]
 //   s<int>    generator seed (decimal, unsigned 64-bit)
+//   cc<name>  compiler pass-pipeline variant for this component (greedy,
+//             cost, cost_swp, greedy_swp, or a pipe0..pipe3 alias);
+//             omitted = the experiment-wide compiler options apply
 #pragma once
 
 #include <cstdint>
 #include <string>
 #include <string_view>
+
+#include "cc/options.hpp"
 
 namespace vexsim::wl_synth {
 
@@ -34,11 +45,18 @@ struct SynthSpec {
   double mem_intensity = 0.1;   // m
   double branch_density = 0.0;  // b
   double comm_density = 0.0;    // c
+  double parallel_fraction = 0.0;  // p (omitted from the name when 0)
   int ops = 64;                 // n
   std::uint64_t seed = 1;       // s
+  // Per-component compiler override ("cc" field). When absent the
+  // component compiles with the experiment-wide CompilerOptions, so a
+  // spec's canonical name only pins the compiler when the spec does.
+  bool has_compiler = false;    // cc
+  cc::CompilerOptions compiler;
 
-  // Canonical full mangling ("synth:i0.5-m0.1-b0-c0-n64-s1"), dials in
-  // their shortest exactly-round-tripping decimal form. parse(name())
+  // Canonical full mangling ("synth:i0.5-m0.1-b0-c0-n64-s1", plus
+  // "-cc<variant>" when the compiler override is set), dials in their
+  // shortest exactly-round-tripping decimal form. parse(name())
   // reproduces the spec bit-for-bit; keys benchmark caches and sweep
   // labels, so distinct specs never alias.
   [[nodiscard]] std::string name() const;

@@ -15,6 +15,7 @@
 #include <memory>
 #include <string>
 
+#include "cc/compiler.hpp"
 #include "isa/config.hpp"
 #include "isa/program.hpp"
 
@@ -22,6 +23,8 @@ namespace vexsim::wl {
 
 struct KernelScale {
   double outer = 1.0;  // multiplies the outer loop trip count
+  cc::CompilerOptions compiler;      // pass-pipeline variant
+  cc::CompileStats* stats = nullptr; // optional per-kernel compile stats
 };
 
 // High ILP (paper IPCp ≈ 4.0 – 8.9).

@@ -117,7 +117,7 @@ Program make_colorspace(const MachineConfig& cfg, KernelScale s) {
   b.switch_to(fin);
   b.halt();
 
-  Program prog = cc::compile(std::move(b).take(), cfg);
+  Program prog = cc::compile(std::move(b).take(), cfg, s.compiler, s.stats);
   prog.add_data_words(kIn, random_words(0xC01055EED, 2 * kPixels));
   prog.finalize();
   return prog;
@@ -202,7 +202,7 @@ Program make_idct(const MachineConfig& cfg, KernelScale s) {
   b.switch_to(fin);
   b.halt();
 
-  Program prog = cc::compile(std::move(b).take(), cfg);
+  Program prog = cc::compile(std::move(b).take(), cfg, s.compiler, s.stats);
   prog.add_data_words(kIn, random_words(0x1DC7, kBlocks * 64));
   prog.finalize();
   return prog;
@@ -277,7 +277,7 @@ Program make_imgpipe(const MachineConfig& cfg, KernelScale s) {
   b.switch_to(fin);
   b.halt();
 
-  Program prog = cc::compile(std::move(b).take(), cfg);
+  Program prog = cc::compile(std::move(b).take(), cfg, s.compiler, s.stats);
   prog.add_data_words(kIn, random_words(0x1316, kWidth * (kRows + 1)));
   prog.finalize();
   return prog;
@@ -369,7 +369,7 @@ Program make_x264(const MachineConfig& cfg, KernelScale s) {
   b.switch_to(fin);
   b.halt();
 
-  Program prog = cc::compile(std::move(b).take(), cfg);
+  Program prog = cc::compile(std::move(b).take(), cfg, s.compiler, s.stats);
   prog.add_data_words(kCur, random_words(0xC0DE, 16));
   prog.add_data_words(kRef, random_words(0xFEED, kSearch + 16));
   prog.finalize();

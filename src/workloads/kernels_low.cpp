@@ -102,7 +102,7 @@ Program make_mcf(const MachineConfig& cfg, KernelScale s) {
   b.switch_to(fin);
   b.halt();
 
-  Program prog = cc::compile(std::move(b).take(), cfg);
+  Program prog = cc::compile(std::move(b).take(), cfg, s.compiler, s.stats);
   prog.add_data_words(kPool, pool);
   prog.finalize();
   return prog;
@@ -187,7 +187,7 @@ Program make_bzip2(const MachineConfig& cfg, KernelScale s) {
   b.switch_to(fin);
   b.halt();
 
-  Program prog = cc::compile(std::move(b).take(), cfg);
+  Program prog = cc::compile(std::move(b).take(), cfg, s.compiler, s.stats);
   // Compressible input: long-ish runs so `same` branches are taken often.
   {
     Rng rng(0xB2122);
@@ -283,7 +283,7 @@ Program make_blowfish(const MachineConfig& cfg, KernelScale s) {
   b.switch_to(fin);
   b.halt();
 
-  Program prog = cc::compile(std::move(b).take(), cfg);
+  Program prog = cc::compile(std::move(b).take(), cfg, s.compiler, s.stats);
   prog.add_data_words(kSbox, random_words(0xB70F, kSboxWords));
   prog.add_data_words(kData, random_words(0xB70D, kDataWords));
   prog.finalize();
@@ -345,7 +345,7 @@ Program make_gsmencode(const MachineConfig& cfg, KernelScale s) {
   b.switch_to(fin);
   b.halt();
 
-  Program prog = cc::compile(std::move(b).take(), cfg);
+  Program prog = cc::compile(std::move(b).take(), cfg, s.compiler, s.stats);
   prog.add_data_words(kIn, random_words(0x65E, kSamples + 1));
   prog.finalize();
   return prog;

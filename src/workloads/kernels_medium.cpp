@@ -101,7 +101,7 @@ Program make_cjpeg(const MachineConfig& cfg, KernelScale s) {
   b.switch_to(fin);
   b.halt();
 
-  Program prog = cc::compile(std::move(b).take(), cfg);
+  Program prog = cc::compile(std::move(b).take(), cfg, s.compiler, s.stats);
   prog.add_data_words(kIn, random_words(0x0CAFE, kImageWords));
   prog.finalize();
   return prog;
@@ -167,7 +167,7 @@ Program make_djpeg(const MachineConfig& cfg, KernelScale s) {
   b.switch_to(fin);
   b.halt();
 
-  Program prog = cc::compile(std::move(b).take(), cfg);
+  Program prog = cc::compile(std::move(b).take(), cfg, s.compiler, s.stats);
   prog.add_data_words(kIn, random_words(0xD1BE6, kWords));
   prog.finalize();
   return prog;
@@ -239,7 +239,7 @@ Program make_g721(const MachineConfig& cfg, KernelScale s, bool encode) {
   b.switch_to(fin);
   b.halt();
 
-  Program prog = cc::compile(std::move(b).take(), cfg);
+  Program prog = cc::compile(std::move(b).take(), cfg, s.compiler, s.stats);
   prog.add_data_words(kIn, random_words(encode ? 0x6721E : 0x6721D, kSamples + 4));
   prog.finalize();
   return prog;

@@ -57,7 +57,9 @@ const BenchmarkInfo& benchmark_info(const std::string& name) {
 
 std::shared_ptr<const Program> make_benchmark(const std::string& name,
                                               const MachineConfig& cfg,
-                                              double scale) {
+                                              double scale,
+                                              const cc::CompilerOptions& copt,
+                                              cc::CompileStats* stats) {
   // Synthetic specs canonicalize first so spelling variants of one spec
   // ("i0.8" vs "i0.80") share a cache entry (generation is spelling-blind;
   // the canonical mangling round-trips exactly, so distinct specs never
@@ -66,9 +68,16 @@ std::shared_ptr<const Program> make_benchmark(const std::string& name,
   const wl_synth::SynthSpec spec =
       synth ? wl_synth::parse_spec(name) : wl_synth::SynthSpec{};
   const std::string canonical = synth ? spec.name() : name;
+  // A synthetic spec's own "cc" field overrides the caller's options; the
+  // key uses the *effective* options so the same spec compiled two ways
+  // never aliases, while a pinned spec shares one entry across callers.
+  const cc::CompilerOptions effective =
+      synth && spec.has_compiler ? spec.compiler : copt;
   // The key must cover every config field the compiler reads: the full
-  // cluster geometry and the latency model (scheduling and regalloc depend
-  // on operation latencies), not just clusters × issue width.
+  // cluster geometry, the latency model (scheduling and regalloc depend
+  // on operation latencies), and the pass-pipeline options — any compiler
+  // knob outside the key would silently serve programs compiled with
+  // different settings.
   std::ostringstream key;
   key << canonical << "/" << cfg.clusters << ":";
   for (int c = 0; c < cfg.clusters; ++c) {
@@ -79,44 +88,60 @@ std::shared_ptr<const Program> make_benchmark(const std::string& name,
   key << (cfg.branch_on_cluster0_only ? "0" : "*") << "/L" << cfg.lat.alu
       << "." << cfg.lat.mul << "." << cfg.lat.mem << "." << cfg.lat.comm
       << "." << cfg.lat.cmp_to_branch << "." << cfg.lat.taken_branch_penalty
-      << "/" << scale;
+      << "/" << scale << "/cc=" << effective.name() << ":ii"
+      << effective.max_ii << ":st" << effective.max_stages;
 
+  struct Compiled {
+    std::shared_ptr<const Program> program;
+    cc::CompileStats stats;
+  };
   // Parallel sweep workers share this cache. The lock only guards the map;
   // the (deterministic) compile itself runs outside it, under a per-key
   // future, so first-touch builds of *distinct* programs proceed
   // concurrently while duplicate requests share one build.
-  using ProgramFuture = std::shared_future<std::shared_ptr<const Program>>;
+  using ProgramFuture = std::shared_future<Compiled>;
   // Intentionally leaked: a sweep attempt abandoned by --timeout keeps
   // simulating on a detached thread and may reach this cache while (or
   // after) static destructors run at process exit — these objects must
   // outlive every such thread, so they are never destroyed.
   static std::mutex& cache_mutex = *new std::mutex;
   static auto& cache = *new std::map<std::string, ProgramFuture>;
-  std::promise<std::shared_ptr<const Program>> promise;
+  std::promise<Compiled> promise;
   ProgramFuture future;
+  bool owner = false;
   {
     const std::lock_guard<std::mutex> lock(cache_mutex);
-    if (const auto it = cache.find(key.str()); it != cache.end())
-      return it->second.get();
-    future = promise.get_future().share();
-    cache[key.str()] = future;
-  }
-  try {
-    std::shared_ptr<const Program> prog;
-    if (synth) {
-      prog = std::make_shared<Program>(wl_synth::generate(spec, cfg, scale));
+    if (const auto it = cache.find(key.str()); it != cache.end()) {
+      future = it->second;
     } else {
-      const BenchmarkInfo& info = benchmark_info(name);
-      KernelScale ks;
-      ks.outer = scale;
-      prog = std::make_shared<Program>(info.factory(cfg, ks));
+      future = promise.get_future().share();
+      cache[key.str()] = future;
+      owner = true;
     }
-    promise.set_value(std::move(prog));
-  } catch (...) {
-    // Waiters (and later lookups) observe the same deterministic failure.
-    promise.set_exception(std::current_exception());
   }
-  return future.get();
+  if (owner) {
+    try {
+      Compiled built;
+      if (synth) {
+        built.program = std::make_shared<Program>(
+            wl_synth::generate(spec, cfg, scale, effective, &built.stats));
+      } else {
+        const BenchmarkInfo& info = benchmark_info(name);
+        KernelScale ks;
+        ks.outer = scale;
+        ks.compiler = effective;
+        ks.stats = &built.stats;
+        built.program = std::make_shared<Program>(info.factory(cfg, ks));
+      }
+      promise.set_value(std::move(built));
+    } catch (...) {
+      // Waiters (and later lookups) observe the same deterministic failure.
+      promise.set_exception(std::current_exception());
+    }
+  }
+  const Compiled& result = future.get();
+  if (stats != nullptr) *stats = result.stats;
+  return result.program;
 }
 
 }  // namespace vexsim::wl

@@ -32,12 +32,16 @@ struct BenchmarkInfo {
 // make_benchmark but carry no paper metadata).
 [[nodiscard]] const BenchmarkInfo& benchmark_info(const std::string& name);
 
-// Builds (and memoizes per (name, geometry, latencies, scale)) a benchmark
-// program: a Figure-13 registry name or a name-mangled synthetic spec
-// ("synth:i0.8-m0.3-s42", see wl_synth/spec.hpp). Compilation and synthesis
-// are deterministic, so sharing is safe: ThreadContexts hold const Program
-// pointers.
+// Builds (and memoizes per (name, geometry, latencies, scale, compiler
+// options)) a benchmark program: a Figure-13 registry name or a
+// name-mangled synthetic spec ("synth:i0.8-m0.3-s42", see
+// wl_synth/spec.hpp). Compilation and synthesis are deterministic, so
+// sharing is safe: ThreadContexts hold const Program pointers. A synthetic
+// spec's own "cc" field overrides `compiler`; `stats` (optional) receives
+// the memoized per-program compile statistics.
 [[nodiscard]] std::shared_ptr<const Program> make_benchmark(
-    const std::string& name, const MachineConfig& cfg, double scale = 1.0);
+    const std::string& name, const MachineConfig& cfg, double scale = 1.0,
+    const cc::CompilerOptions& compiler = {},
+    cc::CompileStats* stats = nullptr);
 
 }  // namespace vexsim::wl

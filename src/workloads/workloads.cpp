@@ -70,13 +70,26 @@ WorkloadSpec workload(const std::string& name) {
 }
 
 std::vector<std::shared_ptr<const Program>> build_workload(
-    const WorkloadSpec& spec, const MachineConfig& cfg, double scale) {
+    const WorkloadSpec& spec, const MachineConfig& cfg, double scale,
+    const cc::CompilerOptions& compiler, CompileSummary* summary) {
   VEXSIM_CHECK_MSG(!spec.benchmarks.empty(),
                    "workload '" << spec.name << "' has no components");
   std::vector<std::shared_ptr<const Program>> programs;
   programs.reserve(spec.benchmarks.size());
-  for (const std::string& name : spec.benchmarks)
-    programs.push_back(make_benchmark(name, cfg, scale));
+  if (summary != nullptr) *summary = CompileSummary{};
+  for (const std::string& name : spec.benchmarks) {
+    cc::CompileStats stats;
+    programs.push_back(make_benchmark(name, cfg, scale, compiler,
+                                      summary != nullptr ? &stats : nullptr));
+    if (summary != nullptr) {
+      summary->instructions += static_cast<std::uint64_t>(stats.instructions);
+      summary->operations += static_cast<std::uint64_t>(stats.operations);
+      summary->copies_inserted +=
+          static_cast<std::uint64_t>(stats.copies_inserted);
+      summary->swp_loops += static_cast<std::uint64_t>(stats.swp_loops);
+      summary->present = true;
+    }
+  }
   return programs;
 }
 

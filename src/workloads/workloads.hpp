@@ -16,8 +16,10 @@
 #include <string>
 #include <vector>
 
+#include "cc/compiler.hpp"
 #include "isa/config.hpp"
 #include "isa/program.hpp"
+#include "sim/driver.hpp"
 
 namespace vexsim::wl {
 
@@ -35,8 +37,13 @@ struct WorkloadSpec {
 [[nodiscard]] WorkloadSpec workload(const std::string& name);
 
 // Builds the benchmark programs of a mix (memoized underneath), one per
-// component in order.
+// component in order. `compiler` selects the pass-pipeline variant
+// (per-component "synth:...-cc..." fields override it); `summary`
+// (optional) receives the component compile statistics summed over the
+// mix.
 [[nodiscard]] std::vector<std::shared_ptr<const Program>> build_workload(
-    const WorkloadSpec& spec, const MachineConfig& cfg, double scale = 1.0);
+    const WorkloadSpec& spec, const MachineConfig& cfg, double scale = 1.0,
+    const cc::CompilerOptions& compiler = {},
+    CompileSummary* summary = nullptr);
 
 }  // namespace vexsim::wl

@@ -1,0 +1,53 @@
+// CompilerOptions parsing and naming.
+#include <gtest/gtest.h>
+
+#include "cc/options.hpp"
+#include "util/check.hpp"
+
+namespace vexsim::cc {
+namespace {
+
+TEST(CompilerOptions, DefaultIsSeedPipeline) {
+  const CompilerOptions opt;
+  EXPECT_EQ(opt.assign, AssignStrategy::kGreedy);
+  EXPECT_FALSE(opt.modulo_schedule);
+  EXPECT_EQ(opt.name(), "greedy");
+}
+
+TEST(CompilerOptions, NamesRoundTrip) {
+  for (const char* name : {"greedy", "cost", "cost_swp", "greedy_swp"}) {
+    const CompilerOptions opt = CompilerOptions::parse(name);
+    EXPECT_EQ(opt.name(), name);
+    EXPECT_EQ(CompilerOptions::parse(opt.name()), opt);
+  }
+}
+
+TEST(CompilerOptions, PipeAliases) {
+  EXPECT_EQ(CompilerOptions::parse("pipe0").name(), "greedy");
+  EXPECT_EQ(CompilerOptions::parse("pipe1").name(), "cost");
+  EXPECT_EQ(CompilerOptions::parse("pipe2").name(), "cost_swp");
+  EXPECT_EQ(CompilerOptions::parse("pipe3").name(), "greedy_swp");
+}
+
+TEST(CompilerOptions, VariantFlagsMatchNames) {
+  EXPECT_EQ(CompilerOptions::parse("cost").assign, AssignStrategy::kCostModel);
+  EXPECT_FALSE(CompilerOptions::parse("cost").modulo_schedule);
+  EXPECT_TRUE(CompilerOptions::parse("cost_swp").modulo_schedule);
+  EXPECT_EQ(CompilerOptions::parse("greedy_swp").assign,
+            AssignStrategy::kGreedy);
+  EXPECT_TRUE(CompilerOptions::parse("greedy_swp").modulo_schedule);
+}
+
+TEST(CompilerOptions, UnknownNameThrowsWithValidNames) {
+  try {
+    (void)CompilerOptions::parse("fastest");
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("greedy"), std::string::npos);
+    EXPECT_NE(what.find("cost_swp"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace vexsim::cc

@@ -4,6 +4,14 @@
 // rewrite — must reproduce these numbers bit-for-bit; a diff here means the
 // "optimization" changed machine behaviour, not just wall-clock time.
 //
+// The hhhh row was regenerated in the pass-pipeline PR: the cluster
+// assigner's branch-condition clone used to be materialized at the block
+// end and re-read operands *after* interleaving redefinitions, which made
+// x264's new-best branch compare against the already-updated minimum (the
+// running-best record was never written). Cloning at the defining compare
+// fixes the predicate and changes x264's code, so every x264-carrying
+// workload shifted; the other rows are untouched.
+//
 // Regenerating: only when a PR *intentionally* changes cycle-level
 // semantics. Print the new values with harness::run_workload at the options
 // below and update the table together with the checked-in
@@ -52,10 +60,10 @@ const GoldenPoint kGolden[] = {
      9070ull, 763ull, 184ull,
      {0x37395bef7e741f3full, 0x28d49fc09892671aull, 0x36225787ba1a5b1full,
       0xa7e8bc176adf1f56ull}},
-    {"hhhh", 4, Technique::oosi(CommPolicy::kAlwaysSplit), 5872ull, 58300ull,
-     9578ull, 3778ull, 544ull,
-     {0x9a2e9574664617eull, 0x1979a38b4c8cd705ull, 0x694beb749262bebull,
-      0xf698b2ad7ba78934ull}},
+    {"hhhh", 4, Technique::oosi(CommPolicy::kAlwaysSplit), 6142ull, 61340ull,
+     9789ull, 4148ull, 546ull,
+     {0x357178492c3bffc9ull, 0x84da2e676ff145ccull, 0x7eeb60a2907bed19ull,
+      0x2929793fda9ccf3eull}},
     {"mmmm", 4, Technique::smt(), 3789ull, 23987ull, 11046ull, 0ull, 212ull,
      {0xdfca74e77637cf5bull, 0x81cc298f9a0cfe34ull, 0x937bcdc09e09cd20ull,
       0x2d036bf686561058ull}},

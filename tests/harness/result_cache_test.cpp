@@ -206,5 +206,63 @@ TEST(ResultCache, CreatesNestedDirectory) {
   EXPECT_EQ(cache.dir(), dir);
 }
 
+
+TEST(PointFingerprint, CompilerOptionsNeverAlias) {
+  // Satellite regression: a sweep point simulated under one compiler
+  // variant must never serve a record produced under another — every
+  // CompilerOptions field is part of the key.
+  const MachineConfig cfg = MachineConfig::paper(2, Technique::csmt());
+  ExperimentOptions opt = tiny_options();
+  const std::uint64_t base = point_fingerprint(cfg, "llmm", opt);
+
+  ExperimentOptions cost = opt;
+  cost.compiler = cc::CompilerOptions::parse("cost");
+  EXPECT_NE(base, point_fingerprint(cfg, "llmm", cost));
+
+  ExperimentOptions swp = opt;
+  swp.compiler = cc::CompilerOptions::parse("greedy_swp");
+  EXPECT_NE(base, point_fingerprint(cfg, "llmm", swp));
+  EXPECT_NE(point_fingerprint(cfg, "llmm", cost),
+            point_fingerprint(cfg, "llmm", swp));
+
+  ExperimentOptions tuned = opt;
+  tuned.compiler.max_ii = 32;
+  EXPECT_NE(base, point_fingerprint(cfg, "llmm", tuned));
+  ExperimentOptions staged = opt;
+  staged.compiler.max_stages = 4;
+  EXPECT_NE(base, point_fingerprint(cfg, "llmm", staged));
+
+  // Identical options reproduce the key.
+  ExperimentOptions same = opt;
+  same.compiler = cc::CompilerOptions::parse("greedy");
+  EXPECT_EQ(base, point_fingerprint(cfg, "llmm", same));
+}
+
+TEST(PointFingerprint, SynthCompilerFieldMovesTheKey) {
+  const MachineConfig cfg = MachineConfig::paper(1, Technique::smt());
+  const ExperimentOptions opt = tiny_options();
+  EXPECT_NE(point_fingerprint(cfg, "synth:i0.8-s1", opt),
+            point_fingerprint(cfg, "synth:i0.8-s1-cccost", opt));
+}
+
+TEST(ResultCache, RoundTripsCompileSummary) {
+  ResultCache cache(fresh_dir("compile_summary"));
+  RunResult r;
+  r.issue_width = 16;
+  r.compile.instructions = 120;
+  r.compile.operations = 480;
+  r.compile.copies_inserted = 17;
+  r.compile.swp_loops = 2;
+  r.compile.present = true;
+  cache.store(1234, "llmm", r);
+  const auto loaded = cache.load(1234);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->compile.instructions, 120u);
+  EXPECT_EQ(loaded->compile.operations, 480u);
+  EXPECT_EQ(loaded->compile.copies_inserted, 17u);
+  EXPECT_EQ(loaded->compile.swp_loops, 2u);
+  EXPECT_TRUE(loaded->compile.present);
+}
+
 }  // namespace
 }  // namespace vexsim::harness

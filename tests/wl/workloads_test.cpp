@@ -126,5 +126,50 @@ TEST(Workloads, MultithreadingBeatsSingleThread) {
   EXPECT_GT(smt2.ipc(), 0.0);
 }
 
+
+TEST(Workloads, MemoKeyIncludesCompilerOptions) {
+  // Regression: the benchmark memo once keyed only on (name, geometry,
+  // latencies, scale); any compiler knob would silently serve a program
+  // compiled with different settings.
+  const MachineConfig cfg = MachineConfig::paper(1, Technique::smt());
+  const auto greedy = make_benchmark("idct", cfg, 0.1,
+                                     cc::CompilerOptions::parse("greedy"));
+  const auto swp = make_benchmark("idct", cfg, 0.1,
+                                  cc::CompilerOptions::parse("greedy_swp"));
+  EXPECT_NE(greedy.get(), swp.get());
+  EXPECT_TRUE(greedy->kernels.empty());
+  EXPECT_FALSE(swp->kernels.empty());
+  // Same options again: the memo must serve the same program object.
+  const auto again = make_benchmark("idct", cfg, 0.1,
+                                    cc::CompilerOptions::parse("greedy"));
+  EXPECT_EQ(greedy.get(), again.get());
+}
+
+TEST(Workloads, SynthSpecCompilerFieldOverridesCaller) {
+  const MachineConfig cfg = MachineConfig::paper(1, Technique::smt());
+  // A spec that pins its compiler compiles the same program whatever the
+  // caller passes — and shares one memo entry.
+  const auto pinned_a =
+      make_benchmark("synth:i0.5-m0.2-p0.7-s2-ccgreedy", cfg, 0.1,
+                     cc::CompilerOptions::parse("cost_swp"));
+  const auto pinned_b =
+      make_benchmark("synth:i0.5-m0.2-p0.7-s2-ccgreedy", cfg, 0.1,
+                     cc::CompilerOptions::parse("greedy"));
+  EXPECT_EQ(pinned_a.get(), pinned_b.get());
+}
+
+TEST(Workloads, BuildWorkloadAggregatesCompileSummary) {
+  const MachineConfig cfg = MachineConfig::paper(4, Technique::csmt());
+  CompileSummary sum;
+  const WorkloadSpec spec = workload("llmm");
+  auto programs = build_workload(spec, cfg, 0.1, cc::CompilerOptions{}, &sum);
+  ASSERT_EQ(programs.size(), 4u);
+  EXPECT_TRUE(sum.present);
+  std::uint64_t instr = 0;
+  for (const auto& p : programs) instr += p->code.size();
+  EXPECT_EQ(sum.instructions, instr);
+  EXPECT_GT(sum.ops_per_instruction(), 1.0);
+}
+
 }  // namespace
 }  // namespace vexsim::wl

@@ -123,5 +123,44 @@ TEST(SynthSpec, ErrorMessageQuotesGrammar) {
   }
 }
 
+
+TEST(SynthSpec, CompilerFieldParsesAndRoundTrips) {
+  const SynthSpec spec = parse_spec("synth:i0.8-m0.3-ccpipe1");
+  EXPECT_TRUE(spec.has_compiler);
+  EXPECT_EQ(spec.compiler.name(), "cost");
+  // Canonical mangling pins the compiler and round-trips exactly.
+  EXPECT_EQ(spec.name(), "synth:i0.8-m0.3-b0-c0-n64-s1-cccost");
+  EXPECT_EQ(parse_spec(spec.name()), spec);
+}
+
+TEST(SynthSpec, CompilerFieldDefaultsToUnpinned) {
+  const SynthSpec spec = parse_spec("synth:i0.8");
+  EXPECT_FALSE(spec.has_compiler);
+  EXPECT_EQ(spec.name().find("cc"), std::string::npos);
+}
+
+TEST(SynthSpec, CompilerFieldRejectsUnknownVariantAndDuplicates) {
+  try {
+    (void)parse_spec("synth:i0.8-ccturbo");
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("unknown compiler variant"),
+              std::string::npos)
+        << e.what();
+  }
+  EXPECT_THROW((void)parse_spec("synth:ccgreedy-cccost"), CheckError);
+  EXPECT_THROW((void)parse_spec("synth:i0.8-cc"), CheckError);
+}
+
+TEST(SynthSpec, ParallelFractionParsesAndStaysOutOfDefaultNames) {
+  const SynthSpec spec = parse_spec("synth:i0.5-p0.7");
+  EXPECT_DOUBLE_EQ(spec.parallel_fraction, 0.7);
+  EXPECT_EQ(spec.name(), "synth:i0.5-m0.1-b0-c0-p0.7-n64-s1");
+  EXPECT_EQ(parse_spec(spec.name()), spec);
+  // p omitted at its default, so pre-dial canonical names are unchanged.
+  EXPECT_EQ(parse_spec("synth:i0.5").name(), "synth:i0.5-m0.1-b0-c0-n64-s1");
+  EXPECT_THROW((void)parse_spec("synth:p1.5"), CheckError);
+}
+
 }  // namespace
 }  // namespace vexsim::wl_synth
