@@ -17,7 +17,8 @@
 // All points run through the parallel sweep engine; results are
 // bit-identical for any --jobs value and land in BENCH_abl_compiler.json.
 //
-// Flags: --scale, --budget, --timeslice, --seed, --quick, --paper,
+// Flags: --cc NAME, --cc-verify, --scale, --budget, --timeslice, --seed,
+//        --quick, --paper,
 //        --jobs N, --progress N, --json FILE, --cache[=DIR]/--no-cache,
 //        --timeout MS, --retries N, --check-quality.
 #include <iomanip>

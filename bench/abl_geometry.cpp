@@ -9,7 +9,8 @@
 // picks the worker count (results are bit-identical for any N) and the raw
 // per-point statistics land in a JSON trajectory file.
 //
-// Flags: --scale, --budget, --timeslice, --seed, --quick, --paper,
+// Flags: --cc NAME, --cc-verify, --scale, --budget, --timeslice, --seed,
+//        --quick, --paper,
 //        --jobs N, --json FILE (default BENCH_sweep.json),
 //        --cache[=DIR]/--no-cache (result cache), --timeout MS, --retries N.
 #include <algorithm>

@@ -10,7 +10,8 @@
 // picks the worker count (results are bit-identical for any N) and the raw
 // per-point statistics land in a JSON trajectory file.
 //
-// Flags: --scale, --budget, --timeslice, --seed, --quick, --paper, --csv,
+// Flags: --cc NAME, --cc-verify, --scale, --budget, --timeslice, --seed,
+//        --quick, --paper, --csv,
 //        --jobs N, --progress N, --flush N, --json FILE,
 //        --cache[=DIR]/--no-cache (result cache), --timeout MS, --retries N.
 #include <iostream>

@@ -15,7 +15,8 @@
 // All points run through the parallel sweep engine; results are
 // bit-identical for any --jobs value and land in BENCH_abl_synth.json.
 //
-// Flags: --scale, --budget, --timeslice, --seed, --quick, --paper,
+// Flags: --cc NAME, --cc-verify, --scale, --budget, --timeslice, --seed,
+//        --quick, --paper,
 //        --jobs N, --progress N, --json FILE (default BENCH_abl_synth.json),
 //        --cache[=DIR]/--no-cache (result cache), --timeout MS, --retries N.
 #include <iomanip>

@@ -6,7 +6,8 @@
 // sweep engine: --jobs N picks the worker count (results are bit-identical
 // for any N) and the raw per-point statistics land in a JSON trajectory.
 //
-// Flags: --scale, --budget, --seed, --quick, --paper, --csv, --jobs N,
+// Flags: --cc NAME, --cc-verify, --scale, --budget, --seed, --quick, --paper,
+//        --csv, --jobs N,
 //        --progress N, --json FILE (default BENCH_fig13_benchmarks.json),
 //        --cache[=DIR]/--no-cache (result cache), --timeout MS, --retries N.
 #include <iostream>

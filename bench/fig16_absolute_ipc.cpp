@@ -6,7 +6,8 @@
 // (results are bit-identical for any N) and the raw per-point statistics
 // land in a JSON trajectory.
 //
-// Flags: --scale, --budget, --timeslice, --seed, --quick, --paper, --csv,
+// Flags: --cc NAME, --cc-verify, --scale, --budget, --timeslice, --seed,
+//        --quick, --paper, --csv,
 //        --per-workload (print each mix's IPC too), --jobs N, --progress N,
 //        --json FILE (default BENCH_fig16_absolute_ipc.json),
 //        --cache[=DIR]/--no-cache (result cache), --timeout MS, --retries N.

@@ -1,0 +1,219 @@
+// Generic forward/backward dataflow framework over finalized programs.
+//
+// The verifier (cc/verifier.hpp) proves per-instruction *legality* —
+// resources, pairing, latency windows. This layer proves *dataflow* facts
+// the transforming passes rely on but nothing used to check statically:
+// which definitions reach a use, which values are live where, and how much
+// register pressure each cluster carries. The lint suite (cc/lint.hpp) sits
+// on top; tools/vexlint and the pipeline's --cc-verify mode drive both.
+//
+// The analysis domain is the architectural storage the ISA exposes: per
+// cluster, kNumGprs general registers and kNumBregs branch registers, mapped
+// onto one dense location index so every analysis is a small bitset
+// fixpoint. GPR 0 is hardwired to zero and excluded from the domain (reads
+// are always legal, writes are no-ops).
+//
+// The CFG is built from the instruction stream alone: block leaders at
+// branch targets and fall-throughs, successor edges from br/brf/goto/halt.
+// Software-pipelined kernels need no special casing — the kernel's closing
+// back-branch is an ordinary conditional branch, so the kernel back-edge
+// (and with it the cyclic liveness of loop-carried values) falls out of the
+// same construction; Program::kernels is only consulted by kernel-specific
+// lint checks.
+#pragma once
+
+#include <array>
+#include <bit>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/config.hpp"
+#include "isa/program.hpp"
+
+namespace vexsim::cc {
+
+// ---------------------------------------------------------------------------
+// Location index: (cluster, register-class, index) -> dense int.
+// ---------------------------------------------------------------------------
+
+inline constexpr int kLocsPerCluster = kNumGprs + kNumBregs;
+inline constexpr int kMaxLocs = kMaxClusters * kLocsPerCluster;
+
+[[nodiscard]] constexpr int gpr_loc(int cluster, int reg) {
+  return cluster * kLocsPerCluster + reg;
+}
+[[nodiscard]] constexpr int breg_loc(int cluster, int reg) {
+  return cluster * kLocsPerCluster + kNumGprs + reg;
+}
+[[nodiscard]] constexpr bool loc_is_breg(int loc) {
+  return loc % kLocsPerCluster >= kNumGprs;
+}
+[[nodiscard]] constexpr int loc_cluster(int loc) {
+  return loc / kLocsPerCluster;
+}
+// Register index within its class (GPR or breg number).
+[[nodiscard]] constexpr int loc_reg(int loc) {
+  const int r = loc % kLocsPerCluster;
+  return r < kNumGprs ? r : r - kNumGprs;
+}
+// "c2:r5" / "c0:b1", matching the disassembler's operand spelling.
+[[nodiscard]] std::string loc_name(int loc);
+
+// Fixed-size bitset over the location domain.
+class LocSet {
+ public:
+  void insert(int loc) { words_[word(loc)] |= bit(loc); }
+  void erase(int loc) { words_[word(loc)] &= ~bit(loc); }
+  [[nodiscard]] bool contains(int loc) const {
+    return (words_[word(loc)] & bit(loc)) != 0;
+  }
+  void clear() { words_.fill(0); }
+  void fill() { words_.fill(~std::uint64_t{0}); }
+  [[nodiscard]] bool empty() const {
+    for (const std::uint64_t w : words_)
+      if (w != 0) return false;
+    return true;
+  }
+  [[nodiscard]] int count() const;
+
+  // Set algebra; the mutating forms return true when *this changed.
+  bool insert_all(const LocSet& other);
+  void intersect(const LocSet& other);
+  void subtract(const LocSet& other);
+
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      std::uint64_t bits = words_[w];
+      while (bits != 0) {
+        const int b = std::countr_zero(bits);
+        bits &= bits - 1;
+        fn(static_cast<int>(w) * 64 + b);
+      }
+    }
+  }
+
+  friend bool operator==(const LocSet&, const LocSet&) = default;
+
+ private:
+  static constexpr std::size_t word(int loc) {
+    return static_cast<std::size_t>(loc) / 64;
+  }
+  static constexpr std::uint64_t bit(int loc) {
+    return std::uint64_t{1} << (static_cast<std::size_t>(loc) % 64);
+  }
+  std::array<std::uint64_t, (kMaxLocs + 63) / 64> words_{};
+};
+
+// Operand/effect walkers shared by the analyses and the lint passes. GPR 0
+// is skipped on both sides (hardwired zero). `fn(int loc)`.
+template <typename Fn>
+void for_each_read(const Operation& op, Fn&& fn) {
+  const int c = op.cluster;
+  if (reads_src1(op.opc) && op.src1 != 0) fn(gpr_loc(c, op.src1));
+  if (reads_src2(op.opc) && !op.src2_is_imm && op.src2 != 0)
+    fn(gpr_loc(c, op.src2));
+  if (reads_bsrc(op.opc)) fn(breg_loc(c, op.bsrc));
+}
+
+template <typename Fn>
+void for_each_write(const Operation& op, Fn&& fn) {
+  const int c = op.cluster;
+  if (op.writes_breg())
+    fn(breg_loc(c, op.dst));
+  else if (op.writes_gpr() && op.dst != 0)
+    fn(gpr_loc(c, op.dst));
+}
+
+// ---------------------------------------------------------------------------
+// Control-flow graph.
+// ---------------------------------------------------------------------------
+
+struct CfgBlock {
+  std::uint32_t first = 0;  // first instruction index
+  std::uint32_t end = 0;    // one past the last instruction
+  std::vector<int> succs;
+  std::vector<int> preds;
+};
+
+class Cfg {
+ public:
+  // Builds the CFG of `prog`. Out-of-range branch targets (the verifier's
+  // job to report) contribute no edge, so construction never crashes on a
+  // malformed program.
+  static Cfg build(const Program& prog);
+
+  [[nodiscard]] const std::vector<CfgBlock>& blocks() const { return blocks_; }
+  [[nodiscard]] int block_of(std::size_t pc) const {
+    return block_of_[pc];
+  }
+  // True when the block is reachable from instruction 0.
+  [[nodiscard]] bool reachable(int block) const {
+    return reachable_[static_cast<std::size_t>(block)];
+  }
+  [[nodiscard]] std::size_t size() const { return blocks_.size(); }
+
+ private:
+  std::vector<CfgBlock> blocks_;
+  std::vector<int> block_of_;       // instruction index -> block index
+  std::vector<bool> reachable_;
+};
+
+// ---------------------------------------------------------------------------
+// Analyses. All results are per *instruction*, indexed by pc.
+// ---------------------------------------------------------------------------
+
+// Backward may-liveness: live_in[pc] holds the locations whose current value
+// may still be read on some path from pc; live_out[pc] the same at the
+// instruction's exit. Same-cycle reads observe pre-instruction state (the
+// ISA's NUAL semantics), so an operation's own uses appear in live_in only.
+struct Liveness {
+  std::vector<LocSet> live_in;
+  std::vector<LocSet> live_out;
+};
+[[nodiscard]] Liveness solve_liveness(const Program& prog, const Cfg& cfg);
+
+// Forward must-analysis: assigned_in[pc] holds the locations written on
+// *every* path from entry to pc. Reads outside this set may observe the
+// machine's zero-initialized cold state — the def-before-use lint. Blocks
+// unreachable from entry stay at top (everything assigned): they get the
+// dedicated unreachable-code finding instead of spurious uninit reads.
+struct Assigned {
+  std::vector<LocSet> assigned_in;
+};
+[[nodiscard]] Assigned solve_definitely_assigned(const Program& prog,
+                                                 const Cfg& cfg);
+
+// Forward may-reaching-definitions at instruction granularity: a definition
+// is one instruction's write of one location (several operations writing in
+// the same cycle collapse into that instruction's def of their locations).
+struct ReachingDefs {
+  struct Def {
+    std::uint32_t instr = 0;
+    std::uint16_t loc = 0;
+  };
+  std::vector<Def> defs;  // def id -> site, in (instr, loc) order
+  // Per instruction, the ids of definitions reaching its entry, sorted.
+  std::vector<std::vector<std::uint32_t>> reaching_in;
+
+  // The definitions of `loc` reaching `pc`, as def ids.
+  [[nodiscard]] std::vector<std::uint32_t> reaching(std::size_t pc,
+                                                    int loc) const;
+};
+[[nodiscard]] ReachingDefs solve_reaching_defs(const Program& prog,
+                                               const Cfg& cfg);
+
+// Per-cluster register pressure: the maximum number of simultaneously live
+// GPRs (bregs counted separately), with the instruction where the maximum
+// is first reached. Derived from liveness; vexlint reports it per program
+// so assigner/scheduler changes show their pressure cost.
+struct PressureResult {
+  std::array<int, kMaxClusters> max_gpr{};
+  std::array<int, kMaxClusters> max_breg{};
+  std::array<std::uint32_t, kMaxClusters> at_instr{};
+};
+[[nodiscard]] PressureResult register_pressure(const Program& prog,
+                                               const Liveness& live);
+
+}  // namespace vexsim::cc

@@ -1,0 +1,82 @@
+// Static lint suite over compiled programs ("vexlint").
+//
+// The verifier proves per-instruction legality; these checks sit on the
+// dataflow framework (cc/dataflow.hpp) and prove whole-program dataflow
+// invariants every transforming pass must preserve. Violations are compiler
+// bugs by construction — a clean pass is part of the pipeline contract, so
+// tools/vexlint gates a zero-finding report over every registry kernel and
+// a synthetic grid under all compiler variants.
+//
+// Checks (LintFinding::check names):
+//   uninit-read     an operand read no definition dominates: on some path
+//                   the value is the machine's cold zero state
+//                   (def-before-use, every register class incl. bregs)
+//   same-cycle-waw  two operations in one instruction write the same
+//                   register — one write is lost nondeterministically
+//   dead-copy       an inter-cluster send/recv pair whose received value is
+//                   never read before being overwritten (orphan channel)
+//   stale-clone     a compare/slct clone (same opcode+immediate shape and
+//                   breg on another cluster) reads an *older version* of an
+//                   operand than its twin — the PR 5 miscompile class,
+//                   where branch-condition clones were re-localized after
+//                   interleaving redefinitions
+//   kernel-clobber  inside a software-pipelined kernel, a stage's value is
+//                   overwritten before any read (stage-overlap register
+//                   conflict across the modulo boundary)
+//   dead-code       a side-effect-free operation outside any kernel whose
+//                   result is never read
+//
+// The dead-write checks (kernel-clobber, dead-code) exempt the cluster
+// assigner's intentional redundancy: predicate-broadcast compare clones and
+// per-cluster movi constant rematerialization (see lint.cpp for rationale).
+//   unreachable     a non-empty instruction no path from entry reaches
+//
+// All checks are conservative: silence on anything that cannot be proved
+// wrong, so a finding is actionable and the registry-wide zero-finding
+// gate stays meaningful.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cc/cluster_assign.hpp"
+#include "cc/dataflow.hpp"
+#include "isa/config.hpp"
+#include "isa/program.hpp"
+
+namespace vexsim::cc {
+
+struct LintFinding {
+  std::string check;      // check name from the table above
+  std::size_t instr = 0;  // instruction index the finding anchors to
+  std::string what;       // precise diagnostic with operand/location names
+};
+
+// "program[12] stale-clone: ..." — one line per finding.
+[[nodiscard]] std::string to_string(const Program& prog,
+                                    const LintFinding& finding);
+
+struct LintReport {
+  std::vector<LintFinding> findings;  // sorted by instruction index
+  // Per-cluster register pressure, reported alongside (not a finding).
+  PressureResult pressure;
+};
+
+// Runs every check over a finalized program. The program should already be
+// verifier-clean (verify_program); lint never crashes on malformed input
+// but may produce follow-on findings.
+[[nodiscard]] LintReport lint_program(const Program& prog,
+                                      const MachineConfig& cfg);
+
+// Convenience mirror of verify_or_throw: throws CheckError aggregating
+// every finding (with instruction indices) into one message.
+void lint_or_throw(const Program& prog, const MachineConfig& cfg);
+
+// Structural lint over the lowered mid-level IR, for between-pass checking
+// before a Program exists (cluster range, copy shape, operand vreg sanity,
+// block targets). Findings anchor to a flat op ordinal; `what` names the
+// block and op index.
+[[nodiscard]] std::vector<LintFinding> lint_lfunction(const LFunction& lfn,
+                                                      const MachineConfig& cfg);
+
+}  // namespace vexsim::cc

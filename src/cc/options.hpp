@@ -31,9 +31,16 @@ struct CompilerOptions {
   int max_ii = 64;
   int max_stages = 6;
 
+  // Run the static invariant checkers (cc/verifier, cc/lint) between
+  // passes, attributing any violation to the pass that introduced it
+  // (--cc-verify on the benches). Purely diagnostic: it never changes the
+  // emitted code, so it is excluded from name() and from sweep result-cache
+  // fingerprints — golden trajectories stay byte-identical either way.
+  bool verify_each_pass = false;
+
   // Canonical variant name ("greedy", "cost", "cost_swp", "greedy_swp").
   // Tunables (max_ii/max_stages) are not part of the name; cache keys and
-  // fingerprints hash every field separately.
+  // fingerprints hash every codegen-relevant field separately.
   [[nodiscard]] std::string name() const;
 
   // Parses a variant name or pipeN alias. Throws CheckError listing the

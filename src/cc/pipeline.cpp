@@ -1,8 +1,10 @@
 #include "cc/pipeline.hpp"
 
+#include <sstream>
 #include <utility>
 #include <vector>
 
+#include "cc/lint.hpp"
 #include "cc/verifier.hpp"
 #include "util/check.hpp"
 
@@ -259,8 +261,44 @@ std::vector<std::string> Pipeline::pass_names() const {
   return names;
 }
 
+namespace {
+
+// Between-pass invariant checking (CompilerOptions::verify_each_pass).
+// Checks whichever artifact the pipeline has produced so far — the lowered
+// mid-level IR after cluster assignment, the finalized program after emit —
+// and rethrows any violation attributed to the pass that just ran, so a
+// broken transform is caught at the pass boundary that introduced the
+// damage instead of at program-verify (or worse, in the simulator).
+void check_pass_invariants(PassContext& ctx, std::string_view pass) {
+  try {
+    if (!ctx.prog.code.empty()) {
+      verify_or_throw(ctx.prog, ctx.cfg);
+      lint_or_throw(ctx.prog, ctx.cfg);
+    } else if (!ctx.lfn.blocks.empty()) {
+      const std::vector<LintFinding> findings = lint_lfunction(ctx.lfn,
+                                                               ctx.cfg);
+      if (!findings.empty()) {
+        std::ostringstream os;
+        os << ctx.lfn.name << ": " << findings.size()
+           << " IR lint finding(s):";
+        for (const LintFinding& f : findings)
+          os << "\n  [" << f.instr << "] " << f.check << ": " << f.what;
+        throw CheckError(os.str());
+      }
+    }
+  } catch (const CheckError& e) {
+    VEXSIM_CHECK_MSG(false, "invariant violated after pass '" << pass
+                            << "': " << e.what());
+  }
+}
+
+}  // namespace
+
 void Pipeline::run_passes(PassContext& ctx) const {
-  for (const auto& pass : passes_) pass->run(ctx);
+  for (const auto& pass : passes_) {
+    pass->run(ctx);
+    if (ctx.opt.verify_each_pass) check_pass_invariants(ctx, pass->name());
+  }
 }
 
 Program Pipeline::run(IrFunction fn, const MachineConfig& cfg,

@@ -67,7 +67,9 @@ class Pipeline {
   Pipeline& add(std::unique_ptr<Pass> pass);
   [[nodiscard]] std::vector<std::string> pass_names() const;
 
-  // Runs every pass over `ctx` in order.
+  // Runs every pass over `ctx` in order. With opt.verify_each_pass set,
+  // the static checkers (cc/verifier + cc/lint) run after every pass and a
+  // violation throws CheckError naming the pass that introduced it.
   void run_passes(PassContext& ctx) const;
 
   // Convenience: full run over `fn`, returning the finalized program.

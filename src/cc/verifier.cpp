@@ -162,9 +162,14 @@ std::vector<VerifyIssue> verify_program(const Program& prog,
 void verify_or_throw(const Program& prog, const MachineConfig& cfg) {
   const auto issues = verify_program(prog, cfg);
   if (issues.empty()) return;
-  VEXSIM_CHECK_MSG(false, prog.name << "[" << issues.front().instr
-                                    << "]: " << issues.front().what << " ("
-                                    << issues.size() << " issue(s) total)");
+  // Aggregate every issue (with its instruction index) into one error, the
+  // same shape run_sweep uses for point failures: a miscompile usually
+  // trips several checks at once and the full list is what localizes it.
+  std::ostringstream os;
+  os << prog.name << ": " << issues.size() << " verifier issue(s):";
+  for (const VerifyIssue& issue : issues)
+    os << "\n  [" << issue.instr << "] " << issue.what;
+  VEXSIM_CHECK_MSG(false, os.str());
 }
 
 }  // namespace vexsim::cc

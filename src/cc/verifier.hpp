@@ -35,7 +35,8 @@ struct VerifyIssue {
 [[nodiscard]] std::vector<VerifyIssue> verify_program(const Program& prog,
                                                       const MachineConfig& cfg);
 
-// Convenience: throws CheckError listing the first violation.
+// Convenience: throws CheckError aggregating every violation, one indexed
+// line per issue (mirrors run_sweep's failure aggregation).
 void verify_or_throw(const Program& prog, const MachineConfig& cfg);
 
 }  // namespace vexsim::cc

@@ -27,6 +27,8 @@ ExperimentOptions ExperimentOptions::from_cli(const Cli& cli) {
       "seed", static_cast<std::int64_t>(opt.seed)));
   if (cli.has("cc"))
     opt.compiler = cc::CompilerOptions::parse(cli.get("cc", ""));
+  opt.compiler.verify_each_pass =
+      cli.get_bool("cc-verify", opt.compiler.verify_each_pass);
   return opt;
 }
 

@@ -31,7 +31,8 @@ struct ExperimentOptions {
   // result-cache fingerprint and the workload memo key.
   cc::CompilerOptions compiler;
 
-  // Applies --budget/--timeslice/--seed/--scale/--paper/--quick/--cc.
+  // Applies --budget/--timeslice/--seed/--scale/--paper/--quick/--cc and
+  // --cc-verify (run the static checkers between compiler passes).
   static ExperimentOptions from_cli(const Cli& cli);
 };
 

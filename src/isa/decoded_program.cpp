@@ -1,5 +1,7 @@
 #include "isa/decoded_program.hpp"
 
+#include <algorithm>
+
 #include "isa/opcode.hpp"
 #include "util/check.hpp"
 
@@ -37,7 +39,13 @@ DecodedProgram::DecodedProgram(const std::vector<VliwInstruction>& code,
                        "software-pipeline span past end of code");
       for (std::uint32_t i = k.prologue_start; i < k.kernel_start; ++i)
         regions_[i] = SwpRegion::kPrologue;
-      for (std::uint32_t i = k.kernel_start; i < k.kernel_start + k.ii; ++i)
+      // Clamp: a malformed span (kernel_start + ii past epilogue_end) is
+      // the verifier's to report; region tagging must not index past the
+      // code it annotates.
+      for (std::uint32_t i = k.kernel_start;
+           i < std::min<std::uint64_t>(std::uint64_t{k.kernel_start} + k.ii,
+                                       code.size());
+           ++i)
         regions_[i] = SwpRegion::kKernel;
       for (std::uint32_t i = k.kernel_start + k.ii; i < k.epilogue_end; ++i)
         regions_[i] = SwpRegion::kEpilogue;

@@ -89,7 +89,11 @@ std::shared_ptr<const Program> make_benchmark(const std::string& name,
       << "." << cfg.lat.mul << "." << cfg.lat.mem << "." << cfg.lat.comm
       << "." << cfg.lat.cmp_to_branch << "." << cfg.lat.taken_branch_penalty
       << "/" << scale << "/cc=" << effective.name() << ":ii"
-      << effective.max_ii << ":st" << effective.max_stages;
+      << effective.max_ii << ":st" << effective.max_stages
+      // verify_each_pass never changes the emitted code, but it must still
+      // key the memo: a --cc-verify compile served from a plain compile's
+      // entry would silently skip the between-pass checks.
+      << (effective.verify_each_pass ? ":v1" : "");
 
   struct Compiled {
     std::shared_ptr<const Program> program;

@@ -110,6 +110,18 @@ TEST(Verifier, ReportsAllIssuesNotJustFirst) {
   p.code.push_back(b);
   p.finalize();
   EXPECT_GE(verify_program(p, cfg()).size(), 2u);
+  // verify_or_throw aggregates every issue into one error, each line
+  // prefixed with its instruction index.
+  try {
+    verify_or_throw(p, cfg());
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("[0] branch target out of range"),
+              std::string::npos) << what;
+    EXPECT_NE(what.find("[1] unpaired send/recv"), std::string::npos)
+        << what;
+  }
 }
 
 // --- Asymmetric cluster_overrides geometries -------------------------------
