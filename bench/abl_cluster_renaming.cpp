@@ -8,8 +8,8 @@
 // picks the worker count (results are bit-identical for any N) and the raw
 // per-point statistics land in a JSON trajectory file.
 //
-// Flags: --cc NAME, --cc-verify, --scale, --budget, --timeslice, --seed,
-//        --quick, --paper, --csv,
+// Flags: --cc NAME, --cc-verify, --config FILE (base machine description),
+//        --scale, --budget, --timeslice, --seed, --quick, --paper, --csv,
 //        --jobs N, --progress N, --flush N, --json FILE,
 //        --cache[=DIR]/--no-cache (result cache), --timeout MS, --retries N.
 #include <iostream>
@@ -45,7 +45,7 @@ int main(int argc, char** argv) {
   for (const char* wname : workloads) {
     for (const Technique& t : techniques) {
       for (bool renamed : {true, false}) {
-        MachineConfig cfg = MachineConfig::paper(4, t);
+        MachineConfig cfg = opt.machine(4, t);
         cfg.cluster_renaming = renamed;
         points.push_back({label_of(wname, t, renamed), cfg, wname, opt});
       }

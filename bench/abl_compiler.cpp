@@ -17,8 +17,8 @@
 // All points run through the parallel sweep engine; results are
 // bit-identical for any --jobs value and land in BENCH_abl_compiler.json.
 //
-// Flags: --cc NAME, --cc-verify, --scale, --budget, --timeslice, --seed,
-//        --quick, --paper,
+// Flags: --cc NAME, --cc-verify, --config FILE (base machine description),
+//        --scale, --budget, --timeslice, --seed, --quick, --paper,
 //        --jobs N, --progress N, --json FILE, --cache[=DIR]/--no-cache,
 //        --timeout MS, --retries N, --check-quality.
 #include <iomanip>
@@ -73,15 +73,15 @@ int main(int argc, char** argv) {
       quick ? std::vector<double>{0.5, 0.8, 0.95}
             : std::vector<double>{0.2, 0.5, 0.8, 0.9, 0.95};
 
-  auto sym_cfg = [] {
+  auto sym_cfg = [&base_opt] {
     MachineConfig cfg =
-        MachineConfig::paper(4, Technique::ccsi(CommPolicy::kNoSplit));
+        base_opt.machine(4, Technique::ccsi(CommPolicy::kNoSplit));
     cfg.validate();
     return cfg;
   };
-  auto asym_cfg = [] {
+  auto asym_cfg = [&base_opt] {
     MachineConfig cfg =
-        MachineConfig::paper(4, Technique::ccsi(CommPolicy::kNoSplit));
+        base_opt.machine(4, Technique::ccsi(CommPolicy::kNoSplit));
     cfg.cluster_renaming = false;
     cfg.cluster_overrides = {ClusterResourceConfig::for_issue_width(8),
                              ClusterResourceConfig::for_issue_width(4),

@@ -9,8 +9,8 @@
 // picks the worker count (results are bit-identical for any N) and the raw
 // per-point statistics land in a JSON trajectory file.
 //
-// Flags: --cc NAME, --cc-verify, --scale, --budget, --timeslice, --seed,
-//        --quick, --paper,
+// Flags: --cc NAME, --cc-verify, --config FILE (base machine description),
+//        --scale, --budget, --timeslice, --seed, --quick, --paper,
 //        --jobs N, --json FILE (default BENCH_sweep.json),
 //        --cache[=DIR]/--no-cache (result cache), --timeout MS, --retries N.
 #include <algorithm>
@@ -29,8 +29,8 @@ int main(int argc, char** argv) {
   std::cout << "Ablation: geometry sweep (4 threads, workloads llll and "
                "hhhh)\n\n";
 
-  auto make_cfg = [](Technique t, int clusters, int issue) {
-    MachineConfig cfg = MachineConfig::paper(4, t);
+  auto make_cfg = [&opt](Technique t, int clusters, int issue) {
+    MachineConfig cfg = opt.machine(4, t);
     cfg.clusters = clusters;
     cfg.cluster.issue_slots = issue;
     cfg.cluster.alus = issue;

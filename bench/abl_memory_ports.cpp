@@ -10,8 +10,8 @@
 // picks the worker count (results are bit-identical for any N) and the raw
 // per-point statistics land in a JSON trajectory file.
 //
-// Flags: --cc NAME, --cc-verify, --scale, --budget, --timeslice, --seed,
-//        --quick, --paper, --csv,
+// Flags: --cc NAME, --cc-verify, --config FILE (base machine description),
+//        --scale, --budget, --timeslice, --seed, --quick, --paper, --csv,
 //        --jobs N, --progress N, --flush N, --json FILE,
 //        --cache[=DIR]/--no-cache (result cache), --timeout MS, --retries N.
 #include <iostream>
@@ -47,7 +47,7 @@ int main(int argc, char** argv) {
   for (const char* wname : workloads) {
     for (const Technique& t : techniques) {
       for (int ports : {1, 2}) {
-        MachineConfig cfg = MachineConfig::paper(4, t);
+        MachineConfig cfg = opt.machine(4, t);
         cfg.cluster.mem_units = ports;
         points.push_back({label_of(wname, t, ports), cfg, wname, opt});
       }

@@ -15,8 +15,8 @@
 // All points run through the parallel sweep engine; results are
 // bit-identical for any --jobs value and land in BENCH_abl_synth.json.
 //
-// Flags: --cc NAME, --cc-verify, --scale, --budget, --timeslice, --seed,
-//        --quick, --paper,
+// Flags: --cc NAME, --cc-verify, --config FILE (base machine description),
+//        --scale, --budget, --timeslice, --seed, --quick, --paper,
 //        --jobs N, --progress N, --json FILE (default BENCH_abl_synth.json),
 //        --cache[=DIR]/--no-cache (result cache), --timeout MS, --retries N.
 #include <iomanip>
@@ -63,8 +63,8 @@ int main(int argc, char** argv) {
                                        : std::vector<double>{0.1, 0.5, 0.9};
   const std::vector<int> contexts = {2, 4, 6, 8};
 
-  auto make_cfg = [](bool asym, int threads, Technique t) {
-    MachineConfig cfg = MachineConfig::paper(threads, t);
+  auto make_cfg = [&opt](bool asym, int threads, Technique t) {
+    MachineConfig cfg = opt.machine(threads, t);
     cfg.cluster_renaming = false;
     if (asym)
       cfg.cluster_overrides = {ClusterResourceConfig::for_issue_width(8),

@@ -9,8 +9,8 @@
 // picks the worker count (results are bit-identical for any N) and the raw
 // per-point statistics land in a JSON trajectory file.
 //
-// Flags: --cc NAME, --cc-verify, --scale, --budget, --seed, --quick, --paper,
-//        --csv, --jobs N,
+// Flags: --cc NAME, --cc-verify, --config FILE (base machine description),
+//        --scale, --budget, --seed, --quick, --paper, --csv, --jobs N,
 //        --progress N, --flush N, --json FILE,
 //        --cache[=DIR]/--no-cache (result cache), --timeout MS, --retries N.
 #include <iostream>
@@ -34,7 +34,7 @@ int main(int argc, char** argv) {
     opt.timeslice = slice;
     points.push_back(
         {"slice/" + std::to_string(slice),
-         MachineConfig::paper(2, Technique::ccsi(CommPolicy::kAlwaysSplit)),
+         opt.machine(2, Technique::ccsi(CommPolicy::kAlwaysSplit)),
          "llhh", opt});
   }
   const std::vector<RunResult> results =

@@ -6,8 +6,8 @@
 // sweep engine: --jobs N picks the worker count (results are bit-identical
 // for any N) and the raw per-point statistics land in a JSON trajectory.
 //
-// Flags: --cc NAME, --cc-verify, --scale, --budget, --seed, --quick, --paper,
-//        --csv, --jobs N,
+// Flags: --cc NAME, --cc-verify, --config FILE (base machine description),
+//        --scale, --budget, --seed, --quick, --paper, --csv, --jobs N,
 //        --progress N, --json FILE (default BENCH_fig13_benchmarks.json),
 //        --cache[=DIR]/--no-cache (result cache), --timeout MS, --retries N.
 #include <iostream>
@@ -27,8 +27,8 @@ int main(int argc, char** argv) {
   std::cout << "Figure 13(a): benchmarks — measured vs paper (single thread, "
                "4 clusters x 4-issue)\n\n";
 
-  auto make_cfg = [](bool perfect_memory) {
-    MachineConfig cfg = MachineConfig::paper_single();
+  auto make_cfg = [&opt](bool perfect_memory) {
+    MachineConfig cfg = opt.machine_single();
     cfg.icache.perfect = perfect_memory;
     cfg.dcache.perfect = perfect_memory;
     return cfg;

@@ -6,8 +6,8 @@
 // picks the worker count (results are bit-identical for any N) and the raw
 // per-point statistics land in a JSON trajectory file.
 //
-// Flags: --cc NAME, --cc-verify, --scale, --budget, --timeslice, --seed,
-//        --quick, --paper, --csv,
+// Flags: --cc NAME, --cc-verify, --config FILE (base machine description),
+//        --scale, --budget, --timeslice, --seed, --quick, --paper, --csv,
 //        --jobs N, --json FILE (default BENCH_sweep.json),
 //        --cache[=DIR]/--no-cache (result cache), --timeout MS, --retries N.
 #include <iostream>
@@ -33,12 +33,12 @@ int main(int argc, char** argv) {
     for (int threads : {2, 4}) {
       const std::string suffix = "/" + std::to_string(threads) + "T";
       points.push_back({spec.name + "/CSMT" + suffix,
-                        MachineConfig::paper(threads, Technique::csmt()),
-                        spec.name, opt});
+                        opt.machine(threads, Technique::csmt()), spec.name,
+                        opt});
       for (CommPolicy comm : {CommPolicy::kNoSplit, CommPolicy::kAlwaysSplit}) {
         const Technique t = Technique::ccsi(comm);
         points.push_back({spec.name + "/" + t.name() + suffix,
-                          MachineConfig::paper(threads, t), spec.name, opt});
+                          opt.machine(threads, t), spec.name, opt});
       }
     }
   }

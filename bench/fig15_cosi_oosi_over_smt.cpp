@@ -5,8 +5,8 @@
 // picks the worker count (results are bit-identical for any N) and the raw
 // per-point statistics land in a JSON trajectory file.
 //
-// Flags: --cc NAME, --cc-verify, --scale, --budget, --timeslice, --seed,
-//        --quick, --paper, --csv,
+// Flags: --cc NAME, --cc-verify, --config FILE (base machine description),
+//        --scale, --budget, --timeslice, --seed, --quick, --paper, --csv,
 //        --jobs N, --json FILE (default BENCH_sweep.json),
 //        --cache[=DIR]/--no-cache (result cache), --timeout MS, --retries N.
 #include <iostream>
@@ -48,12 +48,12 @@ int main(int argc, char** argv) {
     const std::string suffix = "/" + std::to_string(threads) + "T";
     for (const wl::WorkloadSpec& spec : wl::paper_workloads()) {
       points.push_back({spec.name + "/SMT" + suffix,
-                        MachineConfig::paper(threads, Technique::smt()),
-                        spec.name, opt});
+                        opt.machine(threads, Technique::smt()), spec.name,
+                        opt});
       for (const auto& c : kConfigs) {
         const Technique t{MergeLevel::kOperation, c.split, c.comm};
         points.push_back({spec.name + "/" + t.name() + suffix,
-                          MachineConfig::paper(threads, t), spec.name, opt});
+                          opt.machine(threads, t), spec.name, opt});
       }
     }
   }

@@ -6,8 +6,8 @@
 // (results are bit-identical for any N) and the raw per-point statistics
 // land in a JSON trajectory.
 //
-// Flags: --cc NAME, --cc-verify, --scale, --budget, --timeslice, --seed,
-//        --quick, --paper, --csv,
+// Flags: --cc NAME, --cc-verify, --config FILE (base machine description),
+//        --scale, --budget, --timeslice, --seed, --quick, --paper, --csv,
 //        --per-workload (print each mix's IPC too), --jobs N, --progress N,
 //        --json FILE (default BENCH_fig16_absolute_ipc.json),
 //        --cache[=DIR]/--no-cache (result cache), --timeout MS, --retries N.
@@ -39,7 +39,7 @@ int main(int argc, char** argv) {
     for (const int threads : {2, 4})
       for (const wl::WorkloadSpec& spec : wl::paper_workloads())
         points.push_back({label_of(t, threads, spec.name),
-                          MachineConfig::paper(threads, t), spec.name, opt});
+                          opt.machine(threads, t), spec.name, opt});
   const std::vector<RunResult> results =
       harness::run_sweep_and_dump(cli, "fig16_absolute_ipc", points);
 

@@ -8,7 +8,8 @@
 // produce bit-identical statistics — checked here on every invocation — so
 // the speedup column is a pure wall-clock ratio at equal work.
 //
-// Flags: --reps N (timing repetitions, best-of), --budget/--timeslice/
+// Flags: --reps N (timing repetitions, best-of), --config FILE (base
+//        machine description), --budget/--timeslice/
 //        --scale/--seed/--quick/--paper, --json FILE (default
 //        BENCH_sim_speed.json). The sweep result cache (--cache) does not
 //        apply here: this bench measures wall-clock, so every run must

@@ -1,9 +1,37 @@
 #include "harness/experiments.hpp"
 
+#include "mdes/machine.hpp"
 #include "workloads/registry.hpp"
 #include "workloads/workloads.hpp"
 
 namespace vexsim::harness {
+
+MachineConfig ExperimentOptions::machine(int threads,
+                                         Technique technique) const {
+  MachineConfig cfg = base_machine ? *base_machine : MachineConfig{};
+  cfg.hw_threads = threads;
+  cfg.technique = technique;
+  cfg.validate();
+  return cfg;
+}
+
+MachineConfig ExperimentOptions::machine_single() const {
+  MachineConfig cfg = base_machine ? *base_machine : MachineConfig{};
+  cfg.hw_threads = 1;
+  cfg.technique = Technique::smt();
+  cfg.validate();
+  return cfg;
+}
+
+bool operator==(const ExperimentOptions& a, const ExperimentOptions& b) {
+  const bool machines_equal =
+      (a.base_machine == nullptr) == (b.base_machine == nullptr) &&
+      (a.base_machine == nullptr || *a.base_machine == *b.base_machine);
+  return machines_equal && a.scale == b.scale && a.budget == b.budget &&
+         a.timeslice == b.timeslice && a.max_cycles == b.max_cycles &&
+         a.seed == b.seed && a.fast_forward == b.fast_forward &&
+         a.compiler == b.compiler;
+}
 
 ExperimentOptions ExperimentOptions::from_cli(const Cli& cli) {
   ExperimentOptions opt;
@@ -29,6 +57,9 @@ ExperimentOptions ExperimentOptions::from_cli(const Cli& cli) {
     opt.compiler = cc::CompilerOptions::parse(cli.get("cc", ""));
   opt.compiler.verify_each_pass =
       cli.get_bool("cc-verify", opt.compiler.verify_each_pass);
+  if (cli.has("config"))
+    opt.base_machine = std::make_shared<const MachineConfig>(
+        mdes::load_machine(cli.get("config", "")));
   return opt;
 }
 
@@ -54,13 +85,12 @@ RunResult run_workload_on(const MachineConfig& cfg,
 
 RunResult run_workload(const std::string& workload_name, int threads,
                        Technique technique, const ExperimentOptions& opt) {
-  const MachineConfig cfg = MachineConfig::paper(threads, technique);
-  return run_workload_on(cfg, workload_name, opt);
+  return run_workload_on(opt.machine(threads, technique), workload_name, opt);
 }
 
 RunResult run_single(const std::string& benchmark, bool perfect_memory,
                      const ExperimentOptions& opt) {
-  MachineConfig cfg = MachineConfig::paper_single();
+  MachineConfig cfg = opt.machine_single();
   cfg.icache.perfect = perfect_memory;
   cfg.dcache.perfect = perfect_memory;
   cc::CompileStats stats;

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 
 #include "cc/options.hpp"
@@ -31,9 +32,30 @@ struct ExperimentOptions {
   // result-cache fingerprint and the workload memo key.
   cc::CompilerOptions compiler;
 
-  // Applies --budget/--timeslice/--seed/--scale/--paper/--quick/--cc and
-  // --cc-verify (run the static checkers between compiler passes).
+  // Base machine the experiment's configs start from (nullptr = the
+  // default-constructed MachineConfig, which IS the paper machine).
+  // --config FILE loads one from a description file (mdes/machine.hpp);
+  // benches then layer their swept axes (threads, technique) on top via
+  // machine(). configs/paper4x4.conf deserializes to exactly the default,
+  // so runs through it are byte-identical to the hard-coded machine.
+  std::shared_ptr<const MachineConfig> base_machine;
+
+  // The base machine with `threads` hardware contexts under `technique`
+  // (validated); replaces direct MachineConfig::paper() calls in benches so
+  // --config composes with every sweep axis.
+  [[nodiscard]] MachineConfig machine(int threads, Technique technique) const;
+  // The base machine single-threaded with merging off (paper_single form).
+  [[nodiscard]] MachineConfig machine_single() const;
+
+  // Applies --budget/--timeslice/--seed/--scale/--paper/--quick/--cc,
+  // --cc-verify (run the static checkers between compiler passes), and
+  // --config FILE (base machine from a description file).
   static ExperimentOptions from_cli(const Cli& cli);
+
+  // Value equality; the base machines compare by value (both absent, or
+  // both present and equal), not by pointer.
+  friend bool operator==(const ExperimentOptions& a,
+                         const ExperimentOptions& b);
 };
 
 // Runs one Figure-13(b) workload mix on the paper machine with `threads`

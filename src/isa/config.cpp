@@ -1,6 +1,7 @@
 #include "isa/config.hpp"
 
 #include <algorithm>
+#include <sstream>
 
 #include "util/check.hpp"
 
@@ -20,6 +21,16 @@ std::string to_string(SplitLevel s) {
 std::string to_string(CommPolicy c) {
   return c == CommPolicy::kNoSplit ? "NS" : "AS";
 }
+std::string to_string(RegFileOrg r) {
+  return r == RegFileOrg::kPartitioned ? "partitioned" : "shared";
+}
+
+RegFileOrg reg_file_org_from(const std::string& name) {
+  if (name == "partitioned") return RegFileOrg::kPartitioned;
+  if (name == "shared") return RegFileOrg::kShared;
+  throw CheckError("unknown register-file organization '" + name +
+                   "' (valid: partitioned, shared)");
+}
 
 std::string Technique::name() const {
   if (split == SplitLevel::kNone)
@@ -31,6 +42,16 @@ std::string Technique::name() const {
     base = split == SplitLevel::kCluster ? "COSI" : "OOSI";
   }
   return base + " " + to_string(comm);
+}
+
+Technique Technique::parse(const std::string& name) {
+  for (const Technique& t : kAll)
+    if (t.name() == name) return t;
+  std::ostringstream os;
+  os << "unknown technique '" << name << "' (valid:";
+  for (const Technique& t : kAll) os << " '" << t.name() << "'";
+  os << ")";
+  throw CheckError(os.str());
 }
 
 const Technique Technique::kAll[8] = {
@@ -79,39 +100,82 @@ std::string MachineConfig::geometry_name() const {
   return name;
 }
 
-void MachineConfig::validate() const {
-  VEXSIM_CHECK_MSG(clusters >= 1 && clusters <= kMaxClusters,
-                   "clusters out of range");
-  VEXSIM_CHECK_MSG(hw_threads >= 1, "need at least one hardware thread");
-  VEXSIM_CHECK_MSG(
+std::vector<std::string> MachineConfig::validate_issues() const {
+  std::vector<std::string> issues;
+  const auto flag = [&issues](const std::string& msg) {
+    issues.push_back(msg);
+  };
+  if (clusters < 1 || clusters > kMaxClusters)
+    flag("clusters = " + std::to_string(clusters) + " out of range [1, " +
+         std::to_string(kMaxClusters) + "]");
+  if (hw_threads < 1)
+    flag("hw_threads = " + std::to_string(hw_threads) +
+         " (need at least one hardware thread)");
+  const bool overrides_ok =
       cluster_overrides.empty() ||
-          cluster_overrides.size() == static_cast<std::size_t>(clusters),
-      "cluster_overrides must be empty or hold one entry per cluster");
-  for (int c = 0; c < clusters; ++c) {
-    const ClusterResourceConfig& res = cluster_at(c);
-    VEXSIM_CHECK_MSG(res.issue_slots >= 1 &&
-                         res.issue_slots <= kMaxIssuePerCluster,
-                     "issue slots out of range on cluster " << c);
-    VEXSIM_CHECK_MSG(res.mem_units >= 0 && res.alus >= 0,
-                     "bad FUs on cluster " << c);
+      cluster_overrides.size() == static_cast<std::size_t>(clusters);
+  if (!overrides_ok)
+    flag("cluster_overrides holds " +
+         std::to_string(cluster_overrides.size()) +
+         " entries but must be empty or hold one per cluster (clusters = " +
+         std::to_string(clusters) + ")");
+  // Per-cluster checks only when indexing is safe: a bad cluster count or a
+  // mismatched override vector would send cluster_at() out of bounds.
+  if (clusters >= 1 && clusters <= kMaxClusters && overrides_ok) {
+    for (int c = 0; c < clusters; ++c) {
+      const ClusterResourceConfig& res = cluster_at(c);
+      if (res.issue_slots < 1 || res.issue_slots > kMaxIssuePerCluster)
+        flag("cluster " + std::to_string(c) + ": issue_slots = " +
+             std::to_string(res.issue_slots) + " out of range [1, " +
+             std::to_string(kMaxIssuePerCluster) + "]");
+      if (res.alus < 0)
+        flag("cluster " + std::to_string(c) +
+             ": alus = " + std::to_string(res.alus) + " is negative");
+      if (res.muls < 0)
+        flag("cluster " + std::to_string(c) +
+             ": muls = " + std::to_string(res.muls) + " is negative");
+      if (res.mem_units < 0)
+        flag("cluster " + std::to_string(c) +
+             ": mem_units = " + std::to_string(res.mem_units) + " is negative");
+      if (res.branch_units < 0)
+        flag("cluster " + std::to_string(c) + ": branch_units = " +
+             std::to_string(res.branch_units) + " is negative");
+    }
   }
   // A thread's code is scheduled against per-cluster limits; rotating it
   // onto a differently-provisioned physical cluster would break resource
   // legality, so asymmetric machines run multithreaded without renaming.
-  if (asymmetric() && hw_threads > 1)
-    VEXSIM_CHECK_MSG(!cluster_renaming,
-                     "cluster renaming requires a symmetric geometry");
+  if (asymmetric() && hw_threads > 1 && cluster_renaming)
+    flag("cluster_renaming = true on an asymmetric geometry with hw_threads"
+         " > 1 (renaming requires a symmetric geometry)");
   // Operation-level split-issue only makes sense with operation-level
   // merging (Figure 4 of the paper).
-  if (technique.split == SplitLevel::kOperation)
-    VEXSIM_CHECK_MSG(technique.merge == MergeLevel::kOperation,
-                     "operation-level split requires operation-level merging");
+  if (technique.split == SplitLevel::kOperation &&
+      technique.merge != MergeLevel::kOperation)
+    flag("technique '" + technique.name() +
+         "': operation-level split requires operation-level merging");
   // A shared register file cannot supply the write ports split-issue needs
   // (Section V-C): simultaneous last-parts of several threads.
-  if (technique.split != SplitLevel::kNone && hw_threads > 1)
-    VEXSIM_CHECK_MSG(rf_org == RegFileOrg::kPartitioned,
-                     "split-issue requires the partitioned register file");
-  VEXSIM_CHECK(lat.alu >= 1 && lat.mul >= 1 && lat.mem >= 1);
+  if (technique.split != SplitLevel::kNone && hw_threads > 1 &&
+      rf_org != RegFileOrg::kPartitioned)
+    flag("rf_org = shared: split-issue requires the partitioned register"
+         " file");
+  if (lat.alu < 1)
+    flag("lat.alu = " + std::to_string(lat.alu) + " (minimum 1)");
+  if (lat.mul < 1)
+    flag("lat.mul = " + std::to_string(lat.mul) + " (minimum 1)");
+  if (lat.mem < 1)
+    flag("lat.mem = " + std::to_string(lat.mem) + " (minimum 1)");
+  return issues;
+}
+
+void MachineConfig::validate() const {
+  const std::vector<std::string> issues = validate_issues();
+  if (issues.empty()) return;
+  std::ostringstream os;
+  os << "invalid machine configuration: " << issues.size() << " problem(s):";
+  for (const std::string& issue : issues) os << "\n  " << issue;
+  throw CheckError(os.str());
 }
 
 MachineConfig MachineConfig::paper(int threads, Technique t) {

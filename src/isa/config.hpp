@@ -28,6 +28,11 @@ enum class RegFileOrg : std::uint8_t { kPartitioned, kShared };
 [[nodiscard]] std::string to_string(MergeLevel m);
 [[nodiscard]] std::string to_string(SplitLevel s);
 [[nodiscard]] std::string to_string(CommPolicy c);
+[[nodiscard]] std::string to_string(RegFileOrg r);
+
+// Parses "partitioned" / "shared"; throws CheckError listing the valid
+// names otherwise. Counterpart of to_string for description files.
+[[nodiscard]] RegFileOrg reg_file_org_from(const std::string& name);
 
 struct Technique {
   MergeLevel merge = MergeLevel::kOperation;
@@ -37,6 +42,10 @@ struct Technique {
   friend bool operator==(const Technique&, const Technique&) = default;
 
   [[nodiscard]] std::string name() const;
+
+  // Parses a name() spelling ("SMT", "CSMT", "CCSI NS", ..., "OOSI AS");
+  // throws CheckError listing the valid names on an unknown one.
+  static Technique parse(const std::string& name);
 
   static Technique smt() { return {MergeLevel::kOperation, SplitLevel::kNone, CommPolicy::kNoSplit}; }
   static Technique csmt() { return {MergeLevel::kCluster, SplitLevel::kNone, CommPolicy::kNoSplit}; }
@@ -54,6 +63,8 @@ struct CacheConfig {
   std::uint32_t line_bytes = 64;
   std::uint32_t miss_penalty = 20;
   bool perfect = false;  // all accesses hit (the paper's IPCp configuration)
+
+  friend bool operator==(const CacheConfig&, const CacheConfig&) = default;
 };
 
 struct LatencyConfig {
@@ -65,6 +76,8 @@ struct LatencyConfig {
   int taken_branch_penalty = 1; // squashed fall-through fetch
 
   [[nodiscard]] int for_class(OpClass cls) const;
+
+  friend bool operator==(const LatencyConfig&, const LatencyConfig&) = default;
 };
 
 // Per-cluster resources. The paper's 4-issue cluster: 4 ALUs, 2 multipliers,
@@ -79,6 +92,9 @@ struct ClusterResourceConfig {
   // Paper-proportioned cluster for a given issue width: `w` ALUs, w/2
   // multipliers, one load/store port, one branch unit.
   static ClusterResourceConfig for_issue_width(int w);
+
+  friend bool operator==(const ClusterResourceConfig&,
+                         const ClusterResourceConfig&) = default;
 };
 
 struct MachineConfig {
@@ -133,8 +149,17 @@ struct MachineConfig {
     return tid % clusters;
   }
 
-  // Throws CheckError when inconsistent (e.g. OOSI with cluster merging).
+  // Every inconsistency in the configuration, one message per violated
+  // constraint with the offending field named — empty when valid. Config
+  // file authors (and the DSE sampler's rejection log) get the complete
+  // list in one pass instead of fixing violations one throw at a time.
+  [[nodiscard]] std::vector<std::string> validate_issues() const;
+
+  // Throws one CheckError aggregating every validate_issues() entry (the
+  // verify_or_throw / run_sweep aggregation style); no-op when valid.
   void validate() const;
+
+  friend bool operator==(const MachineConfig&, const MachineConfig&) = default;
 
   // The paper's evaluation machine: 4 clusters × 4-issue, 64 KB 4-way I/D
   // caches with a 20-cycle miss penalty, mem/mul latency 2.

@@ -1,0 +1,289 @@
+#include "mdes/config_file.hpp"
+
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace vexsim::mdes {
+
+std::string SourceLoc::str() const {
+  return file + ":" + std::to_string(line);
+}
+
+void Diagnostics::add(SourceLoc loc, std::string message) {
+  diags_.push_back({std::move(loc), std::move(message)});
+}
+
+void Diagnostics::throw_if_any(const std::string& context) const {
+  if (diags_.empty()) return;
+  std::ostringstream os;
+  os << context << ": " << diags_.size() << " problem(s):";
+  for (const Diag& d : diags_) os << "\n  " << d.loc.str() << ": " << d.message;
+  throw CheckError(os.str());
+}
+
+const Entry* Section::find(const std::string& key) const {
+  for (const Entry& e : entries)
+    if (e.index.empty() && e.key == key) return &e;
+  return nullptr;
+}
+
+const Section* ConfigFile::section(const std::string& name) const {
+  for (const Section& s : sections_)
+    if (!s.name.empty() && s.name == name) return &s;
+  return nullptr;
+}
+
+namespace {
+
+constexpr int kMaxIncludeDepth = 16;
+
+std::string trim(std::string_view s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b])) != 0) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])) != 0) --e;
+  return std::string(s.substr(b, e - b));
+}
+
+// Strips a trailing '#' comment, honouring quoted strings so a '#' inside
+// 'quotes' stays part of the value.
+std::string strip_comment(const std::string& line) {
+  bool in_quote = false;
+  char quote = '\0';
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_quote) {
+      if (c == quote) in_quote = false;
+    } else if (c == '\'' || c == '"') {
+      in_quote = true;
+      quote = c;
+    } else if (c == '#') {
+      return line.substr(0, i);
+    }
+  }
+  return line;
+}
+
+bool is_ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+}  // namespace
+
+// Line-oriented recursive-descent parser with include support. All state
+// (section list, duplicate bookkeeping, include stack) lives here; errors
+// go to the shared Diagnostics and parsing continues, so one pass reports
+// every problem in the file set.
+class Parser {
+ public:
+  explicit Parser(ConfigFile& out) : out_(out) {
+    out_.sections_.push_back(Section{"", {"", 0}, {}});
+  }
+
+  Diagnostics diags;
+
+  void parse_file(const std::string& path, const SourceLoc& from, int depth) {
+    std::error_code ec;
+    const std::filesystem::path canonical =
+        std::filesystem::weakly_canonical(path, ec);
+    const std::string key = ec ? path : canonical.string();
+    for (const std::string& open : include_stack_) {
+      if (open == key) {
+        diags.add(from, "cyclic include of '" + path + "'");
+        return;
+      }
+    }
+    if (depth > kMaxIncludeDepth) {
+      diags.add(from, "include depth exceeds " +
+                          std::to_string(kMaxIncludeDepth) + " at '" + path +
+                          "'");
+      return;
+    }
+    std::ifstream is(path, std::ios::binary);
+    if (!is.good()) {
+      diags.add(from.line > 0 ? from : SourceLoc{path, 0},
+                "cannot open '" + path + "'");
+      return;
+    }
+    std::string text((std::istreambuf_iterator<char>(is)),
+                     std::istreambuf_iterator<char>());
+    include_stack_.push_back(key);
+    parse_text(text, path,
+               std::filesystem::path(path).parent_path().string(), depth);
+    include_stack_.pop_back();
+  }
+
+  void parse_text(const std::string& text, const std::string& name,
+                  const std::string& dir, int depth) {
+    std::istringstream is(text);
+    std::string raw_line;
+    int lineno = 0;
+    while (std::getline(is, raw_line)) {
+      ++lineno;
+      if (!raw_line.empty() && raw_line.back() == '\r') raw_line.pop_back();
+      const SourceLoc loc{name, lineno};
+      const std::string line = trim(strip_comment(raw_line));
+      if (line.empty()) continue;
+      if (line.front() == '[') {
+        parse_section_header(line, loc);
+        continue;
+      }
+      if (line.rfind("include", 0) == 0 &&
+          (line.size() == 7 || !is_ident_char(line[7]))) {
+        parse_include(trim(line.substr(7)), loc, dir, depth);
+        continue;
+      }
+      parse_entry(line, loc);
+    }
+  }
+
+ private:
+  void parse_section_header(const std::string& line, const SourceLoc& loc) {
+    if (line.back() != ']' || line.size() < 3) {
+      diags.add(loc, "malformed section header '" + line + "'");
+      return;
+    }
+    const std::string name = trim(line.substr(1, line.size() - 2));
+    if (name.empty() || !is_ident_start(name.front())) {
+      diags.add(loc, "bad section name '" + name + "'");
+      return;
+    }
+    for (const Section& s : out_.sections_) {
+      if (s.name == name) {
+        diags.add(loc, "duplicate section [" + name + "] (first defined at " +
+                           s.loc.str() + ")");
+        // Keep parsing the duplicate's entries into the original section so
+        // overlapping keys still get duplicate diagnostics.
+        current_ = index_of(name);
+        return;
+      }
+    }
+    out_.sections_.push_back(Section{name, loc, {}});
+    current_ = out_.sections_.size() - 1;
+  }
+
+  void parse_include(const std::string& operand, const SourceLoc& loc,
+                     const std::string& dir, int depth) {
+    if (current_ != 0) {
+      diags.add(loc, "include is only allowed before the first [section]"
+                     " or between sections at global scope");
+      return;
+    }
+    std::string path = operand;
+    if (path.size() >= 2 &&
+        ((path.front() == '\'' && path.back() == '\'') ||
+         (path.front() == '"' && path.back() == '"')))
+      path = path.substr(1, path.size() - 2);
+    if (path.empty()) {
+      diags.add(loc, "include needs a file name");
+      return;
+    }
+    if (!dir.empty() && !std::filesystem::path(path).is_absolute())
+      path = (std::filesystem::path(dir) / path).string();
+    parse_file(path, loc, depth + 1);
+    // The included file may end inside one of its [section]s; the includer's
+    // following entries are still global-scope (where the directive sat).
+    current_ = 0;
+  }
+
+  void parse_entry(const std::string& line, const SourceLoc& loc) {
+    const std::size_t eq = find_assign(line);
+    if (eq == std::string::npos) {
+      diags.add(loc, "cannot parse line '" + line +
+                         "' (expected key = value, [section], or include)");
+      return;
+    }
+    const std::string lhs = trim(line.substr(0, eq));
+    const std::string value = trim(line.substr(eq + 1));
+    Entry e;
+    e.value = value;
+    e.loc = loc;
+    if (!split_key(lhs, e)) {
+      diags.add(loc, "bad key '" + lhs + "'");
+      return;
+    }
+    if (value.empty()) {
+      diags.add(loc, "key '" + lhs + "' has no value");
+      return;
+    }
+    Section& sec = out_.sections_[current_];
+    for (const Entry& prev : sec.entries) {
+      if (prev.key == e.key && prev.index == e.index) {
+        diags.add(loc, "duplicate key '" + lhs + "' in " +
+                           (sec.name.empty() ? std::string("global section")
+                                             : "[" + sec.name + "]") +
+                           " (first defined at " + prev.loc.str() + ")");
+        return;
+      }
+    }
+    sec.entries.push_back(std::move(e));
+  }
+
+  // Position of the assignment '=' — the first '=' outside quotes.
+  static std::size_t find_assign(const std::string& line) {
+    bool in_quote = false;
+    char quote = '\0';
+    for (std::size_t i = 0; i < line.size(); ++i) {
+      const char c = line[i];
+      if (in_quote) {
+        if (c == quote) in_quote = false;
+      } else if (c == '\'' || c == '"') {
+        in_quote = true;
+        quote = c;
+      } else if (c == '=') {
+        return i;
+      }
+    }
+    return std::string::npos;
+  }
+
+  // Splits "key" or "key[index]" into Entry::key / Entry::index.
+  static bool split_key(const std::string& lhs, Entry& e) {
+    if (lhs.empty() || !is_ident_start(lhs.front())) return false;
+    std::size_t i = 0;
+    while (i < lhs.size() && is_ident_char(lhs[i])) ++i;
+    e.key = lhs.substr(0, i);
+    if (i == lhs.size()) return true;  // plain key
+    if (lhs[i] != '[' || lhs.back() != ']' || i + 2 > lhs.size() - 1)
+      return false;
+    e.index = trim(lhs.substr(i + 1, lhs.size() - i - 2));
+    return !e.index.empty();
+  }
+
+  std::size_t index_of(const std::string& name) const {
+    for (std::size_t i = 0; i < out_.sections_.size(); ++i)
+      if (out_.sections_[i].name == name) return i;
+    return 0;
+  }
+
+  ConfigFile& out_;
+  std::size_t current_ = 0;  // index into out_.sections_
+  std::vector<std::string> include_stack_;
+};
+
+ConfigFile ConfigFile::parse_file(const std::string& path) {
+  ConfigFile file;
+  file.origin_ = path;
+  Parser parser(file);
+  parser.parse_file(path, SourceLoc{path, 0}, 0);
+  parser.diags.throw_if_any("config file " + path);
+  return file;
+}
+
+ConfigFile ConfigFile::parse_text(const std::string& text,
+                                  const std::string& name) {
+  ConfigFile file;
+  file.origin_ = name;
+  Parser parser(file);
+  parser.parse_text(text, name, "", 0);
+  parser.diags.throw_if_any("config " + name);
+  return file;
+}
+
+}  // namespace vexsim::mdes

@@ -1,0 +1,106 @@
+// Machine/scenario description files — the SESC-inspired `.conf` grammar.
+//
+// A description file is a sequence of `key = value` entries grouped into
+// `[section]` blocks (entries before the first header form the global
+// section). The grammar, in the spirit of SESC's machine `.conf` files:
+//
+//   # comment to end of line
+//   issue    = 4                      # typed values: int, double, bool,
+//   scale    = 0.25                   #   or 'quoted string'
+//   wide     = true
+//   name     = 'paperCluster'
+//   slots    = 2*$(issue)+1           # $(var) interpolation + arithmetic
+//   cluster[0:$(issue)-1] = 'c4'      # ranged per-index keys
+//   include 'base.conf'               # splice a shared base file
+//   [paperCluster]                    # named section
+//   alus     = $(issue)
+//
+// Parsing is strict and *aggregating*: every problem in the file — bad
+// syntax, duplicate keys, duplicate sections, a missing or cyclic include —
+// is collected with its file:line location and reported in one CheckError,
+// so authors see the full list in a single pass. Values are kept as raw
+// text here; typing, $(var) resolution and arithmetic live in
+// mdes/interp.hpp so section consumers control evaluation context (the
+// design-space-exploration driver rebinds variables per sampled point).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace vexsim::mdes {
+
+struct SourceLoc {
+  std::string file;  // display name of the containing file
+  int line = 0;      // 1-based
+
+  [[nodiscard]] std::string str() const;
+};
+
+struct Diag {
+  SourceLoc loc;
+  std::string message;
+};
+
+// Error accumulator shared by the parser and every deserializer: mirrors
+// the verify_or_throw / run_sweep aggregation style — collect everything,
+// then throw once with the full indexed list.
+class Diagnostics {
+ public:
+  void add(SourceLoc loc, std::string message);
+  [[nodiscard]] bool empty() const { return diags_.empty(); }
+  [[nodiscard]] const std::vector<Diag>& all() const { return diags_; }
+
+  // Throws CheckError("<context>: N problem(s): ...") listing every
+  // diagnostic with its file:line; no-op when empty.
+  void throw_if_any(const std::string& context) const;
+
+ private:
+  std::vector<Diag> diags_;
+};
+
+struct Entry {
+  std::string key;    // identifier, without any [index] suffix
+  std::string index;  // raw text inside [...]; empty for plain keys
+  std::string value;  // raw value text (comment-stripped, trimmed)
+  SourceLoc loc;
+};
+
+struct Section {
+  std::string name;  // empty for the global section
+  SourceLoc loc;
+  std::vector<Entry> entries;
+
+  // First plain (non-indexed) entry for `key`; nullptr when absent.
+  [[nodiscard]] const Entry* find(const std::string& key) const;
+};
+
+class ConfigFile {
+ public:
+  // Parses `path`, following `include` directives (relative to the
+  // including file, with cycle and depth detection). Throws CheckError
+  // aggregating every parse problem.
+  static ConfigFile parse_file(const std::string& path);
+
+  // Parses in-memory text (tests, to_config round trips). `include` is
+  // resolved relative to the current working directory.
+  static ConfigFile parse_text(const std::string& text,
+                               const std::string& name = "<config>");
+
+  // sections()[0] is always the global section.
+  [[nodiscard]] const std::vector<Section>& sections() const {
+    return sections_;
+  }
+  [[nodiscard]] const Section& global() const { return sections_[0]; }
+  // Named section lookup; nullptr when absent.
+  [[nodiscard]] const Section* section(const std::string& name) const;
+
+  // Display name of the root file ("<config>" for parse_text).
+  [[nodiscard]] const std::string& origin() const { return origin_; }
+
+ private:
+  friend class Parser;
+  std::string origin_;
+  std::vector<Section> sections_;  // [0] = global
+};
+
+}  // namespace vexsim::mdes

@@ -1,0 +1,224 @@
+#include "mdes/dse.hpp"
+
+#include <cctype>
+#include <sstream>
+
+#include "harness/sweep.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace vexsim::mdes {
+
+namespace {
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b])) != 0) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])) != 0) --e;
+  return s.substr(b, e - b);
+}
+
+// Splits "a, 'b,c', (d,e)" at top-level commas (quotes and parentheses
+// protect nested ones).
+std::vector<std::string> split_args(const std::string& text) {
+  std::vector<std::string> args;
+  std::string current;
+  int depth = 0;
+  bool in_quote = false;
+  char quote = '\0';
+  for (const char c : text) {
+    if (in_quote) {
+      if (c == quote) in_quote = false;
+      current += c;
+      continue;
+    }
+    if (c == '\'' || c == '"') {
+      in_quote = true;
+      quote = c;
+    } else if (c == '(') {
+      ++depth;
+    } else if (c == ')') {
+      --depth;
+    } else if (c == ',' && depth == 0) {
+      args.push_back(trim(current));
+      current.clear();
+      continue;
+    }
+    current += c;
+  }
+  args.push_back(trim(current));
+  return args;
+}
+
+// Parses one `name = choice(...)/int(lo,hi)/real(lo,hi)` axis declaration.
+// Argument expressions evaluate through the (unbound) interp, so axis
+// bounds may use $(var) arithmetic over global entries.
+void parse_axis(const Entry& e, const Interp& interp, Diagnostics& diags,
+                std::vector<DseAxis>& axes) {
+  const std::string spec = trim(e.value);
+  const std::size_t open = spec.find('(');
+  if (open == std::string::npos || spec.back() != ')') {
+    diags.add(e.loc, "axis '" + e.key +
+                         "': expected choice(...), int(lo, hi), or "
+                         "real(lo, hi), got '" +
+                         spec + "'");
+    return;
+  }
+  const std::string fn = trim(spec.substr(0, open));
+  const std::vector<std::string> args =
+      split_args(spec.substr(open + 1, spec.size() - open - 2));
+  DseAxis axis;
+  axis.name = e.key;
+  if (fn == "choice") {
+    axis.kind = DseAxis::Kind::kChoice;
+    for (const std::string& arg : args) {
+      const auto v = interp.eval(arg, e.loc, diags);
+      if (v) axis.choices.push_back(*v);
+    }
+    if (axis.choices.empty()) {
+      diags.add(e.loc, "axis '" + e.key + "': choice() needs at least one"
+                       " value");
+      return;
+    }
+  } else if (fn == "int") {
+    axis.kind = DseAxis::Kind::kInt;
+    if (args.size() != 2) {
+      diags.add(e.loc, "axis '" + e.key + "': int() takes (lo, hi)");
+      return;
+    }
+    const auto lo = interp.eval_int(args[0], e.loc, diags);
+    const auto hi = interp.eval_int(args[1], e.loc, diags);
+    if (!lo || !hi) return;
+    if (*lo > *hi || *hi - *lo >= (std::int64_t{1} << 31)) {
+      diags.add(e.loc, "axis '" + e.key + "': bad int range [" +
+                           std::to_string(*lo) + ", " + std::to_string(*hi) +
+                           "]");
+      return;
+    }
+    axis.ilo = *lo;
+    axis.ihi = *hi;
+  } else if (fn == "real") {
+    axis.kind = DseAxis::Kind::kReal;
+    if (args.size() != 2) {
+      diags.add(e.loc, "axis '" + e.key + "': real() takes (lo, hi)");
+      return;
+    }
+    const auto lo = interp.eval_double(args[0], e.loc, diags);
+    const auto hi = interp.eval_double(args[1], e.loc, diags);
+    if (!lo || !hi) return;
+    if (*lo > *hi) {
+      diags.add(e.loc, "axis '" + e.key + "': bad real range [" +
+                           format_double(*lo) + ", " + format_double(*hi) +
+                           "]");
+      return;
+    }
+    axis.rlo = *lo;
+    axis.rhi = *hi;
+  } else {
+    diags.add(e.loc, "axis '" + e.key + "': unknown distribution '" + fn +
+                         "' (valid: choice, int, real)");
+    return;
+  }
+  axes.push_back(std::move(axis));
+}
+
+Value draw(const DseAxis& axis, Rng& rng) {
+  switch (axis.kind) {
+    case DseAxis::Kind::kChoice:
+      return axis.choices[rng.below(
+          static_cast<std::uint32_t>(axis.choices.size()))];
+    case DseAxis::Kind::kInt:
+      return Value::integer(
+          axis.ilo +
+          rng.below(static_cast<std::uint32_t>(axis.ihi - axis.ilo + 1)));
+    case DseAxis::Kind::kReal: {
+      // 53 uniform mantissa bits in [0, 1).
+      const double u =
+          static_cast<double>(rng.next_u64() >> 11) * 0x1.0p-53;
+      return Value::real(axis.rlo + (axis.rhi - axis.rlo) * u);
+    }
+  }
+  return Value::integer(0);
+}
+
+}  // namespace
+
+DseTemplate load_template(const std::string& path) {
+  DseTemplate tmpl;
+  tmpl.path = path;
+  tmpl.file = ConfigFile::parse_file(path);
+  Diagnostics diags;
+  const Interp interp(tmpl.file);
+  const Section* dse = tmpl.file.section("dse");
+  if (dse == nullptr) {
+    diags.add({path, 0}, "missing [dse] section (axis declarations)");
+  } else {
+    for (const Entry& e : dse->entries) {
+      if (!e.index.empty()) {
+        diags.add(e.loc, "axis '" + e.key + "[" + e.index +
+                             "]': axes cannot be indexed");
+        continue;
+      }
+      parse_axis(e, interp, diags, tmpl.axes);
+    }
+    if (dse->entries.empty())
+      diags.add(dse->loc, "[dse] declares no axes");
+  }
+  if (const Section* cons = tmpl.file.section("constraints");
+      cons != nullptr) {
+    SectionReader r(interp, *cons, diags);
+    tmpl.max_total_issue = r.get_int("max_total_issue", 0);
+    tmpl.min_total_issue = r.get_int("min_total_issue", 0);
+    r.check_unknown("[constraints]");
+  }
+  if (tmpl.file.section("machine") == nullptr)
+    diags.add({path, 0}, "missing [machine] section");
+  if (tmpl.file.section("scenario") == nullptr)
+    diags.add({path, 0}, "missing [scenario] section");
+  diags.throw_if_any("dse template " + path);
+  return tmpl;
+}
+
+DsePoint sample_point(const DseTemplate& tmpl, std::uint64_t seed,
+                      std::uint64_t index) {
+  DsePoint p;
+  Rng rng(harness::derive_seed(seed, index));
+  Interp interp(tmpl.file);
+  for (const DseAxis& axis : tmpl.axes) {
+    Value v = draw(axis, rng);
+    interp.bind(axis.name, v);
+    p.bindings.emplace_back(axis.name, std::move(v));
+  }
+  Diagnostics diags;
+  p.machine = machine_from(tmpl.file, interp, diags);
+  p.scenario = scenario_from(tmpl.file, interp, diags);
+  p.machine = apply(p.scenario, p.machine);
+  // Any evaluation problem under bound axes is a bug in the template, not
+  // a property of this sample — surface it instead of silently rejecting.
+  diags.throw_if_any("dse template " + tmpl.path);
+  const std::vector<std::string> issues = p.machine.validate_issues();
+  if (!issues.empty()) {
+    std::ostringstream os;
+    os << "invalid machine: " << issues[0];
+    if (issues.size() > 1) os << " (+" << issues.size() - 1 << " more)";
+    p.reject_reason = os.str();
+    return p;
+  }
+  const int total = p.machine.total_issue_width();
+  if (tmpl.max_total_issue > 0 && total > tmpl.max_total_issue) {
+    p.reject_reason = "total issue width " + std::to_string(total) +
+                      " exceeds max_total_issue " +
+                      std::to_string(tmpl.max_total_issue);
+    return p;
+  }
+  if (tmpl.min_total_issue > 0 && total < tmpl.min_total_issue) {
+    p.reject_reason = "total issue width " + std::to_string(total) +
+                      " below min_total_issue " +
+                      std::to_string(tmpl.min_total_issue);
+    return p;
+  }
+  p.ok = true;
+  return p;
+}
+
+}  // namespace vexsim::mdes

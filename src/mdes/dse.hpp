@@ -1,0 +1,77 @@
+// Design-space-exploration templates: a machine + scenario description
+// whose values may reference sampled axis variables, plus the axis
+// declarations and acceptance constraints the sampler draws against.
+//
+//   [dse]
+//   issue    = choice(2, 4, 8)         # uniform over the listed values
+//   clusters = int(2, 8)               # uniform integer, inclusive
+//   ilp      = real(0.5, 2.0)          # uniform real in [lo, hi)
+//
+//   [constraints]
+//   max_total_issue = 16               # reject wider machines
+//
+//   [machine]
+//   clusters = $(clusters)
+//   cluster  = 'c'
+//   [c]
+//   issue_width = $(issue)
+//   [scenario]
+//   workload = repeat('synth:i$(ilp)-s@', $(threads))
+//
+// Sampling is deterministic and jobs-independent: point `index` under
+// `seed` draws from Rng(derive_seed(seed, index)), so a sample set is a
+// pure function of (template, seed, index range). Template problems —
+// parse errors, bad axis specs, evaluation failures under bound axes —
+// throw; a machine that fails MachineConfig::validate_issues() or a
+// declared constraint is a *rejection* (DsePoint::ok = false with the
+// reason), the expected fate of part of any random design space.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mdes/scenario.hpp"
+
+namespace vexsim::mdes {
+
+struct DseAxis {
+  enum class Kind : std::uint8_t { kChoice, kInt, kReal };
+
+  std::string name;
+  Kind kind = Kind::kChoice;
+  std::vector<Value> choices;       // kChoice
+  std::int64_t ilo = 0, ihi = 0;    // kInt, inclusive
+  double rlo = 0.0, rhi = 0.0;      // kReal, [rlo, rhi)
+};
+
+struct DseTemplate {
+  std::string path;  // display name of the template file
+  ConfigFile file;   // machine/scenario sections, re-evaluated per sample
+  std::vector<DseAxis> axes;
+  // From [constraints]; 0 = unconstrained.
+  std::int64_t max_total_issue = 0;
+  std::int64_t min_total_issue = 0;
+};
+
+// Parses and checks a template file; throws CheckError aggregating every
+// problem (bad axis spec, missing [dse]/[machine]/[scenario] section, ...).
+[[nodiscard]] DseTemplate load_template(const std::string& path);
+
+struct DsePoint {
+  bool ok = false;
+  std::string reject_reason;  // why !ok (validation or constraint)
+  // The sampled axis values, in declaration order.
+  std::vector<std::pair<std::string, Value>> bindings;
+  MachineConfig machine;  // scenario overlays applied
+  Scenario scenario;
+};
+
+// Draws sample `index` of the stream `seed`: binds every axis to a drawn
+// value, evaluates the machine + scenario under those bindings, and applies
+// the validity and constraint filters. Evaluation problems throw (template
+// bugs); filter failures return ok = false.
+[[nodiscard]] DsePoint sample_point(const DseTemplate& tmpl,
+                                    std::uint64_t seed, std::uint64_t index);
+
+}  // namespace vexsim::mdes

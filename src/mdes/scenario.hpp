@@ -1,0 +1,64 @@
+// Scenario descriptions: what to run on a machine, from the same `.conf`
+// grammar as the machine itself (mdes/machine.hpp).
+//
+//   [scenario]
+//   workload  = 'llhh'                          # wl::workload()-resolvable
+//   contexts  = 4                               # hardware contexts to run
+//   technique = 'CCSI NS'                       # merge/split technique
+//   scale     = 0.1                             # kernel outer-loop scaling
+//   budget    = 250000                          # VLIW instructions to halt
+//   timeslice = 100000                          # cycles between switches
+//   seed      = 42
+//   compiler  = 'cost_swp'                      # pass-pipeline variant
+//
+// workload composes with the interpolation layer — scenario templates fill
+// an n-context machine with per-context synthetic seeds via
+//   workload = repeat('synth:i$(ilp)-s@', $(n))
+//
+// contexts and technique are optional overlays: when present they replace
+// the machine's hw_threads / technique (apply()); when absent the machine
+// file's values stand. Every other key defaults to the ExperimentOptions
+// default. Deserialization is strict and aggregating, like the machine's.
+#pragma once
+
+#include <string>
+
+#include "harness/experiments.hpp"
+#include "mdes/machine.hpp"
+
+namespace vexsim::mdes {
+
+struct Scenario {
+  std::string workload;        // required; any wl::workload() name
+  int contexts = 0;            // 0 = keep the machine's hw_threads
+  bool has_technique = false;  // technique below overrides the machine's
+  Technique technique;
+  harness::ExperimentOptions opt;
+
+  friend bool operator==(const Scenario&, const Scenario&) = default;
+};
+
+// Deserializes the [scenario] section, best-effort (problems become
+// diagnostics, fields keep their defaults). A missing section or missing
+// `workload` key is a diagnostic.
+[[nodiscard]] Scenario scenario_from(const ConfigFile& file,
+                                     const Interp& interp, Diagnostics& diags);
+
+// The machine `base` with the scenario's contexts/technique overlays
+// applied (not validated — samplers reject invalid combinations).
+[[nodiscard]] MachineConfig apply(const Scenario& s, MachineConfig base);
+
+struct MachineScenario {
+  MachineConfig machine;  // overlays already applied, validated
+  Scenario scenario;
+};
+
+// Parses `path` holding both [machine] and [scenario]; throws CheckError
+// aggregating every parse, deserialization, and validation problem.
+[[nodiscard]] MachineScenario load_machine_scenario(const std::string& path);
+
+// Serializes `s` as a [scenario] section such that
+// scenario_from(parse(to_config(s))) == s exactly.
+[[nodiscard]] std::string to_config(const Scenario& s);
+
+}  // namespace vexsim::mdes

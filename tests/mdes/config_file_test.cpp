@@ -1,0 +1,319 @@
+// Description-file grammar: parsing, interpolation, and the hostile-input
+// battery — every malformed file must come back as one aggregated
+// CheckError with file:line diagnostics, never a crash or a hang.
+#include "mdes/config_file.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "mdes/interp.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace vexsim::mdes {
+namespace {
+
+// Fresh per-test directory for include-graph tests.
+class TempTree {
+ public:
+  explicit TempTree(const std::string& tag)
+      : dir_(testing::TempDir() + "/vexsim_mdes_" + tag) {
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+  }
+  std::string write(const std::string& name, const std::string& text) const {
+    const std::string path = dir_ + "/" + name;
+    std::ofstream os(path, std::ios::binary);
+    os << text;
+    return path;
+  }
+
+ private:
+  std::string dir_;
+};
+
+Value eval_ok(const ConfigFile& file, const std::string& text) {
+  const Interp interp(file);
+  Diagnostics diags;
+  const auto v = interp.eval(text, {"<test>", 1}, diags);
+  EXPECT_TRUE(diags.empty()) << diags.all().front().message;
+  EXPECT_TRUE(v.has_value());
+  return v.value_or(Value{});
+}
+
+std::string eval_err(const ConfigFile& file, const std::string& text) {
+  const Interp interp(file);
+  Diagnostics diags;
+  const auto v = interp.eval(text, {"<test>", 1}, diags);
+  EXPECT_FALSE(v.has_value());
+  EXPECT_FALSE(diags.empty());
+  return diags.empty() ? std::string() : diags.all().front().message;
+}
+
+TEST(ConfigFile, ParsesSectionsEntriesAndComments) {
+  const ConfigFile file = ConfigFile::parse_text(
+      "# leading comment\n"
+      "issue = 4\n"
+      "name = 'has # inside'  # trailing comment\n"
+      "\n"
+      "[machine]\n"
+      "clusters = 2\n"
+      "cluster[0:1] = 'c'\n");
+  ASSERT_EQ(file.sections().size(), 2u);
+  EXPECT_EQ(file.global().entries.size(), 2u);
+  EXPECT_EQ(file.global().find("issue")->value, "4");
+  EXPECT_EQ(file.global().find("name")->value, "'has # inside'");
+  const Section* machine = file.section("machine");
+  ASSERT_NE(machine, nullptr);
+  EXPECT_EQ(machine->loc.line, 5);
+  ASSERT_EQ(machine->entries.size(), 2u);
+  EXPECT_EQ(machine->entries[1].key, "cluster");
+  EXPECT_EQ(machine->entries[1].index, "0:1");
+}
+
+TEST(ConfigFile, AggregatesEveryProblemInOneThrow) {
+  try {
+    (void)ConfigFile::parse_text(
+        "a = 1\n"
+        "a = 2\n"          // duplicate key
+        "= no key\n"       // bad line
+        "[s]\n"
+        "[s]\n"            // duplicate section
+        "b =\n");          // missing value
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("4 problem(s)"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("duplicate key 'a'"), std::string::npos);
+    EXPECT_NE(msg.find("<config>:2"), std::string::npos);
+    EXPECT_NE(msg.find("duplicate section [s]"), std::string::npos);
+    EXPECT_NE(msg.find("no value"), std::string::npos);
+  }
+}
+
+TEST(ConfigFile, DuplicateKeyAcrossDuplicateSectionIsReported) {
+  // The duplicate section's entries merge into the original, so a key
+  // collision across the two blocks is still caught.
+  EXPECT_THROW((void)ConfigFile::parse_text("[s]\nk = 1\n[s]\nk = 2\n"),
+               CheckError);
+}
+
+TEST(ConfigFile, IncludeSplicesSharedBase) {
+  const TempTree tree("include_ok");
+  tree.write("base.conf", "shared = 7\n[lat]\nalu = 1\n");
+  const std::string root =
+      tree.write("root.conf", "include 'base.conf'\nown = 2\n");
+  const ConfigFile file = ConfigFile::parse_file(root);
+  EXPECT_NE(file.global().find("shared"), nullptr);
+  EXPECT_NE(file.global().find("own"), nullptr);
+  EXPECT_NE(file.section("lat"), nullptr);
+  // Locations point into the file that actually holds the line.
+  EXPECT_NE(file.global().find("shared")->loc.file.find("base.conf"),
+            std::string::npos);
+}
+
+TEST(ConfigFile, CyclicIncludeIsDiagnosedNotInfinite) {
+  const TempTree tree("include_cycle");
+  tree.write("b.conf", "include 'a.conf'\n");
+  const std::string a = tree.write("a.conf", "include 'b.conf'\nx = 1\n");
+  try {
+    (void)ConfigFile::parse_file(a);
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("cyclic include"),
+              std::string::npos);
+  }
+}
+
+TEST(ConfigFile, SelfIncludeIsDiagnosed) {
+  const TempTree tree("include_self");
+  const std::string a = tree.write("a.conf", "include 'a.conf'\n");
+  EXPECT_THROW((void)ConfigFile::parse_file(a), CheckError);
+}
+
+TEST(ConfigFile, MissingIncludeAndMissingFileAreDiagnosed) {
+  const TempTree tree("include_missing");
+  const std::string root = tree.write("r.conf", "include 'nope.conf'\n");
+  EXPECT_THROW((void)ConfigFile::parse_file(root), CheckError);
+  EXPECT_THROW((void)ConfigFile::parse_file("/nonexistent/vexsim.conf"),
+               CheckError);
+}
+
+TEST(ConfigFile, IncludeInsideSectionIsRejected) {
+  EXPECT_THROW((void)ConfigFile::parse_text("[s]\ninclude 'x.conf'\n"),
+               CheckError);
+}
+
+TEST(Interp, ArithmeticAndTypes) {
+  const ConfigFile file = ConfigFile::parse_text("issue = 4\nkb = 64\n");
+  EXPECT_EQ(eval_ok(file, "2*$(issue)+1").i, 9);
+  EXPECT_EQ(eval_ok(file, "$(kb) * 1024").i, 65536);
+  // Exact int division stays int; inexact promotes to double.
+  EXPECT_EQ(eval_ok(file, "8/2").kind, Value::Kind::kInt);
+  EXPECT_EQ(eval_ok(file, "8/2").i, 4);
+  EXPECT_EQ(eval_ok(file, "$(issue)/8").kind, Value::Kind::kDouble);
+  EXPECT_DOUBLE_EQ(eval_ok(file, "$(issue)/8").d, 0.5);
+  EXPECT_EQ(eval_ok(file, "-(1+2)*3").i, -9);
+  EXPECT_EQ(eval_ok(file, "true").b, true);
+  EXPECT_EQ(eval_ok(file, "'i$(issue)-s1'").s, "i4-s1");
+  EXPECT_EQ(eval_ok(file, "repeat('w-s@', 3)").s, "w-s1+w-s2+w-s3");
+}
+
+TEST(Interp, SelfReferentialVariableIsACycleDiagnostic) {
+  const ConfigFile file = ConfigFile::parse_text("a = $(a)\nb = $(c)\nc = $(b)\n");
+  EXPECT_NE(eval_err(file, "$(a)").find("cyclic variable reference"),
+            std::string::npos);
+  EXPECT_NE(eval_err(file, "$(b)").find("cyclic"), std::string::npos);
+}
+
+TEST(Interp, DivisionByZeroIsADiagnostic) {
+  const ConfigFile file = ConfigFile::parse_text("z = 0\n");
+  EXPECT_NE(eval_err(file, "1/0").find("division by zero"),
+            std::string::npos);
+  EXPECT_NE(eval_err(file, "4/$(z)").find("division by zero"),
+            std::string::npos);
+  EXPECT_NE(eval_err(file, "1.5/0.0").find("division by zero"),
+            std::string::npos);
+}
+
+TEST(Interp, ErrorsAreDiagnosticsNotCrashes) {
+  const ConfigFile file = ConfigFile::parse_text("s = 'text'\n");
+  EXPECT_NE(eval_err(file, "$(missing)").find("unknown variable"),
+            std::string::npos);
+  EXPECT_NE(eval_err(file, "1 + $(s)").find("arithmetic"),
+            std::string::npos);
+  (void)eval_err(file, "1 +");
+  (void)eval_err(file, "(1");
+  (void)eval_err(file, "'unterminated");
+  (void)eval_err(file, "1 2");
+  (void)eval_err(file, "repeat('x', 0)");
+  (void)eval_err(file, "99999999999999999999999999");
+  (void)eval_err(file, "bogusword");
+}
+
+TEST(SectionReader, TypedAccessAndUnknownKeys) {
+  const ConfigFile file = ConfigFile::parse_text(
+      "[s]\n"
+      "n = 4\n"
+      "x = 0.5\n"
+      "flag = true\n"
+      "name = 'abc'\n"
+      "typo = 1\n");
+  const Interp interp(file);
+  Diagnostics diags;
+  SectionReader r(interp, *file.section("s"), diags);
+  EXPECT_EQ(r.get_int("n", 0), 4);
+  EXPECT_DOUBLE_EQ(r.get_double("x", 0.0), 0.5);
+  EXPECT_EQ(r.get_bool("flag", false), true);
+  EXPECT_EQ(r.get_string("name", ""), "abc");
+  EXPECT_EQ(r.get_int("absent", 9), 9);
+  r.check_unknown("[s]");
+  ASSERT_EQ(diags.all().size(), 1u);
+  EXPECT_NE(diags.all()[0].message.find("unknown key 'typo'"),
+            std::string::npos);
+}
+
+TEST(SectionReader, RangeAndTypeMismatchesAreDiagnostics) {
+  const ConfigFile file = ConfigFile::parse_text(
+      "[s]\n"
+      "n = 99\n"
+      "m = 'str'\n");
+  const Interp interp(file);
+  Diagnostics diags;
+  SectionReader r(interp, *file.section("s"), diags);
+  EXPECT_EQ(r.get_int_in("n", 1, 0, 8), 1);  // default on range violation
+  EXPECT_EQ(r.get_int("m", 5), 5);           // default on type mismatch
+  EXPECT_EQ(diags.all().size(), 2u);
+}
+
+TEST(SectionReader, IndexedStringsRangesOverlapsAndBounds) {
+  const ConfigFile file = ConfigFile::parse_text(
+      "n = 4\n"
+      "[s]\n"
+      "c[0] = 'a'\n"
+      "c[1:$(n)-2] = 'b'\n");
+  const Interp interp(file);
+  Diagnostics diags;
+  SectionReader r(interp, *file.section("s"), diags);
+  const auto slots = r.indexed_strings("c", 4);
+  EXPECT_TRUE(diags.empty());
+  ASSERT_EQ(slots.size(), 4u);
+  EXPECT_EQ(slots[0].value(), "a");
+  EXPECT_EQ(slots[1].value(), "b");
+  EXPECT_EQ(slots[2].value(), "b");
+  EXPECT_FALSE(slots[3].has_value());
+
+  // Out-of-range index.
+  const ConfigFile oob = ConfigFile::parse_text("[s]\nc[7] = 'a'\n");
+  const Interp oob_interp(oob);
+  Diagnostics d2;
+  SectionReader r2(oob_interp, *oob.section("s"), d2);
+  (void)r2.indexed_strings("c", 4);
+  ASSERT_EQ(d2.all().size(), 1u);
+  EXPECT_NE(d2.all()[0].message.find("outside [0, 3]"), std::string::npos);
+
+  // Overlapping coverage names the earlier owner.
+  const ConfigFile overlap =
+      ConfigFile::parse_text("[s]\nc[0:2] = 'a'\nc[2:3] = 'b'\n");
+  const Interp overlap_interp(overlap);
+  Diagnostics d3;
+  SectionReader r3(overlap_interp, *overlap.section("s"), d3);
+  (void)r3.indexed_strings("c", 4);
+  ASSERT_EQ(d3.all().size(), 1u);
+  EXPECT_NE(d3.all()[0].message.find("already covered"), std::string::npos);
+
+  // Empty range (lo > hi).
+  const ConfigFile empty = ConfigFile::parse_text("[s]\nc[3:1] = 'a'\n");
+  const Interp empty_interp(empty);
+  Diagnostics d4;
+  SectionReader r4(empty_interp, *empty.section("s"), d4);
+  (void)r4.indexed_strings("c", 4);
+  ASSERT_EQ(d4.all().size(), 1u);
+  EXPECT_NE(d4.all()[0].message.find("empty range"), std::string::npos);
+}
+
+// Fuzz-ish smoke: seeded random token soup must always come back as either
+// a parsed file or a CheckError — no crash, no hang, no uncaught throw.
+// Runs under the ASan/UBSan tier-1 preset in CI like every other test.
+TEST(ConfigFile, RandomTokenSoupNeverCrashes) {
+  const char* tokens[] = {"[",      "]",     "=",     "$(",    ")",
+                          "include", "'",    "\"",    "#",     "a",
+                          "cluster", "1",    "0.5",   "+",     "-",
+                          "*",       "/",    "\n",    " ",     "repeat",
+                          "true",    "s@",   ":",     ",",     "(",
+                          "1e308",   "_",    "\t",    "9999999999999999999"};
+  constexpr int kTokenCount = sizeof(tokens) / sizeof(tokens[0]);
+  Rng rng(20260808);
+  int parsed = 0, rejected = 0;
+  for (int iter = 0; iter < 200; ++iter) {
+    std::string text;
+    const int len = 1 + static_cast<int>(rng.below(60));
+    for (int k = 0; k < len; ++k)
+      text += tokens[rng.below(kTokenCount)];
+    try {
+      const ConfigFile file = ConfigFile::parse_text(text, "<fuzz>");
+      ++parsed;
+      // Evaluate every entry too: the evaluator must also never crash.
+      const Interp interp(file);
+      for (const Section& sec : file.sections()) {
+        for (const Entry& e : sec.entries) {
+          Diagnostics diags;
+          (void)interp.eval(e.value, e.loc, diags);
+        }
+      }
+    } catch (const CheckError&) {
+      ++rejected;
+    }
+  }
+  EXPECT_EQ(parsed + rejected, 200);
+  // The soup is hostile enough that both outcomes occur.
+  EXPECT_GT(rejected, 0);
+  EXPECT_GT(parsed, 0);
+}
+
+}  // namespace
+}  // namespace vexsim::mdes

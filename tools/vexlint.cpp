@@ -18,6 +18,7 @@
 //   vexlint --quick --all            reduced grid (CI smoke)
 //   vexlint --kernels idct,mcf       restrict to named programs/specs
 //   vexlint --variants cost_swp      restrict compiler variants
+//   vexlint --config FILE            also lint on a description-file machine
 //   vexlint --scale F               kernel scaling (default 0.1)
 //   vexlint --selftest              prove the linter catches the seeded
 //                                   PR 5-style clone-placement miscompile
@@ -32,6 +33,7 @@
 #include "cc/options.hpp"
 #include "cc/verifier.hpp"
 #include "isa/config.hpp"
+#include "mdes/machine.hpp"
 #include "stats/json.hpp"
 #include "util/cli.hpp"
 #include "vasm/assembler.hpp"
@@ -172,15 +174,23 @@ int main(int argc, char** argv) {
                           : std::vector<std::string>{"greedy", "cost",
                                                      "cost_swp", "greedy_swp"};
 
+  // The built-in grid machines, plus any description-file machine the
+  // caller adds with --config FILE (lints the compiler against authored
+  // geometries, not just the two hard-coded ones).
+  std::vector<MachineConfig> machines = {sym_machine(), asym_machine()};
+  if (cli.has("config")) {
+    MachineConfig cfg = mdes::load_machine(cli.get("config", ""));
+    cfg.hw_threads = 1;  // lint compiles single-threaded programs
+    cfg.technique = Technique::smt();
+    cfg.validate();
+    machines.push_back(cfg);
+  }
+
   std::vector<Target> targets;
-  for (const auto& [cfg, geom] :
-       {std::pair{sym_machine(), std::string("sym")},
-        std::pair{asym_machine(), std::string("asym")}}) {
-    (void)geom;
+  for (const MachineConfig& cfg : machines)
     for (const std::string& variant : variants)
       for (const std::string& program : programs)
         targets.push_back(Target{program, variant, cfg});
-  }
 
   Json report = Json::object();
   report.set("tool", "vexlint");

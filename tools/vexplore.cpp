@@ -1,0 +1,267 @@
+// vexplore: design-space-exploration driver over machine/scenario
+// description templates (src/mdes/dse.hpp).
+//
+// Loads a template declaring sampling axes ([dse]), acceptance constraints
+// ([constraints]) and an axis-parameterized machine + scenario, draws N
+// design points with a seeded deterministic sampler, dispatches the
+// accepted points through the parallel sweep engine (with the
+// content-addressed result cache when --cache is set), and writes a
+// machine-readable report:
+//
+//   * every accepted point with its axis bindings and run statistics,
+//   * the Pareto frontier of (cycles-to-halt, total issue slots) — the
+//     cheapest machine at every performance level,
+//   * per-axis sensitivity summaries (bucketed mean cycles / IPC), a
+//     first-order view of which axis moves performance.
+//
+// Sampling is serial and pure in (template, --seed, index), and the report
+// carries no wall-clock or scheduling artifacts, so output bytes are
+// identical for any --jobs value and for cold vs warm caches.
+//
+// Flags: --template FILE (required), --sample N (default 64), --seed S
+//        (default 7), --max-attempts M (default 32*N), --json FILE (default
+//        VEXPLORE.json), --quick, --scale X, --budget N, --timeslice N
+//        (override every sampled scenario),
+//        --jobs N, --progress N, --cache[=DIR]/--no-cache, --timeout MS,
+//        --retries N (sweep engine).
+#include <algorithm>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "harness/sweep.hpp"
+#include "mdes/dse.hpp"
+#include "stats/json.hpp"
+#include "util/check.hpp"
+
+namespace {
+
+using namespace vexsim;
+
+struct Sampled {
+  std::uint64_t index = 0;  // draw index under --seed
+  mdes::DsePoint point;
+};
+
+Json value_json(const mdes::Value& v) {
+  switch (v.kind) {
+    case mdes::Value::Kind::kInt: return Json(v.i);
+    case mdes::Value::Kind::kDouble: return Json(v.d);
+    case mdes::Value::Kind::kBool: return Json(v.b);
+    case mdes::Value::Kind::kString: return Json(v.s);
+  }
+  return Json();
+}
+
+// Scenario-level overrides shared by every sampled point; mirrors the
+// bench --quick/--scale/--budget/--timeslice semantics.
+void apply_cli_overrides(const Cli& cli, harness::ExperimentOptions& opt) {
+  if (cli.get_bool("quick", false)) {
+    opt.scale = std::min(opt.scale, 0.05);
+    opt.budget = std::min<std::uint64_t>(opt.budget, 20'000);
+    opt.timeslice = std::min<std::uint64_t>(opt.timeslice, 10'000);
+  }
+  opt.scale = cli.get_double("scale", opt.scale);
+  opt.budget = static_cast<std::uint64_t>(
+      cli.get_int("budget", static_cast<std::int64_t>(opt.budget)));
+  opt.timeslice = static_cast<std::uint64_t>(
+      cli.get_int("timeslice", static_cast<std::int64_t>(opt.timeslice)));
+}
+
+// Strictly-improving sweep over points sorted by (issue asc, cycles asc):
+// the frontier of minimal (cycles, total issue slots).
+std::vector<std::string> pareto_labels(
+    const std::vector<harness::SweepPoint>& points,
+    const std::vector<RunResult>& results) {
+  struct Cand {
+    int issue;
+    std::uint64_t cycles;
+    std::string label;
+  };
+  std::vector<Cand> cands;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    if (results[i].failed) continue;
+    cands.push_back({points[i].cfg.total_issue_width(),
+                     results[i].sim.cycles, points[i].label});
+  }
+  std::sort(cands.begin(), cands.end(), [](const Cand& a, const Cand& b) {
+    if (a.issue != b.issue) return a.issue < b.issue;
+    if (a.cycles != b.cycles) return a.cycles < b.cycles;
+    return a.label < b.label;
+  });
+  std::vector<std::string> frontier;
+  std::uint64_t best = ~0ull;
+  for (const Cand& c : cands) {
+    if (c.cycles < best) {
+      frontier.push_back(c.label);
+      best = c.cycles;
+    }
+  }
+  return frontier;
+}
+
+// Deterministic bucket label for an axis value: choice and narrow int axes
+// bucket per value, wide int and real axes into 4 equal-width bins.
+std::string bucket_of(const mdes::DseAxis& axis, const mdes::Value& v) {
+  switch (axis.kind) {
+    case mdes::DseAxis::Kind::kChoice: return v.str();
+    case mdes::DseAxis::Kind::kInt: {
+      const std::int64_t span = axis.ihi - axis.ilo + 1;
+      if (span <= 8) return v.str();
+      const std::int64_t width = (span + 3) / 4;
+      const std::int64_t bin = (v.i - axis.ilo) / width;
+      const std::int64_t lo = axis.ilo + bin * width;
+      return "[" + std::to_string(lo) + ".." +
+             std::to_string(std::min(axis.ihi, lo + width - 1)) + "]";
+    }
+    case mdes::DseAxis::Kind::kReal: {
+      const double width = (axis.rhi - axis.rlo) / 4.0;
+      int bin = width > 0.0
+                    ? static_cast<int>((v.as_double() - axis.rlo) / width)
+                    : 0;
+      bin = std::clamp(bin, 0, 3);
+      return "[" + mdes::format_double(axis.rlo + bin * width) + ".." +
+             mdes::format_double(axis.rlo + (bin + 1) * width) + ")";
+    }
+  }
+  return v.str();
+}
+
+Json sensitivity_json(const mdes::DseTemplate& tmpl,
+                      const std::vector<Sampled>& accepted,
+                      const std::vector<RunResult>& results) {
+  Json out = Json::object();
+  for (std::size_t a = 0; a < tmpl.axes.size(); ++a) {
+    const mdes::DseAxis& axis = tmpl.axes[a];
+    // Bucket key -> (count, cycles sum, ipc sum); std::map keeps the bucket
+    // emission order independent of sample order.
+    std::map<std::string, std::tuple<std::uint64_t, double, double>> buckets;
+    for (std::size_t i = 0; i < accepted.size(); ++i) {
+      if (results[i].failed) continue;
+      const mdes::Value& v = accepted[i].point.bindings[a].second;
+      auto& [n, cycles, ipc] = buckets[bucket_of(axis, v)];
+      ++n;
+      cycles += static_cast<double>(results[i].sim.cycles);
+      ipc += results[i].ipc();
+    }
+    Json rows = Json::array();
+    for (const auto& [bucket, agg] : buckets) {
+      const auto& [n, cycles, ipc] = agg;
+      Json row = Json::object();
+      row.set("bucket", bucket)
+          .set("points", n)
+          .set("mean_cycles", cycles / static_cast<double>(n))
+          .set("mean_ipc", ipc / static_cast<double>(n));
+      rows.push(std::move(row));
+    }
+    out.set(axis.name, std::move(rows));
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  VEXSIM_CHECK_MSG(cli.has("template"),
+                   "vexplore needs --template FILE (see configs/)");
+  const std::string template_path = cli.get("template", "");
+  const std::int64_t sample_arg = cli.get_int("sample", 64);
+  VEXSIM_CHECK_MSG(sample_arg >= 1, "--sample must be >= 1");
+  const auto sample = static_cast<std::uint64_t>(sample_arg);
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 7));
+  const std::int64_t attempts_arg =
+      cli.get_int("max-attempts", 32 * sample_arg);
+  VEXSIM_CHECK_MSG(attempts_arg >= sample_arg,
+                   "--max-attempts must be >= --sample");
+  const auto max_attempts = static_cast<std::uint64_t>(attempts_arg);
+
+  const mdes::DseTemplate tmpl = mdes::load_template(template_path);
+
+  // Serial sampling keeps the accepted set a pure function of
+  // (template, seed): rejected draws burn their index and the next draw
+  // proceeds, independent of --jobs.
+  std::vector<Sampled> accepted;
+  std::map<std::string, std::uint64_t> rejected;
+  std::uint64_t attempts = 0;
+  while (accepted.size() < sample && attempts < max_attempts) {
+    const std::uint64_t index = attempts++;
+    mdes::DsePoint p = mdes::sample_point(tmpl, seed, index);
+    if (!p.ok) {
+      ++rejected[p.reject_reason];
+      continue;
+    }
+    accepted.push_back({index, std::move(p)});
+  }
+  std::uint64_t rejected_total = 0;
+  for (const auto& [reason, n] : rejected) rejected_total += n;
+  std::cout << "vexplore: " << accepted.size() << "/" << sample
+            << " points accepted (" << attempts << " draws, "
+            << rejected_total << " rejected)\n";
+
+  std::vector<harness::SweepPoint> points;
+  points.reserve(accepted.size());
+  for (const Sampled& s : accepted) {
+    harness::ExperimentOptions opt = s.point.scenario.opt;
+    apply_cli_overrides(cli, opt);
+    points.push_back({"p" + std::to_string(s.index) + "/" +
+                          s.point.machine.geometry_name() + "/" +
+                          std::to_string(s.point.machine.hw_threads) + "T/" +
+                          s.point.machine.technique.name(),
+                      s.point.machine, s.point.scenario.workload, opt});
+  }
+  harness::SweepOptions sweep_opts = harness::SweepOptions::from_cli(cli);
+  const std::vector<RunResult> results = harness::run_sweep(points, sweep_opts);
+
+  Json report = Json::object();
+  report.set("experiment", "vexplore")
+      .set("template", template_path)
+      .set("seed", seed)
+      .set("requested", sample)
+      .set("attempts", attempts)
+      .set("accepted", static_cast<std::uint64_t>(accepted.size()));
+  Json rejects = Json::object();
+  for (const auto& [reason, n] : rejected) rejects.set(reason, n);
+  report.set("rejected", std::move(rejects));
+
+  Json points_json = Json::array();
+  for (std::size_t i = 0; i < accepted.size(); ++i) {
+    const Sampled& s = accepted[i];
+    const RunResult& r = results[i];
+    Json bindings = Json::object();
+    for (const auto& [name, value] : s.point.bindings)
+      bindings.set(name, value_json(value));
+    Json pj = Json::object();
+    pj.set("label", points[i].label)
+        .set("bindings", std::move(bindings))
+        .set("geometry", s.point.machine.geometry_name())
+        .set("clusters", s.point.machine.clusters)
+        .set("threads", s.point.machine.hw_threads)
+        .set("technique", s.point.machine.technique.name())
+        .set("total_issue", s.point.machine.total_issue_width())
+        .set("workload", points[i].workload);
+    if (r.failed) {
+      pj.set("failed", true).set("error", r.error);
+    } else {
+      pj.set("cycles", r.sim.cycles)
+          .set("instructions", r.sim.instructions_retired)
+          .set("ipc", r.ipc());
+    }
+    points_json.push(std::move(pj));
+  }
+  report.set("points", std::move(points_json));
+
+  Json pareto = Json::array();
+  for (const std::string& label : pareto_labels(points, results))
+    pareto.push(label);
+  report.set("pareto", std::move(pareto));
+  report.set("sensitivity", sensitivity_json(tmpl, accepted, results));
+
+  const std::string out_path = cli.get("json", "VEXPLORE.json");
+  write_json_file(out_path, report);
+  std::cout << "vexplore: frontier " << report.at("pareto").size()
+            << " of " << accepted.size() << " points; report in " << out_path
+            << "\n";
+  return 0;
+}
