@@ -2,18 +2,19 @@
 // per wall-clock second) for representative configurations, tracked as a
 // machine-readable trajectory so every PR's hot-path claim is measurable.
 //
-// Each configuration runs twice: with the fast path disabled (pure
-// cycle-by-cycle loop) and enabled (decode cache is always on; this toggles
-// the idle-cycle batching of Simulator::fast_forward). The two runs must
-// produce bit-identical statistics — checked here on every invocation — so
-// the speedup column is a pure wall-clock ratio at equal work.
+// Each configuration runs twice: the reference engine (pure cycle-by-cycle
+// loop, select-then-execute, no idle-cycle batching) and the fast engine
+// (fused select+execute plus fast-forward). The two runs must produce
+// bit-identical statistics — checked here on every invocation — so the
+// speedup column is a pure wall-clock ratio at equal work.
 //
 // Flags: --reps N (timing repetitions, best-of), --config FILE (base
 //        machine description), --budget/--timeslice/
-//        --scale/--seed/--quick/--paper, --json FILE (default
-//        BENCH_sim_speed.json). The sweep result cache (--cache) does not
-//        apply here: this bench measures wall-clock, so every run must
-//        re-simulate.
+//        --scale/--seed/--quick/--paper, --profile (append an untimed
+//        per-phase wall-clock breakdown for both engines to the JSON),
+//        --json FILE (default BENCH_sim_speed.json). The sweep result cache
+//        (--cache) does not apply here: this bench measures wall-clock, so
+//        every run must re-simulate.
 #include <chrono>
 #include <iostream>
 #include <string>
@@ -38,8 +39,10 @@ struct SpeedPoint {
 
 struct SpeedResult {
   RunResult run;
-  double base_seconds = 0;  // fast path off
-  double fast_seconds = 0;  // fast path on
+  double base_seconds = 0;  // reference engine (fused + fast_forward off)
+  double fast_seconds = 0;  // fused engine + fast_forward
+  SimProfile base_profile;
+  SimProfile fast_profile;
 };
 
 double time_once(const std::string& workload, int threads, Technique t,
@@ -66,13 +69,40 @@ void check_identical(const std::string& label, const RunResult& a,
           a.icache.misses == b.icache.misses &&
           a.dcache.hits == b.dcache.hits &&
           a.dcache.misses == b.dcache.misses,
-      "fast-path statistics diverge from the cycle-by-cycle loop for "
-          << label);
+      "fused-engine statistics diverge from the reference loop for " << label);
   VEXSIM_CHECK(a.instances.size() == b.instances.size());
   for (std::size_t i = 0; i < a.instances.size(); ++i)
     VEXSIM_CHECK_MSG(a.instances[i].arch_fingerprint ==
                          b.instances[i].arch_fingerprint,
-                     "fast-path architectural state diverges for " << label);
+                     "fused-engine architectural state diverges for " << label);
+}
+
+Json profile_json(const SimProfile& p) {
+  Json j = Json::object();
+  j.set("commit_seconds", p.commit_seconds)
+      .set("refill_seconds", p.refill_seconds)
+      .set("select_seconds", p.select_seconds)
+      .set("execute_seconds", p.execute_seconds)
+      .set("complete_seconds", p.complete_seconds)
+      .set("fast_forward_seconds", p.fast_forward_seconds)
+      .set("steps", p.steps)
+      .set("total_seconds", p.total());
+  return j;
+}
+
+void print_profile(const std::string& label, const char* engine,
+                   const SimProfile& p) {
+  const double total = p.total();
+  auto pct = [total](double s) {
+    return total > 0 ? Table::fmt(100.0 * s / total, 1) + "%" : "-";
+  };
+  std::cout << "  " << label << " [" << engine << "] commit "
+            << pct(p.commit_seconds) << ", refill " << pct(p.refill_seconds)
+            << ", select " << pct(p.select_seconds) << ", execute "
+            << pct(p.execute_seconds) << ", complete "
+            << pct(p.complete_seconds) << ", fast-forward "
+            << pct(p.fast_forward_seconds) << " of " << Table::fmt(total, 3)
+            << "s\n";
 }
 
 }  // namespace
@@ -88,6 +118,7 @@ int main(int argc, char** argv) {
   const int reps =
       static_cast<int>(cli.get_int("reps", cli.get_bool("quick", false) ? 2 : 5));
   VEXSIM_CHECK_MSG(reps >= 1, "--reps must be >= 1");
+  const bool profile = cli.get_bool("profile", false);
 
   const std::vector<SpeedPoint> points = {
       {"2T_csmt/llmm", "llmm", 2, Technique::csmt()},
@@ -103,16 +134,19 @@ int main(int argc, char** argv) {
     SpeedResult r;
     // Warm the memoized workload cache so timing excludes compilation.
     opt.fast_forward = true;
+    opt.fused = true;
     (void)time_once(p.workload, p.threads, p.technique, opt, r.run);
 
     RunResult base_run, fast_run;
     double base = 1e300, fast = 1e300;
     for (int i = 0; i < reps; ++i) {
       opt.fast_forward = false;
+      opt.fused = false;
       base = std::min(base,
                       time_once(p.workload, p.threads, p.technique, opt,
                                 base_run));
       opt.fast_forward = true;
+      opt.fused = true;
       fast = std::min(fast,
                       time_once(p.workload, p.threads, p.technique, opt,
                                 fast_run));
@@ -121,6 +155,21 @@ int main(int argc, char** argv) {
     r.run = fast_run;
     r.base_seconds = base;
     r.fast_seconds = fast;
+    if (profile) {
+      // Untimed extra runs: the per-phase clocks perturb the loop, so the
+      // breakdown is reported alongside — never instead of — the wall times.
+      RunResult prof_run;
+      opt.profile = true;
+      opt.fast_forward = false;
+      opt.fused = false;
+      (void)time_once(p.workload, p.threads, p.technique, opt, prof_run);
+      r.base_profile = prof_run.profile;
+      opt.fast_forward = true;
+      opt.fused = true;
+      (void)time_once(p.workload, p.threads, p.technique, opt, prof_run);
+      r.fast_profile = prof_run.profile;
+      opt.profile = false;
+    }
     results.push_back(r);
   }
 
@@ -152,6 +201,10 @@ int main(int argc, char** argv) {
         .set("cycles_per_sec_fast", fast_cps)
         .set("ops_per_sec_fast", ops / r.fast_seconds)
         .set("fast_over_base", fast_cps / base_cps);
+    if (profile) {
+      pj.set("profile_base", profile_json(r.base_profile));
+      pj.set("profile_fast", profile_json(r.fast_profile));
+    }
     arr.push(std::move(pj));
   }
 
@@ -165,7 +218,15 @@ int main(int argc, char** argv) {
   write_json_file(cli.get("json", "BENCH_sim_speed.json"), std::move(doc));
 
   std::cout << table.to_text();
-  std::cout << "\nStats are verified bit-identical between the base and fast "
-               "paths before any ratio is reported.\n";
+  if (profile) {
+    std::cout << "\nPer-phase wall-clock breakdown (separate instrumented "
+                 "runs):\n";
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      print_profile(points[i].label, "base", results[i].base_profile);
+      print_profile(points[i].label, "fused", results[i].fast_profile);
+    }
+  }
+  std::cout << "\nStats are verified bit-identical between the reference and "
+               "fused engines before any ratio is reported.\n";
   return 0;
 }

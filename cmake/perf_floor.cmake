@@ -1,0 +1,42 @@
+# Perf-floor gate: compare a BENCH_sim_speed.json trajectory against the
+# checked-in absolute throughput floors and fail when any point's fast-engine
+# cycles/s drops more than 20% below its floor. The floors carry several-fold
+# headroom over typical numbers (see tests/golden/sim_speed_floor.json), so a
+# failure means an order-of-magnitude hot-path regression, not timing noise.
+#
+# Arguments: BENCH_JSON (measured trajectory), FLOOR_JSON (floor file).
+file(READ "${BENCH_JSON}" bench)
+file(READ "${FLOOR_JSON}" floors)
+
+string(JSON npoints LENGTH "${bench}" points)
+if(npoints EQUAL 0)
+  message(FATAL_ERROR "perf floor: no points in ${BENCH_JSON}")
+endif()
+math(EXPR last "${npoints} - 1")
+
+set(checked 0)
+foreach(i RANGE ${last})
+  string(JSON label GET "${bench}" points ${i} label)
+  string(JSON fast GET "${bench}" points ${i} cycles_per_sec_fast)
+  string(JSON floor ERROR_VARIABLE err GET "${floors}" floors "${label}")
+  if(err)
+    message(STATUS "perf floor: no floor for '${label}', skipping")
+    continue()
+  endif()
+  # Integer arithmetic: CMake's numeric if() is unreliable on decimals.
+  string(REGEX REPLACE "\\..*$" "" fast_int "${fast}")
+  math(EXPR limit "${floor} * 8 / 10")
+  if(fast_int LESS limit)
+    message(FATAL_ERROR
+            "perf floor: ${label} measured ${fast_int} cycles/s, more than "
+            "20% below the floor ${floor} (limit ${limit}). The hot path "
+            "regressed badly; see tests/golden/sim_speed_floor.json.")
+  endif()
+  message(STATUS
+          "perf floor: ${label} ${fast_int} cycles/s >= limit ${limit} (ok)")
+  math(EXPR checked "${checked} + 1")
+endforeach()
+
+if(checked EQUAL 0)
+  message(FATAL_ERROR "perf floor: no point matched any floor entry")
+endif()

@@ -11,6 +11,7 @@ ThreadContext::ThreadContext(int asid, std::shared_ptr<const Program> program)
                    "program must be finalize()d before execution");
   VEXSIM_CHECK(!program_->code.empty());
   code_ = program_->code.data();
+  code_size_ = static_cast<std::uint32_t>(program_->code.size());
   decoded_insns_ = program_->decoded->data();
   instr_addr_ = program_->instr_addr.data();
   respawn();

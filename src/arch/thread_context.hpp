@@ -119,7 +119,10 @@ class ThreadContext {
   [[nodiscard]] std::uint32_t instr_addr(std::uint32_t at) const {
     return instr_addr_[at];
   }
-  [[nodiscard]] bool at_end() const { return pc >= program_->code.size(); }
+  [[nodiscard]] bool at_end() const { return pc >= code_size_; }
+  // Instruction count, cached so the retire path doesn't chase the
+  // shared_ptr and vector header of the (cold) Program object.
+  [[nodiscard]] std::uint32_t code_size() const { return code_size_; }
 
   // Architectural fingerprint (registers + memory): the quantity that must
   // be identical across all multithreading techniques.
@@ -159,6 +162,7 @@ class ThreadContext {
   const VliwInstruction* code_ = nullptr;
   const DecodedInstruction* decoded_insns_ = nullptr;
   const std::uint32_t* instr_addr_ = nullptr;
+  std::uint32_t code_size_ = 0;
 };
 
 }  // namespace vexsim

@@ -191,10 +191,7 @@ std::vector<Edge> build_edges(const LBlock& blk, const LatencyConfig& lat,
 
 ResourceUse op_need(const LOp& op) {
   ResourceUse need;
-  if (op.is_copy) {
-    need.slots = 1;
-    return need;
-  }
+  if (op.is_copy) return ResourceUse::one_slot();
   Operation probe;
   probe.opc = op.opc;
   need.add(probe);
@@ -306,8 +303,7 @@ std::vector<int> try_ims(const LBlock& blk, const MachineConfig& cfg,
     int channels = 0;
     auto put = [&use, &channels](const LOp& op) {
       if (op.is_copy) {
-        ResourceUse one;
-        one.slots = 1;
+        const ResourceUse one = ResourceUse::one_slot();
         use[static_cast<std::size_t>(op.cluster)].add(one);
         use[static_cast<std::size_t>(op.copy_dst_cluster)].add(one);
         ++channels;

@@ -81,8 +81,7 @@ class BlockScheduler {
     if (op.is_copy) {
       ResourceUse& snd = use_at(cycle, op.cluster);
       ResourceUse& rcv = use_at(cycle, op.copy_dst_cluster);
-      ResourceUse one;
-      one.slots = 1;
+      const ResourceUse one = ResourceUse::one_slot();
       if (copies_[static_cast<std::size_t>(cycle)] >= kNumChannels)
         return false;
       if (!snd.fits_with(one, cfg_.cluster_at(op.cluster),

@@ -116,9 +116,9 @@ std::vector<VerifyIssue> verify_program(const Program& prog,
       ResourceUse empty;
       if (!empty.fits_with(use, cfg.cluster_at(c), cfg.branch_units_at(c))) {
         std::ostringstream os;
-        os << "cluster " << c << " overcommitted: slots=" << int(use.slots)
-           << " alu=" << int(use.alu) << " mul=" << int(use.mul)
-           << " mem=" << int(use.mem) << " br=" << int(use.br);
+        os << "cluster " << c << " overcommitted: slots=" << int(use.slots())
+           << " alu=" << int(use.alu()) << " mul=" << int(use.mul())
+           << " mem=" << int(use.mem()) << " br=" << int(use.br());
         report(i, os.str());
       }
     }

@@ -30,7 +30,7 @@ bool operator==(const ExperimentOptions& a, const ExperimentOptions& b) {
   return machines_equal && a.scale == b.scale && a.budget == b.budget &&
          a.timeslice == b.timeslice && a.max_cycles == b.max_cycles &&
          a.seed == b.seed && a.fast_forward == b.fast_forward &&
-         a.compiler == b.compiler;
+         a.fused == b.fused && a.compiler == b.compiler;
 }
 
 ExperimentOptions ExperimentOptions::from_cli(const Cli& cli) {
@@ -77,6 +77,8 @@ RunResult run_workload_on(const MachineConfig& cfg,
   params.seed = opt.seed;
   params.respawn = true;
   params.fast_forward = opt.fast_forward;
+  params.fused = opt.fused;
+  params.profile = opt.profile;
   MultiprogramDriver driver(cfg, std::move(programs), params);
   RunResult result = driver.run();
   result.compile = compile;
@@ -102,6 +104,8 @@ RunResult run_single(const std::string& benchmark, bool perfect_memory,
   params.max_cycles = opt.max_cycles;
   params.seed = opt.seed;
   params.respawn = true;
+  params.fused = opt.fused;
+  params.profile = opt.profile;
   MultiprogramDriver driver(cfg, {std::move(program)}, params);
   RunResult result = driver.run();
   result.compile.instructions = static_cast<std::uint64_t>(stats.instructions);

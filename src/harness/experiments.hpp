@@ -27,6 +27,14 @@ struct ExperimentOptions {
   // Idle-cycle batching (bit-identical stats either way); micro_sim_speed
   // turns it off to time the pure cycle-by-cycle path.
   bool fast_forward = true;
+  // Fused select+execute engine (bit-identical stats either way); the
+  // equivalence suite and micro_sim_speed's base leg turn it off to run the
+  // reference packet engine.
+  bool fused = true;
+  // Per-phase wall-clock breakdown (Simulator::set_profile). Timing only —
+  // excluded from the result-cache fingerprint, and profiled runs bypass the
+  // cache (their point is the wall-clock, not the stats).
+  bool profile = false;
   // Compiler pass-pipeline variant the workload compiles with (--cc NAME;
   // per-component "synth:...-cc..." fields override it). Part of the
   // result-cache fingerprint and the workload memo key.

@@ -248,7 +248,8 @@ std::uint64_t point_fingerprint(const MachineConfig& cfg,
       .u64(opt.timeslice)
       .u64(opt.max_cycles)
       .u64(opt.seed)
-      .flag(opt.fast_forward);
+      .flag(opt.fast_forward)
+      .flag(opt.fused);
   // Compiler pass-pipeline options: every knob the compiled code depends
   // on, so points simulated under different compiler settings can never
   // alias one cache record. verify_each_pass is deliberately excluded —

@@ -1,35 +1,43 @@
 #include "isa/resources.hpp"
 
+#include <algorithm>
+
 namespace vexsim {
 
+namespace {
+
+// Packed lane increment per operation class: every op takes an issue slot;
+// comm and nop take nothing else (network ports are not a merge-limited
+// resource).
+constexpr std::uint64_t kClassUse[] = {
+    ResourceUse::pack(1, 0, 0, 0, 0),  // kNop
+    ResourceUse::pack(1, 1, 0, 0, 0),  // kAlu
+    ResourceUse::pack(1, 0, 1, 0, 0),  // kMul
+    ResourceUse::pack(1, 0, 0, 1, 0),  // kMem
+    ResourceUse::pack(1, 0, 0, 0, 1),  // kBranch
+    ResourceUse::pack(1, 0, 0, 0, 0),  // kComm
+};
+
+// Keep a capacity lane inside the SWAR domain: the borrow guard bit is the
+// lane's own 0x80, so a capacity >= 0x80 must clamp to 0x7F ("effectively
+// unlimited" — no use lane can reach it, see the header static_assert).
+constexpr std::uint64_t clamp_lane(int v) {
+  return static_cast<std::uint64_t>(std::clamp(v, 0, 0x7F));
+}
+
+}  // namespace
+
 void ResourceUse::add(const Operation& op) {
-  ++slots;
-  switch (op.cls()) {
-    case OpClass::kAlu: ++alu; break;
-    case OpClass::kMul: ++mul; break;
-    case OpClass::kMem: ++mem; break;
-    case OpClass::kBranch: ++br; break;
-    case OpClass::kComm:   // network ports are not a merge-limited resource
-    case OpClass::kNop:
-      break;
-  }
+  bits += kClassUse[static_cast<std::size_t>(op.cls())];
 }
 
-void ResourceUse::add(const ResourceUse& other) {
-  slots = static_cast<std::uint8_t>(slots + other.slots);
-  alu = static_cast<std::uint8_t>(alu + other.alu);
-  mul = static_cast<std::uint8_t>(mul + other.mul);
-  mem = static_cast<std::uint8_t>(mem + other.mem);
-  br = static_cast<std::uint8_t>(br + other.br);
-}
-
-bool ResourceUse::fits_with(const ResourceUse& extra,
-                            const ClusterResourceConfig& limits,
-                            int branch_units) const {
-  return slots + extra.slots <= limits.issue_slots &&
-         alu + extra.alu <= limits.alus && mul + extra.mul <= limits.muls &&
-         mem + extra.mem <= limits.mem_units &&
-         br + extra.br <= branch_units;
+std::uint64_t ResourceUse::pack_limits(const ClusterResourceConfig& limits,
+                                       int branch_units) {
+  return (clamp_lane(limits.issue_slots) << (8 * kSlotsLane)) |
+         (clamp_lane(limits.alus) << (8 * kAluLane)) |
+         (clamp_lane(limits.muls) << (8 * kMulLane)) |
+         (clamp_lane(limits.mem_units) << (8 * kMemLane)) |
+         (clamp_lane(branch_units) << (8 * kBrLane));
 }
 
 ResourceUse bundle_use(const Bundle& bundle, std::uint8_t mask) {

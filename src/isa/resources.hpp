@@ -5,6 +5,20 @@
 // These counts are what the operation-level collision logic (CL of Figure 7)
 // checks; the cluster-level variant only checks "is the cluster untouched".
 //
+// Representation: all five counters live in one uint64_t as packed 8-bit
+// lanes (slots, alu, mul, mem, br at bytes 0..4), so the merge engine's two
+// inner-loop primitives collapse to word arithmetic:
+//
+//   add       → one 64-bit add (no lane can carry: every accumulation site
+//               is bounded by the issue width, see the static_asserts);
+//   fits_with → one subtract against the packed capacity word with a
+//               per-lane borrow guard ("SWAR" compare — lane values stay
+//               below 0x80, so a clear guard bit means that lane borrowed).
+//
+// Capacities pack once per cluster (pack_limits) at machine-attach time;
+// probing a bundle against a cluster no longer re-reads the five config
+// fields per attempt.
+//
 // This lives in isa (not core) because the decode cache (decoded_program.hpp)
 // precomputes ResourceUse tables at program-load time, one layer below the
 // merge hardware that consumes them.
@@ -18,21 +32,72 @@
 namespace vexsim {
 
 struct ResourceUse {
-  std::uint8_t slots = 0;
-  std::uint8_t alu = 0;
-  std::uint8_t mul = 0;
-  std::uint8_t mem = 0;
-  std::uint8_t br = 0;
+  // Byte lane per resource kind; lanes 5..7 are always zero.
+  static constexpr int kSlotsLane = 0;
+  static constexpr int kAluLane = 1;
+  static constexpr int kMulLane = 2;
+  static constexpr int kMemLane = 3;
+  static constexpr int kBrLane = 4;
+  // High bit of each used lane: the borrow detector for the SWAR compare.
+  static constexpr std::uint64_t kGuard = 0x0000008080808080ull;
+
+  // The SWAR borrow trick needs every lane value (use and capacity alike)
+  // below 0x80, and lane adds must never carry into the neighbour lane.
+  // Uses are bounded by the per-cluster issue width: a bundle has at most
+  // kMaxIssuePerCluster operations and a packet accumulates at most one
+  // cluster's capacity per lane, so 2 * kMaxIssuePerCluster bounds any
+  // transient sum a fits probe sees. Widen the lanes to 16 bits if this
+  // ever fails.
+  static_assert(2 * kMaxIssuePerCluster < 0x80,
+                "packed 8-bit ResourceUse lanes would overflow; widen lanes");
+
+  std::uint64_t bits = 0;
+
+  [[nodiscard]] static constexpr ResourceUse one_slot() {
+    return ResourceUse{1u << (8 * kSlotsLane)};
+  }
+  [[nodiscard]] static constexpr std::uint64_t pack(int slots, int alu,
+                                                    int mul, int mem, int br) {
+    return (static_cast<std::uint64_t>(slots) << (8 * kSlotsLane)) |
+           (static_cast<std::uint64_t>(alu) << (8 * kAluLane)) |
+           (static_cast<std::uint64_t>(mul) << (8 * kMulLane)) |
+           (static_cast<std::uint64_t>(mem) << (8 * kMemLane)) |
+           (static_cast<std::uint64_t>(br) << (8 * kBrLane));
+  }
+  // Per-cluster capacity in the packed form, clamped into the lane range so
+  // configs larger than the SWAR domain degrade to "never limits" instead of
+  // corrupting neighbour lanes.
+  [[nodiscard]] static std::uint64_t pack_limits(
+      const ClusterResourceConfig& limits, int branch_units);
+
+  [[nodiscard]] std::uint8_t lane(int i) const {
+    return static_cast<std::uint8_t>(bits >> (8 * i));
+  }
+  [[nodiscard]] std::uint8_t slots() const { return lane(kSlotsLane); }
+  [[nodiscard]] std::uint8_t alu() const { return lane(kAluLane); }
+  [[nodiscard]] std::uint8_t mul() const { return lane(kMulLane); }
+  [[nodiscard]] std::uint8_t mem() const { return lane(kMemLane); }
+  [[nodiscard]] std::uint8_t br() const { return lane(kBrLane); }
 
   void add(const Operation& op);
-  void add(const ResourceUse& other);
+  void add(const ResourceUse& other) { bits += other.bits; }
 
-  [[nodiscard]] bool empty() const { return slots == 0; }
+  [[nodiscard]] bool empty() const { return (bits & 0xFFu) == 0; }
 
-  // Would `this + extra` still fit within the cluster limits?
+  // Would `this + extra` still fit within the packed per-cluster capacity?
+  // One subtract: a cleared guard bit marks the lane that went negative.
+  [[nodiscard]] bool fits_packed(const ResourceUse& extra,
+                                 std::uint64_t packed_limits) const {
+    const std::uint64_t want = bits + extra.bits;
+    return (((packed_limits | kGuard) - want) & kGuard) == kGuard;
+  }
+  // Struct-capacity convenience (compiler passes, tests); the merge engine
+  // uses fits_packed against capacities packed once at attach time.
   [[nodiscard]] bool fits_with(const ResourceUse& extra,
                                const ClusterResourceConfig& limits,
-                               int branch_units) const;
+                               int branch_units) const {
+    return fits_packed(extra, pack_limits(limits, branch_units));
+  }
 
   friend bool operator==(const ResourceUse&, const ResourceUse&) = default;
 };

@@ -14,46 +14,25 @@ Cache::Cache(const CacheConfig& cfg) : cfg_(cfg) {
   VEXSIM_CHECK_MSG(std::has_single_bit(sets_), "set count not 2^n");
   line_shift_ = static_cast<std::uint32_t>(std::countr_zero(cfg.line_bytes));
   ways_.assign(static_cast<std::size_t>(sets_) * cfg.assoc, Way{});
-  last_tag_.fill(kInvalid);
 }
 
-std::uint64_t Cache::tag_of(std::uint32_t asid, std::uint32_t addr) const {
-  return (static_cast<std::uint64_t>(asid) << 32) | (addr >> line_shift_);
-}
-
-std::uint32_t Cache::set_of(std::uint32_t addr) const {
-  return (addr >> line_shift_) & (sets_ - 1);
-}
-
-bool Cache::access(std::uint32_t asid, std::uint32_t addr) {
-  if (cfg_.perfect) {
-    ++stats_.hits;
-    return true;
-  }
-  ++tick_;
-  const std::uint64_t tag = tag_of(asid, addr);
-  const std::uint32_t memo = asid % kMemoSlots;
-  if (tag == last_tag_[memo] && last_way_[memo]->tag == tag) {
-    last_way_[memo]->stamp = tick_;
-    ++stats_.hits;
-    return true;
-  }
-  Way* set = &ways_[static_cast<std::size_t>(set_of(addr)) * cfg_.assoc];
-  Way* victim = set;
+bool Cache::access_scan(std::uint64_t tag, std::uint32_t addr,
+                        MemoEntry& lane) {
+  const std::size_t base = static_cast<std::size_t>(set_of(addr)) * cfg_.assoc;
+  Way* set = &ways_[base];
+  std::uint32_t victim = 0;
   for (std::uint32_t w = 0; w < cfg_.assoc; ++w) {
     if (set[w].tag == tag) {
       set[w].stamp = tick_;
-      last_way_[memo] = &set[w];
-      last_tag_[memo] = tag;
+      lane = MemoEntry{tag, static_cast<std::uint32_t>(base + w)};
       ++stats_.hits;
       return true;
     }
-    if (set[w].stamp < victim->stamp) victim = &set[w];
+    if (set[w].stamp < set[victim].stamp) victim = w;
   }
-  victim->tag = tag;
-  victim->stamp = tick_;
-  last_way_[memo] = victim;
-  last_tag_[memo] = tag;
+  set[victim].tag = tag;
+  set[victim].stamp = tick_;
+  lane = MemoEntry{tag, static_cast<std::uint32_t>(base + victim)};
   ++stats_.misses;
   return false;
 }
@@ -70,8 +49,7 @@ bool Cache::would_hit(std::uint32_t asid, std::uint32_t addr) const {
 void Cache::reset() {
   for (Way& w : ways_) w = Way{};
   tick_ = 0;
-  last_way_.fill(nullptr);
-  last_tag_.fill(kInvalid);
+  memo_.fill(MemoEntry{});
   stats_ = CacheStats{};
 }
 

@@ -24,30 +24,32 @@ struct CacheStats {
                            : static_cast<double>(misses) /
                                  static_cast<double>(accesses());
   }
+  friend bool operator==(const CacheStats&, const CacheStats&) = default;
 };
 
 class Cache {
  public:
   explicit Cache(const CacheConfig& cfg);
-  // Copies must not carry the memo's raw pointers into the source's ways_.
-  Cache(const Cache& other) { *this = other; }
-  Cache& operator=(const Cache& other) {
-    cfg_ = other.cfg_;
-    sets_ = other.sets_;
-    line_shift_ = other.line_shift_;
-    ways_ = other.ways_;
-    tick_ = other.tick_;
-    stats_ = other.stats_;
-    last_way_.fill(nullptr);
-    last_tag_.fill(kInvalid);
-    return *this;
-  }
-  Cache(Cache&&) = default;
-  Cache& operator=(Cache&&) = default;
 
   // Returns true on hit. On miss the line is filled (write-allocate) with
-  // LRU replacement. Perfect caches always hit.
-  bool access(std::uint32_t asid, std::uint32_t addr);
+  // LRU replacement. Perfect caches always hit. Inline fast path: the
+  // per-asid line memo resolves the overwhelming majority of accesses
+  // without the set scan (which lives out of line in access_scan).
+  bool access(std::uint32_t asid, std::uint32_t addr) {
+    if (cfg_.perfect) {
+      ++stats_.hits;
+      return true;
+    }
+    ++tick_;
+    const std::uint64_t tag = tag_of(asid, addr);
+    MemoEntry& lane = memo_lane(asid, addr);
+    if (lane.tag == tag && ways_[lane.way].tag == tag) {
+      ways_[lane.way].stamp = tick_;
+      ++stats_.hits;
+      return true;
+    }
+    return access_scan(tag, addr, lane);
+  }
 
   // Hit/miss probe without side effects.
   [[nodiscard]] bool would_hit(std::uint32_t asid, std::uint32_t addr) const;
@@ -62,26 +64,47 @@ class Cache {
     std::uint64_t tag = kInvalid;
     std::uint64_t stamp = 0;
   };
+  // A remembered line: its tag plus the index of the way holding it. Checked
+  // against the live way tag on use, so replacement (by any thread)
+  // invalidates an entry for free; indices (not pointers) keep the memo
+  // valid across copies. Lanes are indexed by (asid, set) so each address
+  // space gets its own shard and a thread's interleaved access streams
+  // (sequential fetch plus branch target, load stream plus store stream)
+  // land on distinct lanes instead of evicting one another.
+  struct MemoEntry {
+    std::uint64_t tag = kInvalid;
+    std::uint32_t way = 0;
+  };
   static constexpr std::uint64_t kInvalid = ~0ull;
 
   [[nodiscard]] std::uint64_t tag_of(std::uint32_t asid,
-                                     std::uint32_t addr) const;
-  [[nodiscard]] std::uint32_t set_of(std::uint32_t addr) const;
+                                     std::uint32_t addr) const {
+    return (static_cast<std::uint64_t>(asid) << 32) | (addr >> line_shift_);
+  }
+  [[nodiscard]] std::uint32_t set_of(std::uint32_t addr) const {
+    return (addr >> line_shift_) & (sets_ - 1);
+  }
+  [[nodiscard]] MemoEntry& memo_lane(std::uint32_t asid, std::uint32_t addr) {
+    const std::uint32_t idx = ((asid & (kMemoAsids - 1)) << kMemoSetShift) |
+                              (set_of(addr) & (kMemoSetLanes - 1));
+    return memo_[idx];
+  }
+  // Memo-miss continuation of access(): the set walk with LRU fill.
+  bool access_scan(std::uint64_t tag, std::uint32_t addr, MemoEntry& lane);
 
   CacheConfig cfg_;
   std::uint32_t sets_ = 0;
   std::uint32_t line_shift_ = 0;
   std::vector<Way> ways_;  // sets_ × assoc
   std::uint64_t tick_ = 0;
-  // Last way hit per address space: a thread's consecutive accesses to one
-  // line (sequential fetch, strided data) skip the set scan even though the
-  // threads of the shared cache interleave. Validated against the live tag,
-  // so replacement invalidates an entry for free. ASIDs are workload
-  // instance numbers (not hw slots), so the table is sized well past any
-  // realistic co-scheduled set; an asid collision only costs the shortcut.
-  static constexpr std::uint32_t kMemoSlots = 32;
-  std::array<Way*, kMemoSlots> last_way_{};
-  std::array<std::uint64_t, kMemoSlots> last_tag_;
+  // Per-(asid, set) memo lanes. ASIDs are workload instance numbers (not hw
+  // slots), so the asid dimension is sized well past any realistic
+  // co-scheduled set; a collision in either dimension only costs the
+  // shortcut, never correctness.
+  static constexpr std::uint32_t kMemoAsids = 16;     // power of two
+  static constexpr std::uint32_t kMemoSetLanes = 8;   // power of two
+  static constexpr std::uint32_t kMemoSetShift = 3;   // log2(kMemoSetLanes)
+  std::array<MemoEntry, kMemoAsids * kMemoSetLanes> memo_{};
   CacheStats stats_;
 };
 

@@ -3,58 +3,7 @@
 #include <algorithm>
 #include <map>
 
-#include "util/check.hpp"
-
 namespace vexsim {
-
-const MainMemory::Page* MainMemory::find_page(std::uint32_t addr) const {
-  const std::uint32_t index = addr >> kPageBits;
-  if (index == cached_index_) return cached_page_;
-  const auto it = pages_.find(index);
-  if (it == pages_.end()) return nullptr;  // absence is not cached: a store
-                                           // may create the page later
-  cached_index_ = index;
-  cached_page_ = const_cast<Page*>(&it->second);
-  return cached_page_;
-}
-
-MainMemory::Page& MainMemory::page_for(std::uint32_t addr) {
-  const std::uint32_t index = addr >> kPageBits;
-  if (index == cached_index_) return *cached_page_;
-  Page& p = pages_[index];
-  if (p.empty()) p.resize(kPageSize, 0);
-  cached_index_ = index;
-  cached_page_ = &p;
-  return p;
-}
-
-bool MainMemory::load(std::uint32_t addr, int size, std::uint32_t& out) const {
-  VEXSIM_CHECK(size == 1 || size == 2 || size == 4);
-  if (addr < kGuardLimit) return false;
-  if ((addr & (static_cast<std::uint32_t>(size) - 1)) != 0) return false;
-  const Page* p = find_page(addr);
-  // A whole access never crosses a page: pages are 64 KiB and aligned.
-  std::uint32_t v = 0;
-  if (p != nullptr) {
-    const std::uint32_t off = addr & (kPageSize - 1);
-    for (int i = size - 1; i >= 0; --i)
-      v = (v << 8) | (*p)[off + static_cast<std::uint32_t>(i)];
-  }
-  out = v;
-  return true;
-}
-
-bool MainMemory::store(std::uint32_t addr, int size, std::uint32_t value) {
-  VEXSIM_CHECK(size == 1 || size == 2 || size == 4);
-  if (addr < kGuardLimit) return false;
-  if ((addr & (static_cast<std::uint32_t>(size) - 1)) != 0) return false;
-  Page& p = page_for(addr);
-  const std::uint32_t off = addr & (kPageSize - 1);
-  for (int i = 0; i < size; ++i)
-    p[off + static_cast<std::uint32_t>(i)] =
-        static_cast<std::uint8_t>(value >> (8 * i));
-  return true;
-}
 
 void MainMemory::poke_bytes(std::uint32_t addr, const std::uint8_t* bytes,
                             std::size_t n) {

@@ -4,12 +4,21 @@
 // multiprogrammed workloads, not shared-memory ones). Accesses below
 // kGuardLimit or misaligned accesses fault — used by the precise-exception
 // machinery and its tests.
+//
+// load/store are inline: they run once per executed memory operation, and
+// with the page memo the whole fast path is a handful of instructions — a
+// cross-TU call would cost more than the access.
 #pragma once
 
+#include <array>
+#include <bit>
 #include <cstdint>
+#include <cstring>
 #include <memory>
 #include <unordered_map>
 #include <vector>
+
+#include "util/check.hpp"
 
 namespace vexsim {
 
@@ -24,8 +33,7 @@ class MainMemory {
   MainMemory(const MainMemory& other) : pages_(other.pages_) {}
   MainMemory& operator=(const MainMemory& other) {
     pages_ = other.pages_;
-    cached_index_ = kNoPage;
-    cached_page_ = nullptr;
+    reset_memo();
     return *this;
   }
   MainMemory(MainMemory&&) = default;
@@ -34,8 +42,63 @@ class MainMemory {
   // size ∈ {1,2,4}. Returns false on fault (misaligned / guard page); the
   // value is sign- or zero-extended by the caller (ISA level), not here.
   [[nodiscard]] bool load(std::uint32_t addr, int size,
-                          std::uint32_t& out) const;
-  [[nodiscard]] bool store(std::uint32_t addr, int size, std::uint32_t value);
+                          std::uint32_t& out) const {
+    VEXSIM_CHECK(size == 1 || size == 2 || size == 4);
+    if (addr < kGuardLimit) return false;
+    if ((addr & (static_cast<std::uint32_t>(size) - 1)) != 0) return false;
+    const Page* p = find_page(addr);
+    if (p == nullptr) {
+      out = 0;  // untouched memory reads as zero
+      return true;
+    }
+    // A whole access never crosses a page: pages are 64 KiB and aligned, and
+    // the alignment check above keeps a size-n access inside an n-byte unit.
+    const std::uint32_t off = addr & (kPageSize - 1);
+    if constexpr (std::endian::native == std::endian::little) {
+      // The simulated machine is little-endian too: aligned accesses are a
+      // straight memcpy (which the compiler lowers to a single load).
+      if (size == 4) {
+        std::uint32_t v = 0;
+        std::memcpy(&v, p->data() + off, 4);
+        out = v;
+        return true;
+      }
+      if (size == 2) {
+        std::uint16_t v = 0;
+        std::memcpy(&v, p->data() + off, 2);
+        out = v;
+        return true;
+      }
+    }
+    std::uint32_t v = 0;
+    for (int i = size - 1; i >= 0; --i)
+      v = (v << 8) | (*p)[off + static_cast<std::uint32_t>(i)];
+    out = v;
+    return true;
+  }
+
+  [[nodiscard]] bool store(std::uint32_t addr, int size, std::uint32_t value) {
+    VEXSIM_CHECK(size == 1 || size == 2 || size == 4);
+    if (addr < kGuardLimit) return false;
+    if ((addr & (static_cast<std::uint32_t>(size) - 1)) != 0) return false;
+    Page& p = page_for(addr);
+    const std::uint32_t off = addr & (kPageSize - 1);
+    if constexpr (std::endian::native == std::endian::little) {
+      if (size == 4) {
+        std::memcpy(p.data() + off, &value, 4);
+        return true;
+      }
+      if (size == 2) {
+        const auto v = static_cast<std::uint16_t>(value);
+        std::memcpy(p.data() + off, &v, 2);
+        return true;
+      }
+    }
+    for (int i = 0; i < size; ++i)
+      p[off + static_cast<std::uint32_t>(i)] =
+          static_cast<std::uint8_t>(value >> (8 * i));
+    return true;
+  }
 
   // Unchecked helpers for program loading and test setup.
   void poke_bytes(std::uint32_t addr, const std::uint8_t* bytes,
@@ -45,8 +108,7 @@ class MainMemory {
 
   void clear() {
     pages_.clear();
-    cached_index_ = kNoPage;
-    cached_page_ = nullptr;
+    reset_memo();
   }
 
   // Deterministic digest of all touched pages — used by equivalence tests to
@@ -56,15 +118,45 @@ class MainMemory {
  private:
   using Page = std::vector<std::uint8_t>;
   static constexpr std::uint32_t kNoPage = ~0u;
-  [[nodiscard]] const Page* find_page(std::uint32_t addr) const;
-  Page& page_for(std::uint32_t addr);
+
+  [[nodiscard]] const Page* find_page(std::uint32_t addr) const {
+    const std::uint32_t index = addr >> kPageBits;
+    const std::uint32_t lane = index & (kMemoLanes - 1);
+    if (index == cached_index_[lane]) return cached_page_[lane];
+    const auto it = pages_.find(index);
+    if (it == pages_.end()) return nullptr;  // absence is not cached: a store
+                                             // may create the page later
+    cached_index_[lane] = index;
+    cached_page_[lane] = const_cast<Page*>(&it->second);
+    return cached_page_[lane];
+  }
+
+  Page& page_for(std::uint32_t addr) {
+    const std::uint32_t index = addr >> kPageBits;
+    const std::uint32_t lane = index & (kMemoLanes - 1);
+    if (index == cached_index_[lane]) return *cached_page_[lane];
+    Page& p = pages_[index];
+    if (p.empty()) p.resize(kPageSize, 0);
+    cached_index_[lane] = index;
+    cached_page_[lane] = &p;
+    return p;
+  }
+
+  void reset_memo() {
+    cached_index_.fill(kNoPage);
+    cached_page_.fill(nullptr);
+  }
 
   std::unordered_map<std::uint32_t, Page> pages_;
-  // One-entry page cache: kernel working sets hammer the same page, so the
-  // common access skips the hash lookup. Page storage is node-based
+  // Small direct-mapped page memo (indexed by the low page-index bits):
+  // kernel working sets hammer a handful of pages, so the common access
+  // skips the hash lookup, and a load stream on one page no longer evicts
+  // the memo for a store stream on another. Page storage is node-based
   // (unordered_map), so cached pointers stay valid until clear().
-  mutable std::uint32_t cached_index_ = kNoPage;
-  mutable Page* cached_page_ = nullptr;
+  static constexpr std::uint32_t kMemoLanes = 4;  // power of two
+  mutable std::array<std::uint32_t, kMemoLanes> cached_index_{
+      kNoPage, kNoPage, kNoPage, kNoPage};
+  mutable std::array<Page*, kMemoLanes> cached_page_{};
 };
 
 }  // namespace vexsim

@@ -13,6 +13,8 @@ MultiprogramDriver::MultiprogramDriver(
     : cfg_(cfg), params_(params), sim_(cfg), rng_(params.seed) {
   VEXSIM_CHECK_MSG(!programs.empty(), "workload needs at least one program");
   sim_.set_fast_forward(params_.fast_forward);
+  sim_.set_fused(params_.fused);
+  if (params_.profile) sim_.set_profile(true);
   instances_.reserve(programs.size());
   for (std::size_t i = 0; i < programs.size(); ++i)
     instances_.push_back(std::make_unique<ThreadContext>(
@@ -83,13 +85,14 @@ RunResult MultiprogramDriver::run() {
       sim_.fast_forward(ff_limit);
     }
     const std::uint64_t retired_before = sim_.stats().instructions_retired;
-    const std::uint64_t faults_before = sim_.stats().faults;
+    const std::uint64_t exits_before = sim_.thread_exit_events();
     last_ops = sim_.step();
 
-    // Instance states only move when an instruction retires or faults; the
-    // respawn/refill scan and the termination checks are no-ops otherwise.
-    if (sim_.stats().instructions_retired != retired_before ||
-        sim_.stats().faults != faults_before) {
+    // Instance states only move when a thread halts or faults; the
+    // respawn/refill scan and the all-done check are no-ops otherwise (most
+    // retiring cycles), so they are gated on the simulator's exit-event
+    // counter rather than rescanning every instance state.
+    if (sim_.thread_exit_events() != exits_before) {
       // Respawn benchmarks that ran to completion within their slice.
       for (int s = 0; s < cfg_.hw_threads; ++s) {
         const int idx = running_[static_cast<std::size_t>(s)];
@@ -117,14 +120,18 @@ RunResult MultiprogramDriver::run() {
         }
       }
 
-      if (budget_reached()) break;
-
       // All instances done (run-to-completion mode)?
       if (std::all_of(instances_.begin(), instances_.end(), [](const auto& t) {
             return t->state != RunState::kReady;
           }))
         break;
     }
+
+    // The budget can only be crossed by a retirement; the break must happen
+    // on exactly that cycle (the cycle counts in RunStats depend on it).
+    if (sim_.stats().instructions_retired != retired_before &&
+        budget_reached())
+      break;
 
     // Timeslice handling: drain, then switch.
     if (!switch_pending && sim_.cycle() >= next_switch &&
@@ -146,6 +153,7 @@ RunResult MultiprogramDriver::run() {
   result.dcache = sim_.dcache().stats();
   result.merge = sim_.merge_engine().stats();
   result.issue_width = cfg_.total_issue_width();
+  result.profile = sim_.profile();
   for (const auto& inst : instances_) {
     InstanceResult ir;
     ir.name = inst->program().name;

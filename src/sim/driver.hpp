@@ -30,6 +30,11 @@ struct DriverParams {
   // Statistics are bit-identical either way; off retains the pure
   // cycle-by-cycle loop for cross-checking and speed measurement.
   bool fast_forward = true;
+  // Run the fused select+execute engine (Simulator::set_fused). Statistics
+  // are bit-identical either way; off retains the reference packet engine.
+  bool fused = true;
+  // Per-phase wall-clock accounting (Simulator::set_profile); timing only.
+  bool profile = false;
 };
 
 struct InstanceResult {
@@ -79,6 +84,8 @@ struct RunResult {
   // the cache in *this* process; never serialized.
   bool cached = false;
   bool cache_hit = false;
+  // Filled when DriverParams::profile was set; never serialized.
+  SimProfile profile;
 
   [[nodiscard]] double ipc() const { return sim.ipc(); }
 };

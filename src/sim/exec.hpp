@@ -1,24 +1,102 @@
 // Functional semantics of individual operations, shared by the
 // cycle-accurate simulator and the architectural reference interpreter.
+//
+// Defined inline: eval_scalar runs once per executed ALU/MUL operation
+// (millions of calls per simulated second), so the evaluators must be
+// inlinable into the execute loop rather than sit behind a cross-TU call.
 #pragma once
 
 #include <cstdint>
 
 #include "isa/opcode.hpp"
 #include "isa/operation.hpp"
+#include "util/check.hpp"
 
 namespace vexsim {
 
 // Scalar result of ALU / MUL opcodes. `a` = src1 value, `b` = src2 value
 // (register or immediate, resolved by the caller), `bv` = branch-register
 // value for slct/slctf. Comparisons return 0/1.
-[[nodiscard]] std::uint32_t eval_scalar(Opcode opc, std::uint32_t a,
-                                        std::uint32_t b, bool bv);
+[[nodiscard]] inline std::uint32_t eval_scalar(Opcode opc, std::uint32_t a,
+                                               std::uint32_t b, bool bv) {
+  const auto sa = static_cast<std::int32_t>(a);
+  const auto sb = static_cast<std::int32_t>(b);
+  switch (opc) {
+    case Opcode::kAdd: return a + b;
+    case Opcode::kSub: return a - b;
+    case Opcode::kAnd: return a & b;
+    case Opcode::kAndc: return ~a & b;
+    case Opcode::kOr: return a | b;
+    case Opcode::kXor: return a ^ b;
+    case Opcode::kShl: return b >= 32 ? 0 : a << (b & 31);
+    case Opcode::kShr:
+      return static_cast<std::uint32_t>(b >= 32 ? (sa < 0 ? -1 : 0)
+                                                : sa >> (b & 31));
+    case Opcode::kShru: return b >= 32 ? 0 : a >> (b & 31);
+    case Opcode::kMin: return static_cast<std::uint32_t>(sa < sb ? sa : sb);
+    case Opcode::kMax: return static_cast<std::uint32_t>(sa > sb ? sa : sb);
+    case Opcode::kMinu: return a < b ? a : b;
+    case Opcode::kMaxu: return a > b ? a : b;
+    case Opcode::kMov: return a;
+    case Opcode::kMovi: return b;  // caller passes imm as b
+    case Opcode::kSxtb: return static_cast<std::uint32_t>(
+        static_cast<std::int32_t>(static_cast<std::int8_t>(a)));
+    case Opcode::kSxth: return static_cast<std::uint32_t>(
+        static_cast<std::int32_t>(static_cast<std::int16_t>(a)));
+    case Opcode::kZxtb: return a & 0xFFu;
+    case Opcode::kZxth: return a & 0xFFFFu;
+    case Opcode::kCmpeq: return a == b;
+    case Opcode::kCmpne: return a != b;
+    case Opcode::kCmplt: return sa < sb;
+    case Opcode::kCmple: return sa <= sb;
+    case Opcode::kCmpgt: return sa > sb;
+    case Opcode::kCmpge: return sa >= sb;
+    case Opcode::kCmpltu: return a < b;
+    case Opcode::kCmpgeu: return a >= b;
+    case Opcode::kSlct: return bv ? a : b;
+    case Opcode::kSlctf: return bv ? b : a;
+    case Opcode::kMpyl:
+      return static_cast<std::uint32_t>(
+          static_cast<std::int64_t>(sa) * static_cast<std::int64_t>(sb));
+    case Opcode::kMpyh:
+      return static_cast<std::uint32_t>(
+          (static_cast<std::int64_t>(sa) * static_cast<std::int64_t>(sb)) >>
+          32);
+    default:
+      VEXSIM_CHECK_MSG(false, "eval_scalar: non-scalar opcode "
+                                  << opcode_name(opc));
+  }
+  return 0;
+}
 
 // Sign/zero extension of a raw loaded value according to the load opcode.
-[[nodiscard]] std::uint32_t extend_loaded(Opcode opc, std::uint32_t raw);
+[[nodiscard]] inline std::uint32_t extend_loaded(Opcode opc,
+                                                 std::uint32_t raw) {
+  switch (opc) {
+    case Opcode::kLdw: return raw;
+    case Opcode::kLdh:
+      return static_cast<std::uint32_t>(
+          static_cast<std::int32_t>(static_cast<std::int16_t>(raw)));
+    case Opcode::kLdhu: return raw & 0xFFFFu;
+    case Opcode::kLdb:
+      return static_cast<std::uint32_t>(
+          static_cast<std::int32_t>(static_cast<std::int8_t>(raw)));
+    case Opcode::kLdbu: return raw & 0xFFu;
+    default:
+      VEXSIM_CHECK_MSG(false, "not a load opcode");
+  }
+  return 0;
+}
 
 // Branch decision for br/brf/goto given the branch-register value.
-[[nodiscard]] bool branch_taken(Opcode opc, bool bv);
+[[nodiscard]] inline bool branch_taken(Opcode opc, bool bv) {
+  switch (opc) {
+    case Opcode::kBr: return bv;
+    case Opcode::kBrf: return !bv;
+    case Opcode::kGoto: return true;
+    default:
+      return false;
+  }
+}
 
 }  // namespace vexsim

@@ -20,6 +20,10 @@ struct SimStats {
   std::uint64_t taken_branches = 0;
   std::uint64_t faults = 0;
 
+  // Field-wise equality: the fused-engine equivalence suite asserts runs are
+  // bit-identical across engine variants.
+  friend bool operator==(const SimStats&, const SimStats&) = default;
+
   // Operations per cycle — the paper's IPC metric (an "instruction" in the
   // IPC sense is a RISC operation; 1 VLIW instruction = 1..16 operations).
   [[nodiscard]] double ipc() const {

@@ -1,11 +1,44 @@
 #include "sim/simulator.hpp"
 
 #include <algorithm>
+#include <chrono>
 
 #include "sim/exec.hpp"
 #include "util/check.hpp"
 
 namespace vexsim {
+
+namespace {
+using ProfClock = std::chrono::steady_clock;
+}  // namespace
+
+// The fused engine's selection sink: executes each operation the instant its
+// bundle wins selection, instead of materializing a SelectedOp. Selection
+// order equals the reference packet's execution order, and execute_op writes
+// nothing selection reads (it touches pending writes, caches, channels and
+// staged stores — never issue masks or packet use), so the two engines make
+// identical decisions and produce identical statistics.
+struct Simulator::FusedSink {
+  Simulator& sim;
+  ThreadContext& ctx;
+  int hw_slot;
+  std::uint32_t* thread_mask;
+  int* ops;
+
+  [[nodiscard]] ResourceUse& used(std::size_t physical) {
+    return sim.packet_.used[physical];
+  }
+  void claim(std::size_t physical) {
+    if (sim.packet_.owner[physical] == -1)
+      sim.packet_.owner[physical] = static_cast<std::int8_t>(hw_slot);
+  }
+  void emit(const Operation& op, const DecodedOp& dec, int logical,
+            int physical) {
+    *thread_mask |= 1u << static_cast<unsigned>(hw_slot);
+    ++*ops;
+    sim.execute_op(op, dec, logical, physical, ctx);
+  }
+};
 
 Simulator::Simulator(const MachineConfig& cfg)
     : cfg_(cfg), merge_(cfg_), icache_(cfg.icache), dcache_(cfg.dcache) {
@@ -18,6 +51,8 @@ Simulator::Simulator(const MachineConfig& cfg)
   for (int s = 0; s < kMaxHwThreads; ++s)
     rotation_[static_cast<std::size_t>(s)] =
         s < cfg_.hw_threads ? cfg_.renaming_rotation(s) : 0;
+  for (int c = 0; c < cfg_.clusters; ++c)
+    mem_units_[static_cast<std::size_t>(c)] = cfg_.cluster_at(c).mem_units;
 }
 
 void Simulator::attach(int slot, ThreadContext* ctx) {
@@ -66,36 +101,9 @@ bool Simulator::quiesced() const {
   return true;
 }
 
-void Simulator::commit_pending_writes(ThreadContext& ctx) {
-  const auto commit_one = [&](const PendingWrite& w) {
-    if (ctx.issue.active && ctx.issue.seq == w.seq) {
-      // The producing instruction is still partially issued: the result goes
-      // to the split delay buffer (Figure 8) and drains at last-part.
-      ctx.rf_buffer.push_back(
-          BufferedRegWrite{w.to_breg, w.cluster, w.idx, w.value});
-    } else if (w.to_breg) {
-      ctx.regs.set_breg(w.cluster, w.idx, w.value != 0);
-    } else {
-      ctx.regs.set_gpr(w.cluster, w.idx, w.value);
-    }
-  };
-  if (ctx.pending_writes.latest_visible_at() <= cycle_) {
-    // Common case with short latencies: everything commits, nothing stays.
-    ctx.pending_writes.drain_all(commit_one);
-    return;
-  }
-  ctx.pending_writes.compact([&](const PendingWrite& w) {
-    if (w.visible_at > cycle_) return true;  // still in its latency window
-    commit_one(w);
-    return false;
-  });
-}
-
-void Simulator::refill_slot(int slot) {
-  ThreadContext* ctx = slots_[static_cast<std::size_t>(slot)];
-  if (ctx == nullptr || ctx->state != RunState::kReady) return;
-  if (ctx->issue.active) return;
-  if (drain_) return;
+void Simulator::refill_slot(ThreadContext* ctx) {
+  // The caller hoists the common early-outs (null slot, not ready, already
+  // active, drain mode) so idle/busy threads never pay the call.
   if (cycle_ < ctx->mem_block_until) {
     ++ctx->counters.dmiss_block_cycles;
     return;
@@ -160,11 +168,11 @@ void Simulator::write_result(ThreadContext& ctx, const Operation& op,
   ctx.pending_writes.push(w);
 }
 
-void Simulator::execute_op(const SelectedOp& sel, ThreadContext& ctx) {
+void Simulator::execute_op(const Operation& op, const DecodedOp& dec,
+                           int logical_cluster, int physical_cluster,
+                           ThreadContext& ctx) {
   if (ctx.fault.pending) return;  // instruction already faulted this cycle
-  const Operation& op = sel.op;
-  const DecodedOp& dec = *sel.dec;
-  const int c = sel.logical_cluster;
+  const int c = logical_cluster;
 
   auto read_gpr = [&](int idx) {
     if (ctx.pending_writes.maybe_pending(false, c, idx))
@@ -207,7 +215,7 @@ void Simulator::execute_op(const SelectedOp& sel, ThreadContext& ctx) {
       const std::uint32_t addr =
           read_gpr(op.src1) + static_cast<std::uint32_t>(op.imm);
       const int size = dec.mem_size;
-      ++mem_port_use_[sel.physical_cluster];
+      ++mem_port_use_[static_cast<std::size_t>(physical_cluster)];
       const bool hit =
           dcache_.access(static_cast<std::uint32_t>(ctx.asid()), addr);
       if (dec.has(DecodedOp::kLoad)) {
@@ -233,8 +241,9 @@ void Simulator::execute_op(const SelectedOp& sel, ThreadContext& ctx) {
         if (!hit && cfg_.stall_on_store_miss)
           ctx.mem_block_until =
               std::max(ctx.mem_block_until, cycle_ + cfg_.dcache.miss_penalty);
-        staged_store_ = StagedStoreData{true, op.cluster, addr,
-                                        static_cast<std::uint8_t>(size), value};
+        staged_.push_back(StagedStore{&ctx, op.cluster,
+                                      static_cast<std::uint8_t>(size), addr,
+                                      value});
       }
       break;
     }
@@ -280,6 +289,22 @@ void Simulator::execute_op(const SelectedOp& sel, ThreadContext& ctx) {
   }
 }
 
+void Simulator::apply_staged_stores() {
+  for (const StagedStore& st : staged_) {
+    if (st.ctx->fault.pending) continue;
+    if (st.ctx->issue.pending_count > 0) {
+      // Not the last part: the store drains through the split delay buffer
+      // at instruction completion. The pending count is cycle-final here
+      // (execution never changes it), so both engines decide identically.
+      st.ctx->store_buffer.push_back(
+          BufferedStore{st.cluster, st.addr, st.size, st.value});
+    } else {
+      const bool ok = st.ctx->mem.store(st.addr, st.size, st.value);
+      VEXSIM_CHECK(ok);  // faults were detected at issue
+    }
+  }
+}
+
 void Simulator::rollback_fault(ThreadContext& ctx) {
   // Split-issued parts never touched the architectural state: discarding
   // the delay buffers and the faulting instruction's in-flight writes
@@ -299,26 +324,33 @@ void Simulator::rollback_fault(ThreadContext& ctx) {
   ctx.fetch_done = false;
   ctx.state = RunState::kFaulted;
   ++stats_.faults;
+  ++thread_exit_events_;
 }
 
 void Simulator::complete_instruction(int slot, ThreadContext& ctx) {
-  const int rotation = rotation_[static_cast<std::size_t>(slot)];
-  // Drain the delay buffers (last-part commit, Figure 8/9).
-  for (const BufferedRegWrite& w : ctx.rf_buffer) {
-    if (w.to_breg)
-      ctx.regs.set_breg(w.cluster, w.idx, w.value != 0);
-    else
-      ctx.regs.set_gpr(w.cluster, w.idx, w.value);
+  // Drain the delay buffers (last-part commit, Figure 8/9). Only a
+  // split-issued instruction can have filled them: rf_buffer entries are
+  // diverted commits of a still-partially-issued producer, store_buffer
+  // entries are stores staged with parts still pending — both imply issue
+  // over more than one cycle.
+  if (ctx.issue.was_split) {
+    for (const BufferedRegWrite& w : ctx.rf_buffer) {
+      if (w.to_breg)
+        ctx.regs.set_breg(w.cluster, w.idx, w.value != 0);
+      else
+        ctx.regs.set_gpr(w.cluster, w.idx, w.value);
+    }
+    ctx.rf_buffer.clear();
+    const int rotation = rotation_[static_cast<std::size_t>(slot)];
+    for (const BufferedStore& s : ctx.store_buffer) {
+      // Buffered stores contend for the cluster's memory ports when they
+      // finally commit (Figure 11).
+      ++mem_port_use_[merge_.physical_cluster(s.cluster, rotation)];
+      const bool ok = ctx.mem.store(s.addr, s.size, s.value);
+      VEXSIM_CHECK(ok);  // faults were detected at issue
+    }
+    ctx.store_buffer.clear();
   }
-  ctx.rf_buffer.clear();
-  for (const BufferedStore& s : ctx.store_buffer) {
-    // Buffered stores contend for the cluster's memory ports when they
-    // finally commit (Figure 11).
-    ++mem_port_use_[merge_.physical_cluster(s.cluster, rotation)];
-    const bool ok = ctx.mem.store(s.addr, s.size, s.value);
-    VEXSIM_CHECK(ok);  // faults were detected at issue
-  }
-  ctx.store_buffer.clear();
   if (ctx.channels_dirty) {
     ctx.channels.fill(ChannelState{});
     ctx.channels_dirty = false;
@@ -345,11 +377,12 @@ void Simulator::complete_instruction(int slot, ThreadContext& ctx) {
   ctx.issue.active = false;
   ctx.fetch_done = false;
 
-  if (ctx.halt_at_completion || next >= ctx.program().code.size()) {
+  if (ctx.halt_at_completion || next >= ctx.code_size()) {
     // The final instruction's in-flight writes are architecturally
     // determined; commit them so the halted state is precise.
     ctx.pending_writes.commit_all_to(ctx.regs);
     ctx.state = RunState::kHalted;
+    ++thread_exit_events_;
     return;
   }
   ctx.pc = next;
@@ -369,59 +402,110 @@ int Simulator::step() {
     return 0;
   }
 
-  // Commit and refill are per-thread independent, so one pass serves both
-  // (a thread's refill never observes another thread's commits). The
-  // watermark test keeps the no-writes-due case call-free.
-  for (int s = 0; s < cfg_.hw_threads; ++s) {
-    if (ThreadContext* ctx = slots_[static_cast<std::size_t>(s)])
+  const int n = cfg_.hw_threads;
+  ProfClock::time_point t0;
+  if (profile_on_) {
+    ++profile_.steps;
+    t0 = ProfClock::now();
+    // Profiled: commit and refill in separate timed passes. They are
+    // per-thread independent (a thread's refill never observes another
+    // thread's commits), so the split is behaviour-identical to the fused
+    // loop below.
+    for (int s = 0; s < n; ++s)
+      if (ThreadContext* ctx = slots_[static_cast<std::size_t>(s)])
+        if (ctx->pending_writes.earliest_visible_at() <= cycle_)
+          commit_pending_writes(*ctx);
+    const auto t1 = ProfClock::now();
+    profile_.commit_seconds += std::chrono::duration<double>(t1 - t0).count();
+    if (!drain_)
+      for (int s = 0; s < n; ++s)
+        if (ThreadContext* ctx = slots_[static_cast<std::size_t>(s)])
+          if (ctx->state == RunState::kReady && !ctx->issue.active) {
+            refill_slot(ctx);
+            if (ctx->issue.active && ctx->issue.pending_count == 0)
+              complete_instruction(s, *ctx);  // all-nop instruction
+          }
+    t0 = ProfClock::now();
+    profile_.refill_seconds += std::chrono::duration<double>(t0 - t1).count();
+  } else {
+    // Commit and refill are per-thread independent, so one pass serves both.
+    // The watermark test keeps the no-writes-due case call-free, the
+    // ready/not-active guard keeps busy threads out of refill_slot.
+    for (int s = 0; s < n; ++s) {
+      ThreadContext* ctx = slots_[static_cast<std::size_t>(s)];
+      if (ctx == nullptr) continue;
       if (ctx->pending_writes.earliest_visible_at() <= cycle_)
         commit_pending_writes(*ctx);
-    refill_slot(s);
+      if (!drain_ && ctx->state == RunState::kReady && !ctx->issue.active) {
+        refill_slot(ctx);
+        // An all-nop instruction arms with nothing pending; retire it here —
+        // the completion walk below visits only threads that issued ops.
+        if (ctx->issue.active && ctx->issue.pending_count == 0)
+          complete_instruction(s, *ctx);
+      }
+    }
   }
 
-  // Merge: rotating thread priority (Section VI-A).
+  // Merge: rotating thread priority (Section VI-A). The fused engine
+  // executes inside the walk; the reference engine fills packet_.ops and
+  // executes in a second walk below.
   packet_.clear(cfg_.clusters);
-  const int n = cfg_.hw_threads;
-  for (int k = 0; k < n; ++k) {
-    const int s = (priority_base_ + k) % n;
-    ThreadContext* ctx = slots_[static_cast<std::size_t>(s)];
-    if (ctx == nullptr || ctx->state != RunState::kReady) continue;
-    merge_.try_select(*ctx, rotation_[static_cast<std::size_t>(s)], s,
-                      packet_);
-  }
-  priority_base_ = (priority_base_ + 1) % n;
-
-  // Execute.
   mem_port_use_.fill(0);
-  std::uint32_t thread_mask = 0;
   staged_.clear();
-  for (const SelectedOp& sel : packet_.ops) {
-    ThreadContext& ctx = *slots_[static_cast<std::size_t>(sel.hw_slot)];
-    thread_mask |= 1u << static_cast<unsigned>(sel.hw_slot);
-    staged_store_ = StagedStoreData{};
-    execute_op(sel, ctx);
-    if (staged_store_.valid) {
-      const bool buffered = ctx.issue.pending_count > 0;  // not the last part
-      staged_.push_back(StagedStore{&ctx, staged_store_.cluster,
-                                    staged_store_.addr, staged_store_.size,
-                                    staged_store_.value, buffered});
+  std::uint32_t thread_mask = 0;
+  int ops = 0;
+  if (fused_) {
+    for (int k = 0; k < n; ++k) {
+      int s = priority_base_ + k;
+      if (s >= n) s -= n;
+      ThreadContext* ctx = slots_[static_cast<std::size_t>(s)];
+      if (ctx == nullptr || ctx->state != RunState::kReady) continue;
+      FusedSink sink{*this, *ctx, s, &thread_mask, &ops};
+      merge_.select(*ctx, rotation_[static_cast<std::size_t>(s)], sink);
+    }
+  } else {
+    for (int k = 0; k < n; ++k) {
+      int s = priority_base_ + k;
+      if (s >= n) s -= n;
+      ThreadContext* ctx = slots_[static_cast<std::size_t>(s)];
+      if (ctx == nullptr || ctx->state != RunState::kReady) continue;
+      merge_.try_select(*ctx, rotation_[static_cast<std::size_t>(s)], s,
+                        packet_);
     }
   }
-  for (const StagedStore& st : staged_) {
-    if (st.ctx->fault.pending) continue;
-    if (st.buffered) {
-      st.ctx->store_buffer.push_back(
-          BufferedStore{st.cluster, st.addr, st.size, st.value});
-    } else {
-      const bool ok = st.ctx->mem.store(st.addr, st.size, st.value);
-      VEXSIM_CHECK(ok);
+  priority_base_ = priority_base_ + 1 >= n ? 0 : priority_base_ + 1;
+  if (profile_on_) {
+    const auto t1 = ProfClock::now();
+    profile_.select_seconds += std::chrono::duration<double>(t1 - t0).count();
+    t0 = t1;
+  }
+
+  // Execute (reference engine only; the fused engine already did).
+  if (!fused_) {
+    for (const SelectedOp& sel : packet_.ops) {
+      ThreadContext& ctx = *slots_[static_cast<std::size_t>(sel.hw_slot)];
+      thread_mask |= 1u << static_cast<unsigned>(sel.hw_slot);
+      execute_op(sel.op, *sel.dec, sel.logical_cluster, sel.physical_cluster,
+                 ctx);
+    }
+    ops = packet_.op_count();
+    if (profile_on_) {
+      const auto t1 = ProfClock::now();
+      profile_.execute_seconds +=
+          std::chrono::duration<double>(t1 - t0).count();
+      t0 = t1;
     }
   }
 
-  // Complete / fault.
-  for (int s = 0; s < n; ++s) {
+  if (!staged_.empty()) apply_staged_stores();
+
+  // Complete / fault. Only a thread that issued operations this cycle can
+  // reach pending_count == 0 (completion ran last cycle otherwise) or have a
+  // fault pending (faults are raised inside execute_op), so the walk covers
+  // exactly the set bits of thread_mask.
+  for (std::uint32_t tm = thread_mask; tm != 0; tm &= tm - 1) {
+    const int s = std::countr_zero(tm);
     ThreadContext* ctx = slots_[static_cast<std::size_t>(s)];
-    if (ctx == nullptr) continue;
     if (ctx->fault.pending) {
       rollback_fault(*ctx);
       continue;
@@ -431,15 +515,19 @@ int Simulator::step() {
   }
 
   // Memory-port pressure beyond the per-cluster port count stalls issue for
-  // the excess cycles.
-  int excess = 0;
-  for (int c = 0; c < cfg_.clusters; ++c)
-    excess += std::max(0, mem_port_use_[static_cast<std::size_t>(c)] -
-                              cfg_.cluster_at(c).mem_units);
-  if (excess > 0) stall_until_ = cycle_ + 1 + static_cast<std::uint64_t>(excess);
+  // the excess cycles. mem_port_use_ can only be non-zero when operations
+  // issued (execute_op and the buffered-store drain both run downstream of a
+  // selection), so an empty cycle skips the scan.
+  if (ops != 0) {
+    int excess = 0;
+    for (int c = 0; c < cfg_.clusters; ++c)
+      excess += std::max(0, mem_port_use_[static_cast<std::size_t>(c)] -
+                                mem_units_[static_cast<std::size_t>(c)]);
+    if (excess > 0)
+      stall_until_ = cycle_ + 1 + static_cast<std::uint64_t>(excess);
+  }
 
   // Accounting.
-  const int ops = packet_.op_count();
   ++stats_.cycles;
   stats_.ops_issued += static_cast<std::uint64_t>(ops);
   if (ops == 0) {
@@ -447,11 +535,22 @@ int Simulator::step() {
     if (drain_) ++stats_.drain_cycles;
   }
   if ((thread_mask & (thread_mask - 1)) != 0) ++stats_.multi_thread_cycles;
+  if (profile_on_)
+    profile_.complete_seconds +=
+        std::chrono::duration<double>(ProfClock::now() - t0).count();
   return ops;
 }
 
 std::uint64_t Simulator::fast_forward(std::uint64_t limit) {
   if (!fast_forward_on_) return 0;
+  ProfClock::time_point t0;
+  if (profile_on_) t0 = ProfClock::now();
+  const auto account = [&](std::uint64_t skipped) {
+    if (profile_on_)
+      profile_.fast_forward_seconds +=
+          std::chrono::duration<double>(ProfClock::now() - t0).count();
+    return skipped;
+  };
   std::uint64_t skipped = 0;
 
   // Phase 1: global memory-port drain stall. Stalled cycles issue nothing
@@ -472,7 +571,7 @@ std::uint64_t Simulator::fast_forward(std::uint64_t limit) {
     }
     // Still inside the stall window: the next step() must execute a stalled
     // cycle (it is `limit`).
-    if (stall_until_ > next) return skipped;
+    if (stall_until_ > next) return account(skipped);
   }
 
   // Phase 2: every context idle. A cycle can only act if some ready thread
@@ -481,12 +580,12 @@ std::uint64_t Simulator::fast_forward(std::uint64_t limit) {
   // cycles before it are empty and account as: cycles/vertical-waste (and
   // drain under drain mode) plus the per-thread block counters refill_slot
   // would have bumped, plus the priority rotation of the merge walk.
-  if (limit <= next) return skipped;
+  if (limit <= next) return account(skipped);
   std::uint64_t horizon = ~0ull;
   for (int s = 0; s < cfg_.hw_threads; ++s) {
     const ThreadContext* ctx = slots_[static_cast<std::size_t>(s)];
     if (ctx == nullptr || ctx->state != RunState::kReady) continue;
-    if (ctx->issue.active) return skipped;  // pending parts merge next cycle
+    if (ctx->issue.active) return account(skipped);  // parts merge next cycle
     if (drain_) continue;  // refill gated off: this thread generates no event
     const std::uint64_t gate =
         std::max(std::max(ctx->mem_block_until, ctx->next_issue_at),
@@ -494,7 +593,7 @@ std::uint64_t Simulator::fast_forward(std::uint64_t limit) {
     horizon = std::min(horizon, std::max(next, gate));
   }
   const std::uint64_t end = std::min(horizon, limit);
-  if (end <= next) return skipped;
+  if (end <= next) return account(skipped);
   const std::uint64_t k = end - next;
 
   stats_.cycles += k;
@@ -523,7 +622,7 @@ std::uint64_t Simulator::fast_forward(std::uint64_t limit) {
       (static_cast<std::uint64_t>(priority_base_) + k) % n_threads);
   cycle_ += k;
   skipped += k;
-  return skipped;
+  return account(skipped);
 }
 
 bool Simulator::run_to_halt(std::uint64_t max_cycles) {

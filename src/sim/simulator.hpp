@@ -6,10 +6,10 @@
 //      (gated by branch penalty, D-miss block and ICache fetch);
 //   3. merge: walk slots in rotating priority order, each contributing as
 //      much pending work as the configured technique allows (MergeEngine);
-//   4. execute the packet: operand read at issue, result write scheduled
-//      `latency` cycles out (into the split delay buffer while the owning
-//      instruction is still partially issued), D-cache timing, send/recv
-//      channel transfers, branch resolution;
+//   4. execute the selected operations: operand read at issue, result write
+//      scheduled `latency` cycles out (into the split delay buffer while the
+//      owning instruction is still partially issued), D-cache timing,
+//      send/recv channel transfers, branch resolution;
 //   5. complete instructions whose last part issued: flush delay buffers
 //      (counting memory-port conflicts for buffered stores → global stall),
 //      retire, redirect PC, handle halt/fault.
@@ -17,6 +17,19 @@
 // Faults (e.g. a load touching the guard page) roll the thread back to the
 // instruction boundary: split-issued parts only ever wrote the delay
 // buffers, so rollback = discard buffers (Section V-B).
+//
+// Engines: phases 3 and 4 run on one of two equivalent engines. The
+// reference engine materializes an ExecPacket of SelectedOps in the merge
+// walk and executes it in a second walk (last_packet() exposes it to tracing
+// tools and the figure tests). The fused engine (set_fused) executes each
+// operation inside the merge walk, the moment its bundle wins selection —
+// no packet body, no second decode walk. Selection order equals the packet's
+// execution order and execution never writes state selection reads, so the
+// two engines are statistics-bit-identical; the golden suite and
+// micro_sim_speed's self-check enforce it. Stores are staged in both engines
+// and applied after the whole merge walk (same-cycle loads must see
+// pre-instruction memory, and the buffered-store decision needs the
+// cycle-final pending count).
 //
 // Fast path: step() always simulates exactly one cycle, but when every
 // hardware context is provably blocked until a known future cycle (memory
@@ -41,6 +54,25 @@
 #include "util/inline_vec.hpp"
 
 namespace vexsim {
+
+// Opt-in wall-clock breakdown of the per-cycle phases (set_profile). Timing
+// only — enabling it never changes simulated statistics.
+struct SimProfile {
+  double commit_seconds = 0;
+  double refill_seconds = 0;
+  // Merge walk. Under the fused engine this includes execution (the point of
+  // the fusion is that the two are one walk); execute_seconds stays 0.
+  double select_seconds = 0;
+  double execute_seconds = 0;       // reference engine's packet walk
+  double complete_seconds = 0;      // staged stores, completion, faults
+  double fast_forward_seconds = 0;  // inside Simulator::fast_forward
+  std::uint64_t steps = 0;          // step() calls measured
+
+  [[nodiscard]] double total() const {
+    return commit_seconds + refill_seconds + select_seconds +
+           execute_seconds + complete_seconds + fast_forward_seconds;
+  }
+};
 
 class Simulator {
  public:
@@ -71,12 +103,32 @@ class Simulator {
   void set_fast_forward(bool on) { fast_forward_on_ = on; }
   [[nodiscard]] bool fast_forward_enabled() const { return fast_forward_on_; }
 
+  // Selects the fused select+execute engine. Off (default) keeps the
+  // reference packet engine, whose last_packet() the tracing tests inspect;
+  // the driver and harness turn fusion on. Stats are bit-identical either
+  // way (fused-equivalence suite + micro_sim_speed self-check).
+  void set_fused(bool on) { fused_ = on; }
+  [[nodiscard]] bool fused_enabled() const { return fused_; }
+
+  // Opt-in per-phase wall-clock accounting; resets the accumulators.
+  void set_profile(bool on) {
+    profile_on_ = on;
+    profile_ = SimProfile{};
+  }
+  [[nodiscard]] const SimProfile& profile() const { return profile_; }
+
   // When true, no slot starts a *new* instruction (in-flight ones finish);
   // used by the driver to drain before a context switch.
   void set_drain(bool on) { drain_ = on; }
   [[nodiscard]] bool quiesced() const;
 
   [[nodiscard]] std::uint64_t cycle() const { return cycle_; }
+  // Count of threads that left the ready state (halt or fault) since
+  // construction. The driver polls this instead of rescanning every
+  // instance's state on each retiring cycle.
+  [[nodiscard]] std::uint64_t thread_exit_events() const {
+    return thread_exit_events_;
+  }
   [[nodiscard]] const MachineConfig& config() const { return cfg_; }
   [[nodiscard]] const SimStats& stats() const { return stats_; }
   [[nodiscard]] SimStats& stats() { return stats_; }
@@ -84,7 +136,9 @@ class Simulator {
   [[nodiscard]] Cache& icache() { return icache_; }
   [[nodiscard]] Cache& dcache() { return dcache_; }
 
-  // Last cycle's packet, for tracing tools and the figure tests.
+  // Last cycle's packet, for tracing tools and the figure tests. Only the
+  // reference engine fills the op list (the fused engine's point is to never
+  // materialize it); cluster use/ownership is filled by both.
   [[nodiscard]] const ExecPacket& last_packet() const { return packet_; }
 
   // Convenience: run until all attached threads halt or `max_cycles` pass.
@@ -92,9 +146,42 @@ class Simulator {
   bool run_to_halt(std::uint64_t max_cycles);
 
  private:
-  void commit_pending_writes(ThreadContext& ctx);
-  void refill_slot(int slot);
-  void execute_op(const SelectedOp& sel, ThreadContext& ctx);
+  struct FusedSink;  // executes ops as they win selection (simulator.cpp)
+
+  // Commits every pending write whose latency window closed this cycle.
+  // Inline: step() calls it for every thread with writes due (about two
+  // calls per cycle on the paper's 4T mixes).
+  void commit_pending_writes(ThreadContext& ctx) {
+    const auto commit_one = [&](const PendingWrite& w) {
+      if (ctx.issue.active && ctx.issue.seq == w.seq) {
+        // The producing instruction is still partially issued: the result
+        // goes to the split delay buffer (Figure 8) and drains at last-part.
+        ctx.rf_buffer.push_back(
+            BufferedRegWrite{w.to_breg, w.cluster, w.idx, w.value});
+      } else if (w.to_breg) {
+        ctx.regs.set_breg(w.cluster, w.idx, w.value != 0);
+      } else {
+        ctx.regs.set_gpr(w.cluster, w.idx, w.value);
+      }
+    };
+    if (ctx.pending_writes.latest_visible_at() <= cycle_) {
+      // Common case with short latencies: everything commits, nothing stays.
+      ctx.pending_writes.drain_all(commit_one);
+      return;
+    }
+    ctx.pending_writes.compact([&](const PendingWrite& w) {
+      if (w.visible_at > cycle_) return true;  // still in its latency window
+      commit_one(w);
+      return false;
+    });
+  }
+  // Passes the thread's refill gates (D-miss / branch-penalty / I-fetch) and
+  // arms a fresh IssueProgress. Callers pre-filter null/halted/active/drain.
+  void refill_slot(ThreadContext* ctx);
+  void execute_op(const Operation& op, const DecodedOp& dec,
+                  int logical_cluster, int physical_cluster,
+                  ThreadContext& ctx);
+  void apply_staged_stores();
   void complete_instruction(int slot, ThreadContext& ctx);
   void rollback_fault(ThreadContext& ctx);
   void write_result(ThreadContext& ctx, const Operation& op,
@@ -102,21 +189,15 @@ class Simulator {
   void assert_no_pending_write(const ThreadContext& ctx, bool to_breg,
                                int cluster, int idx) const;
 
-  // A store captured during execute_op; applied after all reads of the cycle
-  // so that same-instruction loads observe pre-instruction memory.
+  // A store captured during execution; applied after the whole merge walk so
+  // same-cycle loads observe pre-instruction memory. Whether it goes to the
+  // split delay buffer is decided at apply time from the cycle-final pending
+  // count (identical in both engines by construction).
   struct StagedStore {
     ThreadContext* ctx = nullptr;
     std::uint8_t cluster = 0;
-    std::uint32_t addr = 0;
     std::uint8_t size = 0;
-    std::uint32_t value = 0;
-    bool buffered = false;  // split-issued: goes to the delay buffer
-  };
-  struct StagedStoreData {
-    bool valid = false;
-    std::uint8_t cluster = 0;
     std::uint32_t addr = 0;
-    std::uint8_t size = 0;
     std::uint32_t value = 0;
   };
 
@@ -124,14 +205,16 @@ class Simulator {
   MergeEngine merge_;
   Cache icache_;
   Cache dcache_;
-  StagedStoreData staged_store_;
   std::array<ThreadContext*, kMaxHwThreads> slots_{};  // ≤ hw_threads used
   ExecPacket packet_;
   std::uint64_t cycle_ = 0;
   std::uint64_t stall_until_ = 0;  // global memory-port drain stall
+  std::uint64_t thread_exit_events_ = 0;  // halts + faults (driver gating)
   int priority_base_ = 0;
   bool drain_ = false;
   bool fast_forward_on_ = true;
+  bool fused_ = false;
+  bool profile_on_ = false;
   // Result latency per operation class, resolved once from the config so the
   // execute path indexes a table instead of switching on the class.
   std::array<int, 6> lat_by_class_{};
@@ -140,6 +223,9 @@ class Simulator {
   std::array<int, kMaxHwThreads> rotation_{};
   // Per-cycle memory-port pressure per physical cluster.
   std::array<int, kMaxClusters> mem_port_use_{};
+  // Memory ports per physical cluster, hoisted from the config so the
+  // per-cycle excess check doesn't re-read cluster_at().
+  std::array<int, kMaxClusters> mem_units_{};
   // Stores staged this cycle (preallocated; at most one per selected op).
   InlineVec<StagedStore, kMaxTotalIssue> staged_;
   // Programs already validated against this machine (attach() cache). Held
@@ -147,6 +233,7 @@ class Simulator {
   static constexpr std::size_t kMaxValidatedPrograms = 32;
   std::vector<std::shared_ptr<const Program>> validated_programs_;
   SimStats stats_;
+  SimProfile profile_;
 };
 
 }  // namespace vexsim

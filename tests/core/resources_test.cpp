@@ -16,11 +16,11 @@ TEST(Resources, AddClassifiesOps) {
   use.add(ops::load(Opcode::kLdw, 0, 7, 8, 0));
   use.add(ops::br(0, 0, 0));
   use.add(ops::send(0, 1, 0));
-  EXPECT_EQ(use.slots, 5);
-  EXPECT_EQ(use.alu, 1);
-  EXPECT_EQ(use.mul, 1);
-  EXPECT_EQ(use.mem, 1);
-  EXPECT_EQ(use.br, 1);
+  EXPECT_EQ(use.slots(), 5);
+  EXPECT_EQ(use.alu(), 1);
+  EXPECT_EQ(use.mul(), 1);
+  EXPECT_EQ(use.mem(), 1);
+  EXPECT_EQ(use.br(), 1);
 }
 
 TEST(Resources, FitsWithSlots) {
@@ -69,8 +69,8 @@ TEST(Resources, CommOpsOnlyUseSlots) {
   ResourceUse use;
   use.add(ops::send(0, 1, 0));
   use.add(ops::recv(0, 2, 0));
-  EXPECT_EQ(use.slots, 2);
-  EXPECT_EQ(use.alu + use.mul + use.mem + use.br, 0);
+  EXPECT_EQ(use.slots(), 2);
+  EXPECT_EQ(use.alu() + use.mul() + use.mem() + use.br(), 0);
 }
 
 TEST(Resources, BundleUseMask) {
@@ -79,10 +79,10 @@ TEST(Resources, BundleUseMask) {
   bundle.push_back(ops::mpyl(0, 4, 5, 6));
   bundle.push_back(ops::load(Opcode::kLdw, 0, 7, 8, 0));
   const ResourceUse all = bundle_use(bundle, 0b111);
-  EXPECT_EQ(all.slots, 3);
+  EXPECT_EQ(all.slots(), 3);
   const ResourceUse first_two = bundle_use(bundle, 0b011);
-  EXPECT_EQ(first_two.slots, 2);
-  EXPECT_EQ(first_two.mem, 0);
+  EXPECT_EQ(first_two.slots(), 2);
+  EXPECT_EQ(first_two.mem(), 0);
   const ResourceUse none = bundle_use(bundle, 0);
   EXPECT_TRUE(none.empty());
 }

@@ -1,0 +1,148 @@
+// Fused-vs-base engine equivalence: the fused select+execute engine
+// (set_fused, operations execute the moment their bundle wins selection)
+// must be observationally indistinguishable from the reference packet
+// engine (select fills an ExecPacket, a second walk executes it).
+//
+// Sweep: all eight techniques × {symmetric 4x4, asymmetric 8+4+2+2,
+// configs/asym8422.conf} geometry × two synth: mixes, asserting bit-identical
+// RunStats, cache-model hit/miss counters, merge-engine counters, retired
+// work and architectural fingerprints between set_fused(true) and
+// set_fused(false) runs of the same workload.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "harness/experiments.hpp"
+#include "mdes/machine.hpp"
+
+namespace vexsim {
+namespace {
+
+// Small budgets: the full sweep is 8 techniques x 3 geometries x 2 mixes,
+// each simulated twice. The short timeslice forces drains and context
+// switches inside the budget, so the equivalence also covers those paths.
+harness::ExperimentOptions base_options() {
+  harness::ExperimentOptions opt;
+  opt.budget = 2'000;
+  opt.timeslice = 1'500;
+  opt.scale = 0.05;
+  return opt;
+}
+
+// Two mixes with different ILP/memory character; three contexts so 2T and
+// 4T machines both multiplex more programs than hardware slots.
+const char* kMixes[] = {
+    "synth:i0.80-m0.20-b0.05-s1+synth:i0.80-m0.20-b0.05-s2+"
+    "synth:i0.80-m0.20-b0.05-s3",
+    "synth:i0.30-m0.40-b0.10-s4+synth:i0.30-m0.40-b0.10-s5+"
+    "synth:i0.30-m0.40-b0.10-s6",
+};
+
+enum class Geometry { kSymmetric, kAsymmetric, kConfigFile };
+
+MachineConfig make_machine(Geometry geom, int threads, Technique t) {
+  if (geom == Geometry::kConfigFile) {
+    harness::ExperimentOptions opt;
+    opt.base_machine = std::make_shared<const MachineConfig>(
+        mdes::load_machine(std::string(VEXSIM_SOURCE_DIR) +
+                           "/configs/asym8422.conf"));
+    return opt.machine(threads, t);
+  }
+  MachineConfig cfg = MachineConfig::paper(threads, t);
+  if (geom == Geometry::kAsymmetric) {
+    // Renaming is illegal on asymmetric machines (a bundle scheduled for the
+    // wide cluster cannot run on a narrow one).
+    cfg.cluster_renaming = false;
+    cfg.cluster_overrides = {ClusterResourceConfig::for_issue_width(8),
+                             ClusterResourceConfig::for_issue_width(4),
+                             ClusterResourceConfig::for_issue_width(2),
+                             ClusterResourceConfig::for_issue_width(2)};
+  }
+  cfg.validate();
+  return cfg;
+}
+
+void expect_identical(const RunResult& base, const RunResult& fused,
+                      const std::string& label) {
+  EXPECT_EQ(base.sim, fused.sim) << label;
+  EXPECT_EQ(base.icache, fused.icache) << label;
+  EXPECT_EQ(base.dcache, fused.dcache) << label;
+  EXPECT_EQ(base.merge, fused.merge) << label;
+  ASSERT_EQ(base.instances.size(), fused.instances.size()) << label;
+  for (std::size_t i = 0; i < base.instances.size(); ++i) {
+    EXPECT_EQ(base.instances[i].arch_fingerprint,
+              fused.instances[i].arch_fingerprint)
+        << label << " instance " << i;
+    EXPECT_EQ(base.instances[i].instructions, fused.instances[i].instructions)
+        << label << " instance " << i;
+    EXPECT_EQ(base.instances[i].faulted, fused.instances[i].faulted)
+        << label << " instance " << i;
+  }
+}
+
+class FusedEngineEquivalence : public ::testing::TestWithParam<Geometry> {};
+
+TEST_P(FusedEngineEquivalence, AllTechniquesBitIdentical) {
+  const Geometry geom = GetParam();
+  for (const Technique& t : Technique::kAll) {
+    const MachineConfig cfg = make_machine(geom, 2, t);
+    for (const char* mix : kMixes) {
+      harness::ExperimentOptions opt = base_options();
+      opt.fused = false;
+      const RunResult base = harness::run_workload_on(cfg, mix, opt);
+      opt.fused = true;
+      const RunResult fused = harness::run_workload_on(cfg, mix, opt);
+      expect_identical(base, fused,
+                       std::string(t.name()) + " " + cfg.geometry_name() +
+                           " " + mix);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Geometries, FusedEngineEquivalence,
+                         ::testing::Values(Geometry::kSymmetric,
+                                           Geometry::kAsymmetric,
+                                           Geometry::kConfigFile),
+                         [](const auto& param) {
+                           switch (param.param) {
+                             case Geometry::kSymmetric: return "sym4x4";
+                             case Geometry::kAsymmetric: return "asym8422";
+                             default: return "configFile";
+                           }
+                         });
+
+// Fast-forward off on both sides: the equivalence must hold for the pure
+// cycle-by-cycle loop too (fusion and idle-cycle batching are independent
+// toggles), covered on one technique per geometry to bound runtime.
+TEST(FusedEngineEquivalenceExtra, PureLoopAlsoIdentical) {
+  for (const Geometry geom :
+       {Geometry::kSymmetric, Geometry::kAsymmetric}) {
+    const MachineConfig cfg =
+        make_machine(geom, 4, Technique::ccsi(CommPolicy::kAlwaysSplit));
+    harness::ExperimentOptions opt = base_options();
+    opt.fast_forward = false;
+    opt.fused = false;
+    const RunResult base = harness::run_workload_on(cfg, kMixes[0], opt);
+    opt.fused = true;
+    const RunResult fused = harness::run_workload_on(cfg, kMixes[0], opt);
+    expect_identical(base, fused, "pure-loop " + cfg.geometry_name());
+  }
+}
+
+// 4T on the config-file machine with the paper workload mix: the exact
+// shape micro_sim_speed gates on, pinned here at test scale.
+TEST(FusedEngineEquivalenceExtra, PaperMixFourThreads) {
+  const MachineConfig cfg = make_machine(
+      Geometry::kConfigFile, 4, Technique::oosi(CommPolicy::kNoSplit));
+  harness::ExperimentOptions opt = base_options();
+  opt.fused = false;
+  const RunResult base = harness::run_workload_on(cfg, kMixes[1], opt);
+  opt.fused = true;
+  const RunResult fused = harness::run_workload_on(cfg, kMixes[1], opt);
+  expect_identical(base, fused, "4T config-file");
+}
+
+}  // namespace
+}  // namespace vexsim

@@ -99,11 +99,11 @@ TEST(DecodedProgram, OperandFlagsMatchOpcodeHelpers) {
 TEST(DecodedProgram, SingletonUseIsOneSlotOfTheRightClass) {
   const Operation mul = ops::mpyl(2, 1, 2, 3);
   const DecodedOp d = DecodedProgram::decode_op(mul);
-  EXPECT_EQ(d.use.slots, 1);
-  EXPECT_EQ(d.use.mul, 1);
-  EXPECT_EQ(d.use.alu, 0);
-  EXPECT_EQ(d.use.mem, 0);
-  EXPECT_EQ(d.use.br, 0);
+  EXPECT_EQ(d.use.slots(), 1);
+  EXPECT_EQ(d.use.mul(), 1);
+  EXPECT_EQ(d.use.alu(), 0);
+  EXPECT_EQ(d.use.mem(), 0);
+  EXPECT_EQ(d.use.br(), 0);
 }
 
 }  // namespace

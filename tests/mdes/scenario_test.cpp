@@ -45,6 +45,7 @@ TEST(MdesScenario, ReadsEveryField) {
       "max_cycles = 1000000\n"
       "seed      = 11\n"
       "fast_forward = false\n"
+      "fused = false\n"
       "compiler  = 'cost_swp'\n");
   EXPECT_EQ(s.workload, "llhh");
   EXPECT_EQ(s.contexts, 4);
@@ -56,6 +57,7 @@ TEST(MdesScenario, ReadsEveryField) {
   EXPECT_EQ(s.opt.max_cycles, 1000000u);
   EXPECT_EQ(s.opt.seed, 11u);
   EXPECT_FALSE(s.opt.fast_forward);
+  EXPECT_FALSE(s.opt.fused);
   EXPECT_EQ(s.opt.compiler.name(), "cost_swp");
 }
 
