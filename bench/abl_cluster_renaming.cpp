@@ -9,6 +9,7 @@
 // per-point statistics land in a JSON trajectory file.
 //
 // Flags: --cc NAME, --cc-verify, --config FILE (base machine description),
+//        --mem fixed|hierarchy (memory backend; default fixed),
 //        --scale, --budget, --timeslice, --seed, --quick, --paper, --csv,
 //        --jobs N, --progress N, --flush N, --json FILE,
 //        --cache[=DIR]/--no-cache (result cache), --timeout MS, --retries N.

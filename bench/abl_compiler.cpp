@@ -18,6 +18,7 @@
 // bit-identical for any --jobs value and land in BENCH_abl_compiler.json.
 //
 // Flags: --cc NAME, --cc-verify, --config FILE (base machine description),
+//        --mem fixed|hierarchy (memory backend; default fixed),
 //        --scale, --budget, --timeslice, --seed, --quick, --paper,
 //        --jobs N, --progress N, --json FILE, --cache[=DIR]/--no-cache,
 //        --timeout MS, --retries N, --check-quality.

@@ -16,6 +16,7 @@
 // bit-identical for any --jobs value and land in BENCH_abl_synth.json.
 //
 // Flags: --cc NAME, --cc-verify, --config FILE (base machine description),
+//        --mem fixed|hierarchy (memory backend; default fixed),
 //        --scale, --budget, --timeslice, --seed, --quick, --paper,
 //        --jobs N, --progress N, --json FILE (default BENCH_abl_synth.json),
 //        --cache[=DIR]/--no-cache (result cache), --timeout MS, --retries N.

@@ -7,6 +7,7 @@
 // for any N) and the raw per-point statistics land in a JSON trajectory.
 //
 // Flags: --cc NAME, --cc-verify, --config FILE (base machine description),
+//        --mem fixed|hierarchy (memory backend; default fixed),
 //        --scale, --budget, --seed, --quick, --paper, --csv, --jobs N,
 //        --progress N, --json FILE (default BENCH_fig13_benchmarks.json),
 //        --cache[=DIR]/--no-cache (result cache), --timeout MS, --retries N.

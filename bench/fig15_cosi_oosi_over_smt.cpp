@@ -6,6 +6,7 @@
 // per-point statistics land in a JSON trajectory file.
 //
 // Flags: --cc NAME, --cc-verify, --config FILE (base machine description),
+//        --mem fixed|hierarchy (memory backend; default fixed),
 //        --scale, --budget, --timeslice, --seed, --quick, --paper, --csv,
 //        --jobs N, --json FILE (default BENCH_sweep.json),
 //        --cache[=DIR]/--no-cache (result cache), --timeout MS, --retries N.

@@ -7,6 +7,7 @@
 // land in a JSON trajectory.
 //
 // Flags: --cc NAME, --cc-verify, --config FILE (base machine description),
+//        --mem fixed|hierarchy (memory backend; default fixed),
 //        --scale, --budget, --timeslice, --seed, --quick, --paper, --csv,
 //        --per-workload (print each mix's IPC too), --jobs N, --progress N,
 //        --json FILE (default BENCH_fig16_absolute_ipc.json),

@@ -9,7 +9,8 @@
 // speedup column is a pure wall-clock ratio at equal work.
 //
 // Flags: --reps N (timing repetitions, best-of), --config FILE (base
-//        machine description), --budget/--timeslice/
+//        machine description), --mem fixed|hierarchy (memory backend),
+//        --budget/--timeslice/
 //        --scale/--seed/--quick/--paper, --profile (append an untimed
 //        per-phase wall-clock breakdown for both engines to the JSON),
 //        --json FILE (default BENCH_sim_speed.json). The sweep result cache

@@ -1,7 +1,9 @@
 # vexplore end-to-end smoke:
 #   (1) the report is byte-identical between --jobs 1 and --jobs 8,
 #   (2) a warm-cache re-run serves >= 90% of points from the result cache
-#       and still emits byte-identical report JSON.
+#       and still emits byte-identical report JSON,
+#   (3) the template's memory-backend axis is live: at least one sampled
+#       machine runs the hierarchy backend.
 #
 # Arguments: VEXPLORE (driver executable), TEMPLATE (DSE template file),
 #            OUT_DIR (scratch directory).
@@ -63,4 +65,11 @@ if(total EQUAL 0 OR scaled_hits LESS scaled_need)
   message(FATAL_ERROR
           "warm vexplore run served only ${hits}/${total} points from the "
           "cache (need >= 90%)")
+endif()
+
+file(READ ${serial} report)
+if(NOT report MATCHES "hierarchy")
+  message(FATAL_ERROR
+          "no sampled point used the hierarchy memory backend — the "
+          "template's memory axis is dead")
 endif()

@@ -135,8 +135,11 @@ class ThreadContext {
   bool halt_at_completion = false;
   bool channels_dirty = false;          // any ChannelState written since reset
   std::int32_t redirect_target = -1;    // taken branch target, applied at completion
+  // Pending-miss handles: the absolute completion cycle the memory backend
+  // returned for this thread's outstanding D-miss / I-miss (the thread's
+  // view of an in-flight fill; the backend may track more, e.g. MSHRs).
   std::uint64_t mem_block_until = 0;    // D-miss: next instruction gated
-  std::uint64_t fetch_ready_at = 0;     // I-miss gate
+  std::uint64_t fetch_ready_at = 0;     // I-miss: fetch completes here
   std::uint64_t next_issue_at = 0;      // branch-penalty gate
   std::uint64_t seq = 0;                // instructions started
   IssueProgress issue;

@@ -11,6 +11,7 @@ MachineConfig ExperimentOptions::machine(int threads,
   MachineConfig cfg = base_machine ? *base_machine : MachineConfig{};
   cfg.hw_threads = threads;
   cfg.technique = technique;
+  if (mem_backend) cfg.memory.backend = *mem_backend;
   cfg.validate();
   return cfg;
 }
@@ -19,6 +20,7 @@ MachineConfig ExperimentOptions::machine_single() const {
   MachineConfig cfg = base_machine ? *base_machine : MachineConfig{};
   cfg.hw_threads = 1;
   cfg.technique = Technique::smt();
+  if (mem_backend) cfg.memory.backend = *mem_backend;
   cfg.validate();
   return cfg;
 }
@@ -30,7 +32,8 @@ bool operator==(const ExperimentOptions& a, const ExperimentOptions& b) {
   return machines_equal && a.scale == b.scale && a.budget == b.budget &&
          a.timeslice == b.timeslice && a.max_cycles == b.max_cycles &&
          a.seed == b.seed && a.fast_forward == b.fast_forward &&
-         a.fused == b.fused && a.compiler == b.compiler;
+         a.fused == b.fused && a.compiler == b.compiler &&
+         a.mem_backend == b.mem_backend;
 }
 
 ExperimentOptions ExperimentOptions::from_cli(const Cli& cli) {
@@ -60,6 +63,8 @@ ExperimentOptions ExperimentOptions::from_cli(const Cli& cli) {
   if (cli.has("config"))
     opt.base_machine = std::make_shared<const MachineConfig>(
         mdes::load_machine(cli.get("config", "")));
+  if (cli.has("mem"))
+    opt.mem_backend = mem_backend_from(cli.get("mem", ""));
   return opt;
 }
 

@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "cc/options.hpp"
@@ -40,6 +41,12 @@ struct ExperimentOptions {
   // result-cache fingerprint and the workload memo key.
   cc::CompilerOptions compiler;
 
+  // Memory-backend override (--mem fixed|hierarchy), layered onto the base
+  // machine by machine()/machine_single(). Unset keeps whatever the base
+  // machine (default or --config) selects — fixed out of the box, so every
+  // bench reproduces its goldens unless asked otherwise.
+  std::optional<MemBackendKind> mem_backend;
+
   // Base machine the experiment's configs start from (nullptr = the
   // default-constructed MachineConfig, which IS the paper machine).
   // --config FILE loads one from a description file (mdes/machine.hpp);
@@ -56,8 +63,9 @@ struct ExperimentOptions {
   [[nodiscard]] MachineConfig machine_single() const;
 
   // Applies --budget/--timeslice/--seed/--scale/--paper/--quick/--cc,
-  // --cc-verify (run the static checkers between compiler passes), and
-  // --config FILE (base machine from a description file).
+  // --cc-verify (run the static checkers between compiler passes),
+  // --config FILE (base machine from a description file), and
+  // --mem fixed|hierarchy (memory-backend override).
   static ExperimentOptions from_cli(const Cli& cli);
 
   // Value equality; the base machines compare by value (both absent, or

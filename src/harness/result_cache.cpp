@@ -81,6 +81,23 @@ void hash_machine(Fingerprint& fp, const MachineConfig& cfg) {
   fp.flag(cfg.cluster_renaming);
   fp.u64(static_cast<std::uint64_t>(cfg.rf_org));
   fp.flag(cfg.stall_on_store_miss);
+  // Memory backend: every parameter that can change a hierarchy trajectory.
+  // Hashed unconditionally (fixed runs too) — the kind field alone keeps
+  // fixed and hierarchy points from ever aliasing, and hashing the rest
+  // costs nothing while guaranteeing a retuned L2/DRAM never serves stale
+  // cached results.
+  fp.u64(static_cast<std::uint64_t>(cfg.memory.backend));
+  fp.u64(cfg.memory.l1_mshrs);
+  fp.u64(cfg.memory.l2.size_bytes)
+      .u64(cfg.memory.l2.assoc)
+      .u64(cfg.memory.l2.line_bytes)
+      .u64(cfg.memory.l2.hit_latency);
+  fp.u64(cfg.memory.dram.banks)
+      .u64(cfg.memory.dram.row_bytes)
+      .u64(cfg.memory.dram.t_row_hit)
+      .u64(cfg.memory.dram.t_row_closed)
+      .u64(cfg.memory.dram.t_row_conflict)
+      .u64(cfg.memory.dram.t_bank_busy);
 }
 
 // Resolved, order-canonical form of a workload name: a paper mix label
@@ -147,6 +164,28 @@ Json result_json(const RunResult& r) {
   Json dcache = Json::object();
   dcache.set("hits", r.dcache.hits).set("misses", r.dcache.misses);
 
+  Json memory = Json::object();
+  if (r.memory.present) {
+    const auto mshr_json = [](const mem::MshrStats& m) {
+      Json j = Json::object();
+      j.set("allocations", m.allocations)
+          .set("merges", m.merges)
+          .set("full_stalls", m.full_stalls)
+          .set("peak_occupancy", m.peak_occupancy);
+      return j;
+    };
+    Json l2 = Json::object();
+    l2.set("hits", r.memory.l2.hits).set("misses", r.memory.l2.misses);
+    Json dram = Json::object();
+    dram.set("row_hits", r.memory.dram.row_hits)
+        .set("row_closed", r.memory.dram.row_closed)
+        .set("row_conflicts", r.memory.dram.row_conflicts);
+    memory.set("imshr", mshr_json(r.memory.imshr))
+        .set("dmshr", mshr_json(r.memory.dmshr))
+        .set("l2", std::move(l2))
+        .set("dram", std::move(dram));
+  }
+
   Json merge = Json::object();
   merge.set("full_selections", r.merge.full_selections)
       .set("partial_selections", r.merge.partial_selections)
@@ -177,8 +216,11 @@ Json result_json(const RunResult& r) {
       .set("attempts", r.attempts)
       .set("sim", std::move(sim))
       .set("icache", std::move(icache))
-      .set("dcache", std::move(dcache))
-      .set("merge", std::move(merge))
+      .set("dcache", std::move(dcache));
+  // Hierarchy-only: fixed-backend records keep the pre-hierarchy shape so a
+  // warm cache replays byte-identical JSON for pre-existing sweeps.
+  if (r.memory.present) out.set("memory", std::move(memory));
+  out.set("merge", std::move(merge))
       .set("compile", std::move(compile))
       .set("instances", std::move(instances));
   return out;
@@ -205,6 +247,26 @@ RunResult result_from_json(const Json& j) {
   r.icache.misses = j.at("icache").at("misses").as_uint64();
   r.dcache.hits = j.at("dcache").at("hits").as_uint64();
   r.dcache.misses = j.at("dcache").at("misses").as_uint64();
+
+  if (const Json* memory = j.find("memory")) {
+    const auto mshr_from = [](const Json& mj) {
+      mem::MshrStats m;
+      m.allocations = mj.at("allocations").as_uint64();
+      m.merges = mj.at("merges").as_uint64();
+      m.full_stalls = mj.at("full_stalls").as_uint64();
+      m.peak_occupancy = mj.at("peak_occupancy").as_uint64();
+      return m;
+    };
+    r.memory.present = true;
+    r.memory.imshr = mshr_from(memory->at("imshr"));
+    r.memory.dmshr = mshr_from(memory->at("dmshr"));
+    r.memory.l2.hits = memory->at("l2").at("hits").as_uint64();
+    r.memory.l2.misses = memory->at("l2").at("misses").as_uint64();
+    const Json& dram = memory->at("dram");
+    r.memory.dram.row_hits = dram.at("row_hits").as_uint64();
+    r.memory.dram.row_closed = dram.at("row_closed").as_uint64();
+    r.memory.dram.row_conflicts = dram.at("row_conflicts").as_uint64();
+  }
 
   const Json& merge = j.at("merge");
   r.merge.full_selections = merge.at("full_selections").as_uint64();

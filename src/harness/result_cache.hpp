@@ -30,7 +30,7 @@ namespace vexsim::harness {
 // Bump whenever a change alters cycle-level statistics (the golden suite
 // failing is the usual signal): stale records then miss instead of serving
 // numbers from the previous simulator.
-inline constexpr std::string_view kSimVersionTag = "vexsim-sim-pr3";
+inline constexpr std::string_view kSimVersionTag = "vexsim-sim-pr9";
 
 // Stable content hash of a sweep point. Throws CheckError when the
 // workload name does not resolve (the simulation itself would throw the

@@ -360,6 +360,30 @@ Json point_json(const SweepPoint& p, const RunResult& r) {
       .set("dcache_hits", r.dcache.hits)
       .set("dcache_misses", r.dcache.misses);
 
+  // Hierarchy-backend statistics; absent under the fixed backend so every
+  // pre-hierarchy golden trajectory stays byte-identical.
+  Json memory = Json::object();
+  if (r.memory.present) {
+    const auto mshr_json = [](const mem::MshrStats& m) {
+      Json j = Json::object();
+      j.set("allocations", m.allocations)
+          .set("merges", m.merges)
+          .set("full_stalls", m.full_stalls)
+          .set("peak_occupancy", m.peak_occupancy);
+      return j;
+    };
+    Json dram = Json::object();
+    dram.set("row_hits", r.memory.dram.row_hits)
+        .set("row_closed", r.memory.dram.row_closed)
+        .set("row_conflicts", r.memory.dram.row_conflicts)
+        .set("row_hit_rate", r.memory.dram.row_hit_rate());
+    memory.set("imshr", mshr_json(r.memory.imshr))
+        .set("dmshr", mshr_json(r.memory.dmshr))
+        .set("l2_hits", r.memory.l2.hits)
+        .set("l2_misses", r.memory.l2.misses)
+        .set("dram", std::move(dram));
+  }
+
   Json merge = Json::object();
   merge.set("full_selections", r.merge.full_selections)
       .set("partial_selections", r.merge.partial_selections)
@@ -392,8 +416,9 @@ Json point_json(const SweepPoint& p, const RunResult& r) {
       .set("workload", p.workload)
       .set("config", std::move(cfg))
       .set("sim", std::move(sim))
-      .set("caches", std::move(caches))
-      .set("merge", std::move(merge))
+      .set("caches", std::move(caches));
+  if (r.memory.present) point.set("memory", std::move(memory));
+  point.set("merge", std::move(merge))
       .set("compile", std::move(compile))
       .set("instances", std::move(instances));
   // Harness provenance. `cached` is cache membership (stored or served), so

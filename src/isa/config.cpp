@@ -25,6 +25,17 @@ std::string to_string(RegFileOrg r) {
   return r == RegFileOrg::kPartitioned ? "partitioned" : "shared";
 }
 
+std::string to_string(MemBackendKind k) {
+  return k == MemBackendKind::kFixed ? "fixed" : "hierarchy";
+}
+
+MemBackendKind mem_backend_from(const std::string& name) {
+  if (name == "fixed") return MemBackendKind::kFixed;
+  if (name == "hierarchy") return MemBackendKind::kHierarchy;
+  throw CheckError("unknown memory backend '" + name +
+                   "' (valid: fixed, hierarchy)");
+}
+
 RegFileOrg reg_file_org_from(const std::string& name) {
   if (name == "partitioned") return RegFileOrg::kPartitioned;
   if (name == "shared") return RegFileOrg::kShared;
@@ -166,6 +177,56 @@ std::vector<std::string> MachineConfig::validate_issues() const {
     flag("lat.mul = " + std::to_string(lat.mul) + " (minimum 1)");
   if (lat.mem < 1)
     flag("lat.mem = " + std::to_string(lat.mem) + " (minimum 1)");
+  // Memory-hierarchy parameters are validated regardless of the selected
+  // backend: a config carries one MemoryConfig, and a bad set of inert
+  // hierarchy numbers would otherwise only explode when --mem flips.
+  const auto pow2 = [](std::uint32_t v) {
+    return v != 0 && (v & (v - 1)) == 0;
+  };
+  if (memory.l1_mshrs < 1 || memory.l1_mshrs > 64)
+    flag("memory.l1_mshrs = " + std::to_string(memory.l1_mshrs) +
+         " out of range [1, 64]");
+  if (!pow2(memory.l2.line_bytes))
+    flag("memory.l2.line_bytes = " + std::to_string(memory.l2.line_bytes) +
+         " is not a power of two");
+  if (memory.l2.assoc < 1)
+    flag("memory.l2.assoc = " + std::to_string(memory.l2.assoc) +
+         " (minimum 1)");
+  if (memory.l2.assoc >= 1 && memory.l2.line_bytes >= 1 &&
+      (memory.l2.size_bytes % (memory.l2.line_bytes * memory.l2.assoc) != 0 ||
+       !pow2(memory.l2.size_bytes / (memory.l2.line_bytes * memory.l2.assoc))))
+    flag("memory.l2.size_bytes = " + std::to_string(memory.l2.size_bytes) +
+         " does not give a power-of-two set count for assoc " +
+         std::to_string(memory.l2.assoc) + " and line_bytes " +
+         std::to_string(memory.l2.line_bytes));
+  if (memory.l2.hit_latency < 1)
+    flag("memory.l2.hit_latency = " + std::to_string(memory.l2.hit_latency) +
+         " (minimum 1)");
+  if (memory.dram.banks == 0)
+    flag("memory.dram.banks = 0 (a DRAM needs at least one bank)");
+  else if (!pow2(memory.dram.banks))
+    flag("memory.dram.banks = " + std::to_string(memory.dram.banks) +
+         " is not a power of two");
+  if (!pow2(memory.dram.row_bytes))
+    flag("memory.dram.row_bytes = " + std::to_string(memory.dram.row_bytes) +
+         " is not a power of two");
+  else if (pow2(memory.l2.line_bytes) &&
+           memory.dram.row_bytes < memory.l2.line_bytes)
+    flag("memory.dram.row_bytes = " + std::to_string(memory.dram.row_bytes) +
+         " smaller than memory.l2.line_bytes = " +
+         std::to_string(memory.l2.line_bytes));
+  if (memory.dram.t_row_hit < 1)
+    flag("memory.dram.t_row_hit = " +
+         std::to_string(memory.dram.t_row_hit) + " (minimum 1)");
+  if (memory.dram.t_row_closed < 1)
+    flag("memory.dram.t_row_closed = " +
+         std::to_string(memory.dram.t_row_closed) + " (minimum 1)");
+  if (memory.dram.t_row_conflict < 1)
+    flag("memory.dram.t_row_conflict = " +
+         std::to_string(memory.dram.t_row_conflict) + " (minimum 1)");
+  if (memory.dram.t_bank_busy < 1)
+    flag("memory.dram.t_bank_busy = " +
+         std::to_string(memory.dram.t_bank_busy) + " (minimum 1)");
   return issues;
 }
 

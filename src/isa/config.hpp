@@ -67,6 +67,56 @@ struct CacheConfig {
   friend bool operator==(const CacheConfig&, const CacheConfig&) = default;
 };
 
+// Which miss-handling model backs the L1 caches (mem/backend.hpp).
+enum class MemBackendKind : std::uint8_t {
+  kFixed,      // flat CacheConfig::miss_penalty, the paper's model (default)
+  kHierarchy,  // MSHRs + shared L2 + banked DRAM with row-buffer timing
+};
+
+[[nodiscard]] std::string to_string(MemBackendKind k);
+
+// Parses "fixed" / "hierarchy"; throws CheckError listing the valid names
+// otherwise. Counterpart of to_string for description files and --mem.
+[[nodiscard]] MemBackendKind mem_backend_from(const std::string& name);
+
+// Shared inclusive L2 of the hierarchy backend (timing-only, same
+// set-associative LRU model as the L1s).
+struct L2Config {
+  std::uint32_t size_bytes = 512 * 1024;
+  std::uint32_t assoc = 8;
+  std::uint32_t line_bytes = 64;
+  std::uint32_t hit_latency = 12;  // L1-miss-to-data cycles on an L2 hit
+
+  friend bool operator==(const L2Config&, const L2Config&) = default;
+};
+
+// Banked DRAM behind the L2: per-bank open-row buffers and queues. A
+// request's latency depends on the row-buffer state it finds (hit / bank
+// idle / conflict) and each request occupies its bank for t_bank_busy
+// cycles, so same-bank bursts serialize.
+struct DramConfig {
+  std::uint32_t banks = 8;           // power of two (line-interleaved)
+  std::uint32_t row_bytes = 2048;    // per-bank row-buffer reach, power of two
+  std::uint32_t t_row_hit = 18;      // open-row access
+  std::uint32_t t_row_closed = 30;   // activate + access (bank idle)
+  std::uint32_t t_row_conflict = 44; // precharge + activate + access
+  std::uint32_t t_bank_busy = 6;     // bank occupancy per request
+
+  friend bool operator==(const DramConfig&, const DramConfig&) = default;
+};
+
+// Memory-backend selection plus the hierarchy parameters. The defaults keep
+// `backend = kFixed`, under which every other field is inert and the machine
+// is bit-identical to the seed's hard-coded miss path.
+struct MemoryConfig {
+  MemBackendKind backend = MemBackendKind::kFixed;
+  std::uint32_t l1_mshrs = 8;  // outstanding misses per L1 (I and D each)
+  L2Config l2;
+  DramConfig dram;
+
+  friend bool operator==(const MemoryConfig&, const MemoryConfig&) = default;
+};
+
 struct LatencyConfig {
   int alu = 1;
   int mul = 2;
@@ -116,6 +166,9 @@ struct MachineConfig {
   LatencyConfig lat;
   CacheConfig icache;
   CacheConfig dcache;
+  // Miss handling behind the L1s: the fixed-penalty seed model or the
+  // MSHR/L2/DRAM hierarchy (mem/backend.hpp picks the implementation).
+  MemoryConfig memory;
   int hw_threads = 1;
   Technique technique;        // ignored when hw_threads == 1
   bool cluster_renaming = true;

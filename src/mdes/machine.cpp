@@ -67,6 +67,36 @@ CacheConfig cache_from(SectionReader& r) {
   return c;
 }
 
+L2Config l2_from(SectionReader& r) {
+  L2Config c;
+  c.size_bytes = static_cast<std::uint32_t>(r.get_int_in(
+      "size_bytes", static_cast<int>(c.size_bytes), 1, 1 << 30));
+  c.assoc = static_cast<std::uint32_t>(
+      r.get_int_in("assoc", static_cast<int>(c.assoc), 1, 1024));
+  c.line_bytes = static_cast<std::uint32_t>(
+      r.get_int_in("line_bytes", static_cast<int>(c.line_bytes), 1, 4096));
+  c.hit_latency = static_cast<std::uint32_t>(r.get_int_in(
+      "hit_latency", static_cast<int>(c.hit_latency), 1, 1'000'000));
+  return c;
+}
+
+DramConfig dram_from(SectionReader& r) {
+  DramConfig c;
+  c.banks = static_cast<std::uint32_t>(
+      r.get_int_in("banks", static_cast<int>(c.banks), 1, 65536));
+  c.row_bytes = static_cast<std::uint32_t>(
+      r.get_int_in("row_bytes", static_cast<int>(c.row_bytes), 1, 1 << 20));
+  c.t_row_hit = static_cast<std::uint32_t>(r.get_int_in(
+      "t_row_hit", static_cast<int>(c.t_row_hit), 1, 1'000'000));
+  c.t_row_closed = static_cast<std::uint32_t>(r.get_int_in(
+      "t_row_closed", static_cast<int>(c.t_row_closed), 1, 1'000'000));
+  c.t_row_conflict = static_cast<std::uint32_t>(r.get_int_in(
+      "t_row_conflict", static_cast<int>(c.t_row_conflict), 1, 1'000'000));
+  c.t_bank_busy = static_cast<std::uint32_t>(r.get_int_in(
+      "t_bank_busy", static_cast<int>(c.t_bank_busy), 1, 1'000'000));
+  return c;
+}
+
 // Parses via a named-constant parser (Technique::parse / reg_file_org_from)
 // that throws CheckError, converting the throw into a diagnostic at the
 // entry's location.
@@ -81,6 +111,30 @@ void parse_named(SectionReader& m, const std::string& key, ParseFn parse,
   } catch (const CheckError& e) {
     diags.add(entry->loc, e.what());
   }
+}
+
+// [memory]: backend selection and MSHR bound inline; the L2 and DRAM
+// parameter groups live in their own referenced sections, mirroring how
+// [machine] references its caches.
+MemoryConfig memory_from(const ConfigFile& file, const Interp& interp,
+                         Diagnostics& diags, SectionReader& r) {
+  MemoryConfig mem;
+  parse_named(r, "backend", &mem_backend_from, diags, mem.backend);
+  mem.l1_mshrs = static_cast<std::uint32_t>(
+      r.get_int_in("l1_mshrs", static_cast<int>(mem.l1_mshrs), 1, 64));
+  if (const Entry* l2_ref = r.section().find("l2"); l2_ref != nullptr) {
+    if (const auto name = r.get_string_opt("l2"))
+      read_referenced_section(
+          file, interp, diags, *l2_ref, *name,
+          [&mem](SectionReader& s) { mem.l2 = l2_from(s); });
+  }
+  if (const Entry* dram_ref = r.section().find("dram"); dram_ref != nullptr) {
+    if (const auto name = r.get_string_opt("dram"))
+      read_referenced_section(
+          file, interp, diags, *dram_ref, *name,
+          [&mem](SectionReader& s) { mem.dram = dram_from(s); });
+  }
+  return mem;
 }
 
 }  // namespace
@@ -149,6 +203,14 @@ MachineConfig machine_from(const ConfigFile& file, const Interp& interp,
           file, interp, diags, *dc_ref, *name,
           [&cfg](SectionReader& r) { cfg.dcache = cache_from(r); });
   }
+  if (const Entry* mem_ref = msec->find("memory"); mem_ref != nullptr) {
+    if (const auto name = m.get_string_opt("memory"))
+      read_referenced_section(file, interp, diags, *mem_ref, *name,
+                              [&](SectionReader& r) {
+                                cfg.memory =
+                                    memory_from(file, interp, diags, r);
+                              });
+  }
   m.check_unknown("[machine]");
   return cfg;
 }
@@ -208,7 +270,8 @@ std::string to_config(const MachineConfig& cfg) {
     os << "cluster[" << c << "] = 'cluster" << c << "'\n";
   os << "latency = 'latency'\n"
      << "icache = 'icache'\n"
-     << "dcache = 'dcache'\n";
+     << "dcache = 'dcache'\n"
+     << "memory = 'memory'\n";
   emit_cluster(os, "cluster_base", cfg.cluster);
   for (std::size_t c = 0; c < cfg.cluster_overrides.size(); ++c)
     emit_cluster(os, "cluster" + std::to_string(c), cfg.cluster_overrides[c]);
@@ -221,6 +284,23 @@ std::string to_config(const MachineConfig& cfg) {
      << "taken_branch_penalty = " << cfg.lat.taken_branch_penalty << "\n";
   emit_cache(os, "icache", cfg.icache);
   emit_cache(os, "dcache", cfg.dcache);
+  os << "\n[memory]\n"
+     << "backend = '" << to_string(cfg.memory.backend) << "'\n"
+     << "l1_mshrs = " << cfg.memory.l1_mshrs << "\n"
+     << "l2 = 'l2'\n"
+     << "dram = 'dram'\n";
+  os << "\n[l2]\n"
+     << "size_bytes = " << cfg.memory.l2.size_bytes << "\n"
+     << "assoc = " << cfg.memory.l2.assoc << "\n"
+     << "line_bytes = " << cfg.memory.l2.line_bytes << "\n"
+     << "hit_latency = " << cfg.memory.l2.hit_latency << "\n";
+  os << "\n[dram]\n"
+     << "banks = " << cfg.memory.dram.banks << "\n"
+     << "row_bytes = " << cfg.memory.dram.row_bytes << "\n"
+     << "t_row_hit = " << cfg.memory.dram.t_row_hit << "\n"
+     << "t_row_closed = " << cfg.memory.dram.t_row_closed << "\n"
+     << "t_row_conflict = " << cfg.memory.dram.t_row_conflict << "\n"
+     << "t_bank_busy = " << cfg.memory.dram.t_bank_busy << "\n";
   return os.str();
 }
 

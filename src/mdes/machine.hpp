@@ -14,10 +14,17 @@
 //   latency         = 'lat'
 //   icache          = 'l1i'
 //   dcache          = 'l1d'
+//   memory          = 'mem'            # miss-handling backend (optional)
 //
 //   [paperCluster]
 //   issue_width = 4       # paper-proportioned FUs for the width...
 //   mem_units   = 1       # ...then explicit per-unit overrides
+//
+//   [mem]
+//   backend  = 'hierarchy'  # or 'fixed' (the default: flat miss penalty)
+//   l1_mshrs = 8            # outstanding L1 misses per cache
+//   l2       = 'l2'         # L2Config section (size/assoc/line/hit_latency)
+//   dram     = 'dram'       # DramConfig section (banks/row/timing)
 //
 // Every key is optional and defaults to the corresponding MachineConfig
 // default, so `[machine]` alone is the paper machine. Deserialization is

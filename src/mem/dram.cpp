@@ -1,0 +1,56 @@
+#include "mem/dram.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "util/check.hpp"
+
+namespace vexsim::mem {
+
+DramModel::DramModel(const DramConfig& cfg, std::uint32_t line_bytes)
+    : cfg_(cfg) {
+  VEXSIM_CHECK_MSG(std::has_single_bit(cfg.banks), "bank count not 2^n");
+  VEXSIM_CHECK_MSG(std::has_single_bit(cfg.row_bytes), "row size not 2^n");
+  VEXSIM_CHECK_MSG(std::has_single_bit(line_bytes), "line size not 2^n");
+  VEXSIM_CHECK_MSG(cfg.row_bytes >= line_bytes,
+                   "row smaller than the fill line");
+  line_shift_ = static_cast<std::uint32_t>(std::countr_zero(line_bytes));
+  row_shift_ = static_cast<std::uint32_t>(std::countr_zero(cfg.row_bytes));
+  banks_.assign(cfg.banks, Bank{});
+}
+
+std::uint64_t DramModel::access(std::uint32_t asid, std::uint32_t addr,
+                                std::uint64_t cycle) {
+  // Line interleaving; the asid folds in so co-scheduled address spaces
+  // spread over the banks instead of colliding on identical layouts.
+  const std::uint32_t b =
+      ((addr >> line_shift_) + asid) & (cfg_.banks - 1);
+  // A row is per-(asid, row index): address spaces are distinct memories.
+  const std::uint64_t row =
+      (static_cast<std::uint64_t>(asid) << 32) | (addr >> row_shift_);
+  Bank& bank = banks_[b];
+
+  std::uint32_t latency = 0;
+  if (bank.open_row == row) {
+    latency = cfg_.t_row_hit;
+    ++stats_.row_hits;
+  } else if (bank.open_row == ~0ull) {
+    latency = cfg_.t_row_closed;
+    ++stats_.row_closed;
+  } else {
+    latency = cfg_.t_row_conflict;
+    ++stats_.row_conflicts;
+  }
+
+  const std::uint64_t issue = std::max(cycle, bank.next_free);
+  bank.open_row = row;
+  bank.next_free = issue + cfg_.t_bank_busy;
+  return issue + latency;
+}
+
+void DramModel::reset() {
+  for (Bank& b : banks_) b = Bank{};
+  stats_ = DramStats{};
+}
+
+}  // namespace vexsim::mem

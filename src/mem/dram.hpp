@@ -1,0 +1,66 @@
+// Banked DRAM timing model with per-bank row buffers and queues.
+//
+// Pure analytic timing, no events: each bank remembers its open row and the
+// cycle it next becomes free. A request finds one of three row-buffer
+// states — hit (row already open), closed (bank idle, row must activate),
+// or conflict (another row open: precharge + activate) — and pays the
+// corresponding latency from the cycle the bank could accept it. Requests
+// to one bank serialize through the bank's queue (t_bank_busy of occupancy
+// each); requests to different banks proceed independently. Banks are
+// line-interleaved so streaming fills spread across the chip while a row's
+// worth of lines shares one open row.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/config.hpp"
+
+namespace vexsim::mem {
+
+struct DramStats {
+  std::uint64_t row_hits = 0;       // open-row accesses
+  std::uint64_t row_closed = 0;     // bank-idle activations
+  std::uint64_t row_conflicts = 0;  // precharge + activate accesses
+
+  [[nodiscard]] std::uint64_t accesses() const {
+    return row_hits + row_closed + row_conflicts;
+  }
+  [[nodiscard]] double row_hit_rate() const {
+    return accesses() == 0 ? 0.0
+                           : static_cast<double>(row_hits) /
+                                 static_cast<double>(accesses());
+  }
+  friend bool operator==(const DramStats&, const DramStats&) = default;
+};
+
+class DramModel {
+ public:
+  // `line_bytes` is the fill granularity (the L2 line): it sets the
+  // bank-interleaving stride.
+  DramModel(const DramConfig& cfg, std::uint32_t line_bytes);
+
+  // Cycle the line holding (asid, addr) is delivered for a request that
+  // reaches the DRAM controller at `cycle`. Updates the addressed bank's
+  // open row and queue; always returns a cycle > `cycle`.
+  std::uint64_t access(std::uint32_t asid, std::uint32_t addr,
+                       std::uint64_t cycle);
+
+  [[nodiscard]] const DramStats& stats() const { return stats_; }
+  [[nodiscard]] const DramConfig& config() const { return cfg_; }
+  void reset();
+
+ private:
+  struct Bank {
+    std::uint64_t open_row = ~0ull;  // ~0 = closed (no row activated yet)
+    std::uint64_t next_free = 0;     // first cycle a new request can start
+  };
+
+  DramConfig cfg_;
+  std::uint32_t line_shift_ = 0;
+  std::uint32_t row_shift_ = 0;
+  std::vector<Bank> banks_;
+  DramStats stats_;
+};
+
+}  // namespace vexsim::mem

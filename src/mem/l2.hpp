@@ -1,0 +1,43 @@
+// Shared inclusive L2 of the hierarchy backend.
+//
+// Timing-only, like the L1s: one set-associative LRU Cache shared by both
+// instruction and data misses of every hardware context (asid-tagged lines,
+// so co-scheduled threads contend exactly as on the real chip). Fill on
+// miss keeps the L2 a superset of recently-missed L1 lines — the inclusive
+// discipline — without back-invalidation machinery, which a pure timing
+// model cannot observe. An L2 hit costs hit_latency cycles from the L1
+// miss; an L2 miss forwards to the DRAM model after the same lookup time.
+#pragma once
+
+#include <cstdint>
+
+#include "isa/config.hpp"
+#include "mem/cache.hpp"
+
+namespace vexsim::mem {
+
+class SharedL2 {
+ public:
+  explicit SharedL2(const L2Config& cfg)
+      : cache_(CacheConfig{cfg.size_bytes, cfg.assoc, cfg.line_bytes,
+                           /*miss_penalty=*/0, /*perfect=*/false}),
+        hit_latency_(cfg.hit_latency) {}
+
+  // True on hit; fills the line on miss (write-allocate, LRU).
+  bool access(std::uint32_t asid, std::uint32_t addr) {
+    return cache_.access(asid, addr);
+  }
+
+  [[nodiscard]] std::uint32_t hit_latency() const { return hit_latency_; }
+  [[nodiscard]] std::uint32_t line_bytes() const {
+    return cache_.config().line_bytes;
+  }
+  [[nodiscard]] const CacheStats& stats() const { return cache_.stats(); }
+  void reset() { cache_.reset(); }
+
+ private:
+  Cache cache_;
+  std::uint32_t hit_latency_;
+};
+
+}  // namespace vexsim::mem

@@ -1,0 +1,126 @@
+// Miss-status holding registers: the bounded book-keeping that makes an L1
+// non-blocking.
+//
+// Each entry tracks one in-flight line fill (line key + the cycle its data
+// arrives). A second miss to an in-flight line coalesces onto the existing
+// entry instead of issuing downstream again; a miss arriving with every
+// entry occupied stalls structurally until the earliest outstanding fill
+// retires. Entries are reclaimed lazily — an entry whose ready_at has
+// passed is dead and is pruned on the next request — which keeps the model
+// event-free: all state changes happen at access time, so the simulator's
+// fast_forward arithmetic needs no callbacks (the same discipline as the
+// absolute-cycle thread gates in arch/thread_context.hpp).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace vexsim::mem {
+
+struct MshrStats {
+  std::uint64_t allocations = 0;    // misses that issued downstream
+  std::uint64_t merges = 0;         // misses coalesced onto in-flight lines
+  std::uint64_t full_stalls = 0;    // misses that waited for a free entry
+  std::uint64_t peak_occupancy = 0; // high-water mark of live entries
+
+  friend bool operator==(const MshrStats&, const MshrStats&) = default;
+};
+
+class MshrFile {
+ public:
+  // `entries` bounds the outstanding misses; `line_shift` is log2 of the
+  // coalescing granularity (the L1 line size).
+  MshrFile(std::uint32_t entries, std::uint32_t line_shift)
+      : capacity_(entries), line_shift_(line_shift) {
+    VEXSIM_CHECK_MSG(entries >= 1 && entries <= kMaxEntries,
+                     "MSHR entry count " << entries << " out of range [1, "
+                                         << kMaxEntries << "]");
+    live_.reserve(entries);
+  }
+
+  // Resolves a miss to `addr` observed at `cycle`: the cycle the line's
+  // data is available. Coalesces onto an in-flight fill of the same line;
+  // otherwise allocates an entry (waiting for the earliest outstanding fill
+  // first when all entries are live — a real structural stall, folded into
+  // the returned completion time). `fill(start)` is invoked exactly once
+  // per allocation to obtain the downstream completion time for a request
+  // issued at `start`; it must return a cycle > start.
+  template <typename Fill>
+  std::uint64_t request(std::uint32_t asid, std::uint32_t addr,
+                        std::uint64_t cycle, Fill fill) {
+    prune(cycle);
+    const std::uint64_t line =
+        (static_cast<std::uint64_t>(asid) << 32) | (addr >> line_shift_);
+    for (const Entry& e : live_) {
+      if (e.line == line) {
+        ++stats_.merges;
+        return e.ready_at;
+      }
+    }
+    std::uint64_t start = cycle;
+    if (live_.size() >= capacity_) {
+      // Structural stall: the request waits for the earliest outstanding
+      // fill to retire and reuses its entry.
+      std::size_t victim = 0;
+      for (std::size_t i = 1; i < live_.size(); ++i)
+        if (live_[i].ready_at < live_[victim].ready_at) victim = i;
+      start = live_[victim].ready_at;
+      live_[victim] = live_.back();
+      live_.pop_back();
+      ++stats_.full_stalls;
+    }
+    const std::uint64_t ready = fill(start);
+    live_.push_back(Entry{line, ready});
+    ++stats_.allocations;
+    stats_.peak_occupancy =
+        std::max<std::uint64_t>(stats_.peak_occupancy, live_.size());
+    return ready;
+  }
+
+  // Earliest in-flight completion strictly after `cycle`; ~0ull when none.
+  [[nodiscard]] std::uint64_t next_completion_after(std::uint64_t cycle) const {
+    std::uint64_t best = ~0ull;
+    for (const Entry& e : live_)
+      if (e.ready_at > cycle && e.ready_at < best) best = e.ready_at;
+    return best;
+  }
+
+  [[nodiscard]] const MshrStats& stats() const { return stats_; }
+  [[nodiscard]] std::size_t live_entries() const { return live_.size(); }
+  [[nodiscard]] std::uint32_t capacity() const { return capacity_; }
+
+  void reset() {
+    live_.clear();
+    stats_ = MshrStats{};
+  }
+
+ private:
+  static constexpr std::uint32_t kMaxEntries = 64;
+
+  struct Entry {
+    std::uint64_t line = 0;      // (asid << 32) | line index
+    std::uint64_t ready_at = 0;  // first cycle the fill's data is usable
+  };
+
+  // Drop entries whose fill completed at or before `cycle`.
+  void prune(std::uint64_t cycle) {
+    for (std::size_t i = 0; i < live_.size();) {
+      if (live_[i].ready_at <= cycle) {
+        live_[i] = live_.back();
+        live_.pop_back();
+      } else {
+        ++i;
+      }
+    }
+  }
+
+  std::uint32_t capacity_;
+  std::uint32_t line_shift_;
+  std::vector<Entry> live_;
+  MshrStats stats_;
+};
+
+}  // namespace vexsim::mem

@@ -151,6 +151,7 @@ RunResult MultiprogramDriver::run() {
   result.sim = sim_.stats();
   result.icache = sim_.icache().stats();
   result.dcache = sim_.dcache().stats();
+  result.memory = sim_.memory_backend().memory_stats();
   result.merge = sim_.merge_engine().stats();
   result.issue_width = cfg_.total_issue_width();
   result.profile = sim_.profile();

@@ -68,6 +68,9 @@ struct RunResult {
   SimStats sim;
   CacheStats icache;
   CacheStats dcache;
+  // Hierarchy-backend statistics (MSHRs, shared L2, DRAM); `present` stays
+  // false under the fixed backend and the serializers then skip the block.
+  mem::MemoryStats memory;
   MergeEngineStats merge;
   std::vector<InstanceResult> instances;
   CompileSummary compile;  // filled by harness::run_workload_on

@@ -41,7 +41,11 @@ struct Simulator::FusedSink {
 };
 
 Simulator::Simulator(const MachineConfig& cfg)
-    : cfg_(cfg), merge_(cfg_), icache_(cfg.icache), dcache_(cfg.dcache) {
+    : cfg_(cfg),
+      merge_(cfg_),
+      backend_(mem::make_backend(cfg_)),
+      icache_ptr_(&backend_->icache()),
+      dcache_ptr_(&backend_->dcache()) {
   cfg_.validate();
   packet_.clear(cfg_.clusters);
   for (const OpClass cls : {OpClass::kNop, OpClass::kAlu, OpClass::kMul,
@@ -115,11 +119,11 @@ void Simulator::refill_slot(ThreadContext* ctx) {
   }
   if (!ctx->fetch_done) {
     const std::uint32_t addr = ctx->instr_addr(ctx->pc);
-    const bool hit =
-        icache_.access(static_cast<std::uint32_t>(ctx->asid()), addr);
+    const std::uint32_t asid = static_cast<std::uint32_t>(ctx->asid());
+    const bool hit = icache_ptr_->access(asid, addr);
     ctx->fetch_done = true;
     if (!hit) {
-      ctx->fetch_ready_at = cycle_ + cfg_.icache.miss_penalty;
+      ctx->fetch_ready_at = backend_->ifetch_miss(asid, addr, cycle_);
       ++ctx->counters.imiss_block_cycles;
       return;
     }
@@ -216,8 +220,8 @@ void Simulator::execute_op(const Operation& op, const DecodedOp& dec,
           read_gpr(op.src1) + static_cast<std::uint32_t>(op.imm);
       const int size = dec.mem_size;
       ++mem_port_use_[static_cast<std::size_t>(physical_cluster)];
-      const bool hit =
-          dcache_.access(static_cast<std::uint32_t>(ctx.asid()), addr);
+      const std::uint32_t asid = static_cast<std::uint32_t>(ctx.asid());
+      const bool hit = dcache_ptr_->access(asid, addr);
       if (dec.has(DecodedOp::kLoad)) {
         std::uint32_t raw = 0;
         if (!ctx.mem.load(addr, size, raw)) {
@@ -228,7 +232,9 @@ void Simulator::execute_op(const Operation& op, const DecodedOp& dec,
                      lat_by_class_[static_cast<std::size_t>(OpClass::kMem)]);
         if (!hit)
           ctx.mem_block_until =
-              std::max(ctx.mem_block_until, cycle_ + cfg_.dcache.miss_penalty);
+              std::max(ctx.mem_block_until,
+                       backend_->dmem_miss(asid, addr, /*is_store=*/false,
+                                           cycle_));
       } else {
         const std::uint32_t value = read_gpr(op.src2);
         // Fault detection happens at issue; the actual write is staged and
@@ -238,9 +244,14 @@ void Simulator::execute_op(const Operation& op, const DecodedOp& dec,
           ctx.fault = FaultInfo{true, ctx.pc, addr};
           return;
         }
-        if (!hit && cfg_.stall_on_store_miss)
-          ctx.mem_block_until =
-              std::max(ctx.mem_block_until, cycle_ + cfg_.dcache.miss_penalty);
+        if (!hit) {
+          // The fill happens (and occupies backend machinery) whether or not
+          // the thread blocks on it; blocking is the write-buffer policy.
+          const std::uint64_t ready =
+              backend_->dmem_miss(asid, addr, /*is_store=*/true, cycle_);
+          if (cfg_.stall_on_store_miss)
+            ctx.mem_block_until = std::max(ctx.mem_block_until, ready);
+        }
         staged_.push_back(StagedStore{&ctx, op.cluster,
                                       static_cast<std::uint8_t>(size), addr,
                                       value});
@@ -592,6 +603,15 @@ std::uint64_t Simulator::fast_forward(std::uint64_t limit) {
                  ctx->fetch_ready_at);
     horizon = std::min(horizon, std::max(next, gate));
   }
+  // The backend may hold in-flight completions of its own (hierarchy MSHR
+  // fills); never skip past the earliest one, so the clock observes every
+  // scheduled memory event. The fixed backend reports kNoEvent — this clause
+  // vanishes and the skip is the seed's, bit for bit. Stopping early is
+  // statistics-neutral: a stepped empty cycle accounts exactly like a
+  // skipped one (fast_forward-vs-pure-loop suite).
+  const std::uint64_t ev = backend_->next_event_after(cycle_);
+  if (ev != mem::MemoryBackend::kNoEvent)
+    horizon = std::min(horizon, std::max(next, ev));
   const std::uint64_t end = std::min(horizon, limit);
   if (end <= next) return account(skipped);
   const std::uint64_t k = end - next;

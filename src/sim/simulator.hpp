@@ -49,6 +49,7 @@
 #include "core/exec_packet.hpp"
 #include "core/merge_engine.hpp"
 #include "isa/config.hpp"
+#include "mem/backend.hpp"
 #include "mem/cache.hpp"
 #include "sim/run_stats.hpp"
 #include "util/inline_vec.hpp"
@@ -133,8 +134,13 @@ class Simulator {
   [[nodiscard]] const SimStats& stats() const { return stats_; }
   [[nodiscard]] SimStats& stats() { return stats_; }
   [[nodiscard]] const MergeEngine& merge_engine() const { return merge_; }
-  [[nodiscard]] Cache& icache() { return icache_; }
-  [[nodiscard]] Cache& dcache() { return dcache_; }
+  [[nodiscard]] Cache& icache() { return *icache_ptr_; }
+  [[nodiscard]] Cache& dcache() { return *dcache_ptr_; }
+  // The miss-handling backend behind the L1s (cfg.memory.backend). The
+  // driver reads its memory_stats() into RunResult after a run.
+  [[nodiscard]] const mem::MemoryBackend& memory_backend() const {
+    return *backend_;
+  }
 
   // Last cycle's packet, for tracing tools and the figure tests. Only the
   // reference engine fills the op list (the fused engine's point is to never
@@ -203,8 +209,14 @@ class Simulator {
 
   MachineConfig cfg_;
   MergeEngine merge_;
-  Cache icache_;
-  Cache dcache_;
+  // Miss handling is pluggable (mem/backend.hpp); the backend owns the L1
+  // timing caches so it can model their refill traffic. The raw pointers
+  // cache the L1s out of the unique_ptr so the hit path — the overwhelmingly
+  // common case — stays a direct non-virtual Cache::access call, exactly the
+  // seed's code shape; only misses pay a virtual dispatch.
+  std::unique_ptr<mem::MemoryBackend> backend_;
+  Cache* icache_ptr_;
+  Cache* dcache_ptr_;
   std::array<ThreadContext*, kMaxHwThreads> slots_{};  // ≤ hw_threads used
   ExecPacket packet_;
   std::uint64_t cycle_ = 0;

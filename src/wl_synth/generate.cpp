@@ -13,17 +13,18 @@ namespace vexsim::wl_synth {
 
 namespace {
 
-// 64 KiB read-only pool: large enough for address entropy, small enough to
-// mostly hit in the paper's 64 KB D-cache (memory intensity dials latency
-// exposure, not miss rate; miss-rate studies belong to the cache dials).
+// Read-only pool the memory ops touch. The default 64 KiB (f-dial) gives
+// address entropy while mostly hitting in the paper's 64 KB D-cache (memory
+// intensity then dials latency exposure, not miss rate); larger footprints
+// (up to the 1 MiB gap below kOutBase) make the m-dial cache-hostile.
 constexpr std::uint32_t kPoolBase = 0x0060'0000;
-constexpr std::uint32_t kPoolBytes = 64 * 1024;
 constexpr std::uint32_t kOutBase = 0x0070'0000;
 constexpr int kOutBytesPerChain = 256;
 
-std::vector<std::uint32_t> pool_words(std::uint64_t seed) {
+std::vector<std::uint32_t> pool_words(std::uint64_t seed,
+                                      std::uint32_t pool_bytes) {
   Rng rng(seed ^ 0xA5A5'5A5A'D1CE'BEEFull);
-  std::vector<std::uint32_t> words(kPoolBytes / 4);
+  std::vector<std::uint32_t> words(pool_bytes / 4);
   for (auto& w : words) w = rng.next_u32();
   return words;
 }
@@ -55,6 +56,11 @@ Program generate(const SynthSpec& spec, const MachineConfig& cfg,
 
   const int chains = chain_count(spec, cfg);
   const int n_ops = spec.ops;
+  // f-dial: pool size in bytes; the mask form relies on the power-of-two
+  // constraint parse_spec enforces. f64 (the default) reproduces the
+  // pre-dial pool bit for bit.
+  const auto pool_bytes = static_cast<std::uint32_t>(spec.footprint_kib) * 1024;
+  const auto pool_mask = static_cast<std::int32_t>(pool_bytes - 4);
   Rng rng(spec.seed);
 
   Builder b(spec.name());
@@ -74,6 +80,22 @@ Program generate(const SynthSpec& spec, const MachineConfig& cfg,
     b.assign_i(a, static_cast<std::int32_t>(rng.next_u32()));
     acc.push_back(a);
   }
+  // st-dial: per-chain walk pointers (pool offsets), loop-carried like the
+  // accumulators. Created only under a positive stride so st=0 specs keep
+  // the exact pre-dial VReg and Rng streams (and therefore their programs).
+  std::vector<VReg> sptr;
+  if (spec.stride > 0) {
+    sptr.reserve(static_cast<std::size_t>(chains));
+    for (int k = 0; k < chains; ++k) {
+      const VReg p = b.fresh_global();
+      // Chains start one stride apart so they stream through disjoint lines.
+      b.assign_i(p, static_cast<std::int32_t>(
+                        (static_cast<std::uint32_t>(k) *
+                         static_cast<std::uint32_t>(spec.stride)) &
+                        static_cast<std::uint32_t>(pool_mask)));
+      sptr.push_back(p);
+    }
+  }
   const VReg outer = b.fresh_global();
   const int trips =
       std::max(1, static_cast<int>(std::lround(600.0 * scale)));
@@ -85,6 +107,7 @@ Program generate(const SynthSpec& spec, const MachineConfig& cfg,
 
   // Body: walk the chains round-robin until the op budget is consumed.
   std::vector<VReg> cur = acc;
+  std::vector<VReg> pcur = sptr;
   const int branch_sites =
       static_cast<int>(std::lround(spec.branch_density * n_ops));
   const int branch_spacing =
@@ -118,9 +141,7 @@ Program generate(const SynthSpec& spec, const MachineConfig& cfg,
                 cl);
       VReg val = mixed;
       if (rng.chance(spec.mem_intensity)) {
-        const VReg masked = b.alui(Opcode::kAnd, mixed,
-                                   static_cast<std::int32_t>(kPoolBytes - 4),
-                                   cl);
+        const VReg masked = b.alui(Opcode::kAnd, mixed, pool_mask, cl);
         const VReg addr = b.alu(Opcode::kAdd, pool, masked, cl);
         val = b.load(Opcode::kLdw, addr, 0, cc::kMemSpaceReadOnly, cl);
         emitted += 3;
@@ -138,13 +159,27 @@ Program generate(const SynthSpec& spec, const MachineConfig& cfg,
         b.store(Opcode::kStw, out, off, cur[k],
                 1 + static_cast<int>(k), cl);
         emitted += 1;
+      } else if (spec.stride > 0) {
+        // Strided pool walk (st-dial): advance the chain's pointer by the
+        // stride, wrap into the pool, load, fold in. The address sequence is
+        // regular — consecutive visits march through the pool — so DRAM
+        // bank/row locality follows the stride instead of the chase's
+        // effectively random pattern.
+        const VReg stepped = b.alui(Opcode::kAdd, pcur[k],
+                                    static_cast<std::int32_t>(spec.stride),
+                                    cl);
+        const VReg wrapped = b.alui(Opcode::kAnd, stepped, pool_mask, cl);
+        const VReg addr = b.alu(Opcode::kAdd, pool, wrapped, cl);
+        const VReg val =
+            b.load(Opcode::kLdw, addr, 0, cc::kMemSpaceReadOnly, cl);
+        cur[k] = b.alu(Opcode::kXor, cur[k], val, cl);
+        pcur[k] = wrapped;
+        emitted += 5;
       } else {
         // Data-dependent address chase: mask the accumulator into the pool,
         // load, fold the value back in (the load sits on the chain's
         // critical path, like mcf's arc scans).
-        const VReg masked = b.alui(Opcode::kAnd, cur[k],
-                                   static_cast<std::int32_t>(kPoolBytes - 4),
-                                   cl);
+        const VReg masked = b.alui(Opcode::kAnd, cur[k], pool_mask, cl);
         const VReg addr = b.alu(Opcode::kAdd, pool, masked, cl);
         const VReg val =
             b.load(Opcode::kLdw, addr, 0, cc::kMemSpaceReadOnly, cl);
@@ -192,6 +227,8 @@ Program generate(const SynthSpec& spec, const MachineConfig& cfg,
   // Loop-carried updates and back edge.
   for (std::size_t k = 0; k < acc.size(); ++k)
     if (cur[k] != acc[k]) b.assign(acc[k], cur[k]);
+  for (std::size_t k = 0; k < sptr.size(); ++k)
+    if (pcur[k] != sptr[k]) b.assign(sptr[k], pcur[k]);
   b.assign_alui(outer, Opcode::kAdd, outer, -1);
   const VReg again = b.cmpi_b(Opcode::kCmpgt, outer, 0);
   b.branch(again, head);
@@ -206,7 +243,7 @@ Program generate(const SynthSpec& spec, const MachineConfig& cfg,
   b.halt();
 
   Program prog = cc::compile(std::move(b).take(), cfg, copt, stats);
-  prog.add_data_words(kPoolBase, pool_words(spec.seed));
+  prog.add_data_words(kPoolBase, pool_words(spec.seed, pool_bytes));
   prog.finalize();
   // Belt and braces: generation happens once per (spec, cfg, scale) thanks
   // to the registry memo, so static verification is effectively free.

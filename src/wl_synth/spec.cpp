@@ -18,9 +18,11 @@ constexpr int kMaxOps = 4096;
                               << name << "': " << why
                               << " (grammar: synth:i<ilp>-m<mem>-b<branch>-"
                                  "c<comm>-p<parallel>-n<ops>-s<seed>-"
-                                 "cc<compiler>, fields optional, i/m/b/c/p "
-                                 "in [0,1], n in ["
-                              << kMinOps << "," << kMaxOps << "])");
+                                 "f<kib>-st<stride>-cc<compiler>, fields "
+                                 "optional, i/m/b/c/p in [0,1], n in ["
+                              << kMinOps << "," << kMaxOps
+                              << "], f a power of two in [4,1024], st a "
+                                 "multiple of 4 in [0,65536])");
   std::abort();  // unreachable: the check above throws
 }
 
@@ -48,13 +50,13 @@ double parse_fraction(const std::string& name, char key,
   return v;
 }
 
-std::uint64_t parse_uint(const std::string& name, char key,
+std::uint64_t parse_uint(const std::string& name, const std::string& key,
                          const std::string& text) {
   const char* begin = text.c_str();
   char* end = nullptr;
   const unsigned long long v = std::strtoull(begin, &end, 10);
   if (end != begin + text.size() || text.empty())
-    bad_spec(name, std::string("malformed value for '") + key + "'");
+    bad_spec(name, "malformed value for '" + key + "'");
   return v;
 }
 
@@ -69,6 +71,8 @@ std::string SynthSpec::name() const {
   // minted before the dial existed keep their cache identity.
   if (parallel_fraction != 0.0) os << "-p" << format_dial(parallel_fraction);
   os << "-n" << ops << "-s" << seed;
+  if (footprint_kib != 64) os << "-f" << footprint_kib;
+  if (stride != 0) os << "-st" << stride;
   if (has_compiler) os << "-cc" << compiler.name();
   return os.str();
 }
@@ -118,6 +122,20 @@ SynthSpec parse_spec(const std::string& name) {
       spec.has_compiler = true;
       continue;
     }
+    // Two-character "st" key (load stride) likewise precedes the single-char
+    // dials — "st256" must not parse as seed "t256"; 'S' marks it.
+    if (field.size() >= 2 && field[0] == 's' && field[1] == 't') {
+      if (seen_keys.find('S') != std::string::npos)
+        bad_spec(name, "duplicate field 'st' (earlier value would be "
+                       "silently overridden)");
+      seen_keys += 'S';
+      if (field.size() == 2) bad_spec(name, "missing value for field 'st'");
+      const std::uint64_t v = parse_uint(name, "st", field.substr(2));
+      if (v > 65536 || v % 4 != 0)
+        bad_spec(name, "'st' must be a multiple of 4 in [0,65536]");
+      spec.stride = static_cast<int>(v);
+      continue;
+    }
     const char key = field[0];
     if (seen_keys.find(key) != std::string::npos)
       bad_spec(name, std::string("duplicate field '") + key +
@@ -133,14 +151,21 @@ SynthSpec parse_spec(const std::string& name) {
         spec.parallel_fraction = parse_fraction(name, key, value);
         break;
       case 'n': {
-        const std::uint64_t v = parse_uint(name, key, value);
+        const std::uint64_t v = parse_uint(name, std::string(1, key), value);
         if (v < static_cast<std::uint64_t>(kMinOps) ||
             v > static_cast<std::uint64_t>(kMaxOps))
           bad_spec(name, "'n' out of range");
         spec.ops = static_cast<int>(v);
         break;
       }
-      case 's': spec.seed = parse_uint(name, key, value); break;
+      case 's': spec.seed = parse_uint(name, std::string(1, key), value); break;
+      case 'f': {
+        const std::uint64_t v = parse_uint(name, std::string(1, key), value);
+        if (v < 4 || v > 1024 || (v & (v - 1)) != 0)
+          bad_spec(name, "'f' must be a power of two in [4,1024]");
+        spec.footprint_kib = static_cast<int>(v);
+        break;
+      }
       default:
         bad_spec(name, std::string("unknown field '") + key + "'");
     }

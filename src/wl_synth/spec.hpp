@@ -25,6 +25,14 @@
 //             accumulator chain
 //   n<int>    dataflow operations per loop iteration, in [8, 4096]
 //   s<int>    generator seed (decimal, unsigned 64-bit)
+//   f<int>    data footprint in KiB: the size of the read-only pool the
+//             memory ops touch. Power of two in [4, 1024]; the default 64
+//             mostly hits in the paper's 64 KB D-cache, larger footprints
+//             turn the m-dial into real miss pressure (cache-hostile)
+//   st<int>   load stride in bytes, multiple of 4 in [0, 65536]: 0 (the
+//             default) keeps the data-dependent pointer chase; a positive
+//             stride replaces it with a strided pool walk (bank/row
+//             locality in the DRAM model is then dialable)
 //   cc<name>  compiler pass-pipeline variant for this component (greedy,
 //             cost, cost_swp, greedy_swp, or a pipe0..pipe3 alias);
 //             omitted = the experiment-wide compiler options apply
@@ -48,6 +56,8 @@ struct SynthSpec {
   double parallel_fraction = 0.0;  // p (omitted from the name when 0)
   int ops = 64;                 // n
   std::uint64_t seed = 1;       // s
+  int footprint_kib = 64;       // f (omitted from the name when 64)
+  int stride = 0;               // st (omitted from the name when 0)
   // Per-component compiler override ("cc" field). When absent the
   // component compiles with the experiment-wide CompilerOptions, so a
   // spec's canonical name only pins the compiler when the spec does.

@@ -52,7 +52,7 @@ constexpr const char* kTinyTemplate =
 
 TEST(MdesDse, LoadsTheShippedTemplate) {
   const DseTemplate tmpl = load_template(shipped_template());
-  ASSERT_EQ(tmpl.axes.size(), 5u);
+  ASSERT_EQ(tmpl.axes.size(), 6u);
   EXPECT_EQ(tmpl.axes[0].name, "clusters");
   EXPECT_EQ(tmpl.axes[0].kind, DseAxis::Kind::kChoice);
   EXPECT_EQ(tmpl.axes[2].name, "threads");
@@ -64,6 +64,10 @@ TEST(MdesDse, LoadsTheShippedTemplate) {
   EXPECT_EQ(tmpl.axes[3].choices[0].s, "CSMT");
   EXPECT_EQ(tmpl.axes[4].kind, DseAxis::Kind::kReal);
   EXPECT_DOUBLE_EQ(tmpl.axes[4].rlo, 0.4);
+  EXPECT_EQ(tmpl.axes[5].name, "membk");
+  EXPECT_EQ(tmpl.axes[5].kind, DseAxis::Kind::kChoice);
+  ASSERT_EQ(tmpl.axes[5].choices.size(), 2u);
+  EXPECT_EQ(tmpl.axes[5].choices[1].s, "hierarchy");
   EXPECT_EQ(tmpl.max_total_issue, 16);
   EXPECT_EQ(tmpl.min_total_issue, 4);
 }

@@ -106,6 +106,20 @@ TEST(MdesMachine, ToConfigRoundTripsRandomizedMachines) {
     m.cluster_renaming = rng.chance(0.5);
     m.rf_org = rng.chance(0.5) ? RegFileOrg::kPartitioned : RegFileOrg::kShared;
     m.stall_on_store_miss = rng.chance(0.5);
+    m.memory.backend = rng.chance(0.5) ? MemBackendKind::kHierarchy
+                                       : MemBackendKind::kFixed;
+    m.memory.l1_mshrs = static_cast<std::uint32_t>(rng.range(1, 64));
+    m.memory.l2.size_bytes = static_cast<std::uint32_t>(rng.range(1, 1 << 20));
+    m.memory.l2.assoc = static_cast<std::uint32_t>(rng.range(1, 1024));
+    m.memory.l2.line_bytes = static_cast<std::uint32_t>(rng.range(1, 4096));
+    m.memory.l2.hit_latency = static_cast<std::uint32_t>(rng.range(1, 1000));
+    m.memory.dram.banks = static_cast<std::uint32_t>(rng.range(1, 65536));
+    m.memory.dram.row_bytes = static_cast<std::uint32_t>(rng.range(1, 1 << 20));
+    m.memory.dram.t_row_hit = static_cast<std::uint32_t>(rng.range(1, 1000));
+    m.memory.dram.t_row_closed = static_cast<std::uint32_t>(rng.range(1, 1000));
+    m.memory.dram.t_row_conflict =
+        static_cast<std::uint32_t>(rng.range(1, 1000));
+    m.memory.dram.t_bank_busy = static_cast<std::uint32_t>(rng.range(1, 1000));
     EXPECT_EQ(reparse(m), m) << "iteration " << iter;
   }
 }

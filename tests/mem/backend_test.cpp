@@ -1,0 +1,217 @@
+// Memory-backend unit tests: MSHR coalescing/capacity, DRAM row-buffer and
+// bank-queue timing, the shared L2, and the two MemoryBackend
+// implementations' contracts (fixed = seed's flat penalty + kNoEvent;
+// hierarchy = MSHR -> L2 -> DRAM composition).
+#include <gtest/gtest.h>
+
+#include "mem/backend.hpp"
+#include "util/check.hpp"
+
+namespace vexsim::mem {
+namespace {
+
+constexpr std::uint32_t kLineShift = 6;  // 64-byte lines
+
+// --- MshrFile -------------------------------------------------------------
+
+TEST(MshrFile, AllocatesAndPrunesByCompletionCycle) {
+  MshrFile mshr(4, kLineShift);
+  const std::uint64_t ready =
+      mshr.request(0, 0x1000, 10, [](std::uint64_t start) {
+        return start + 25;
+      });
+  EXPECT_EQ(ready, 35u);
+  EXPECT_EQ(mshr.live_entries(), 1u);
+  EXPECT_EQ(mshr.stats().allocations, 1u);
+
+  // A request at a cycle past the fill prunes the entry and allocates anew.
+  mshr.request(0, 0x2000, 40, [](std::uint64_t s) { return s + 25; });
+  EXPECT_EQ(mshr.live_entries(), 1u);
+  EXPECT_EQ(mshr.stats().allocations, 2u);
+}
+
+TEST(MshrFile, CoalescesSameLineIntoOneFill) {
+  MshrFile mshr(4, kLineShift);
+  int fills = 0;
+  const auto fill = [&](std::uint64_t start) {
+    ++fills;
+    return start + 25;
+  };
+  const std::uint64_t first = mshr.request(7, 0x1000, 10, fill);
+  // Same line (0x1000 and 0x1020 share a 64-byte line), same asid: merged.
+  const std::uint64_t second = mshr.request(7, 0x1020, 12, fill);
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(fills, 1);
+  EXPECT_EQ(mshr.stats().merges, 1u);
+  // Same line, different asid: distinct miss (asid tags the line key).
+  mshr.request(8, 0x1000, 12, fill);
+  EXPECT_EQ(fills, 2);
+  EXPECT_EQ(mshr.stats().allocations, 2u);
+}
+
+TEST(MshrFile, FullFileStallsUntilEarliestCompletion) {
+  MshrFile mshr(2, kLineShift);
+  mshr.request(0, 0x0000, 10, [](std::uint64_t s) { return s + 20; });  // 30
+  mshr.request(0, 0x1000, 10, [](std::uint64_t s) { return s + 40; });  // 50
+  // File full at cycle 11: the new miss waits for the earliest entry (30)
+  // before its own fill can even start — the structural stall the bounded
+  // file models.
+  std::uint64_t start_seen = 0;
+  const std::uint64_t ready =
+      mshr.request(0, 0x2000, 11, [&](std::uint64_t start) {
+        start_seen = start;
+        return start + 20;
+      });
+  EXPECT_EQ(start_seen, 30u);
+  EXPECT_EQ(ready, 50u);
+  EXPECT_EQ(mshr.stats().full_stalls, 1u);
+  EXPECT_EQ(mshr.live_entries(), 2u);  // victim evicted, new entry in
+  EXPECT_EQ(mshr.stats().peak_occupancy, 2u);
+}
+
+TEST(MshrFile, NextCompletionAfterReportsEarliestInFlight) {
+  MshrFile mshr(4, kLineShift);
+  EXPECT_EQ(mshr.next_completion_after(0), ~0ull);
+  mshr.request(0, 0x0000, 10, [](std::uint64_t s) { return s + 20; });  // 30
+  mshr.request(0, 0x1000, 10, [](std::uint64_t s) { return s + 5; });   // 15
+  EXPECT_EQ(mshr.next_completion_after(10), 15u);
+  EXPECT_EQ(mshr.next_completion_after(15), 30u);  // strictly after
+  EXPECT_EQ(mshr.next_completion_after(30), ~0ull);
+}
+
+TEST(MshrFile, RejectsZeroAndOversizedCapacity) {
+  EXPECT_THROW(MshrFile(0, kLineShift), CheckError);
+  EXPECT_THROW(MshrFile(65, kLineShift), CheckError);
+}
+
+// --- DramModel ------------------------------------------------------------
+
+DramConfig dram_cfg() {
+  DramConfig cfg;
+  cfg.banks = 4;
+  cfg.row_bytes = 1024;
+  cfg.t_row_hit = 10;
+  cfg.t_row_closed = 20;
+  cfg.t_row_conflict = 35;
+  cfg.t_bank_busy = 6;
+  return cfg;
+}
+
+TEST(DramModel, RowBufferStatesPayDistinctLatencies) {
+  DramModel dram(dram_cfg(), 64);
+  // First touch: bank closed -> activate.
+  EXPECT_EQ(dram.access(0, 0x0000, 100), 120u);
+  EXPECT_EQ(dram.stats().row_closed, 1u);
+  // Same bank (4 lines on), same row, bank free again: open-row hit.
+  EXPECT_EQ(dram.access(0, 0x0100, 200), 210u);
+  EXPECT_EQ(dram.stats().row_hits, 1u);
+  // Different row on the same bank (row stride 1024, bank stride 64 with 4
+  // banks -> +1024 keeps the bank, changes the row): conflict.
+  EXPECT_EQ(dram.access(0, 0x0000 + 1024, 300), 335u);
+  EXPECT_EQ(dram.stats().row_conflicts, 1u);
+  EXPECT_NEAR(dram.stats().row_hit_rate(), 1.0 / 3.0, 1e-12);
+}
+
+TEST(DramModel, BankQueueSerializesBackToBackRequests) {
+  DramModel dram(dram_cfg(), 64);
+  // Two same-cycle requests to the same bank and row: the second waits
+  // t_bank_busy behind the first (issue = next_free), then row-hits.
+  EXPECT_EQ(dram.access(0, 0x0000, 100), 120u);   // closed: 100 + 20
+  EXPECT_EQ(dram.access(0, 0x0000, 100), 116u);   // issue 106, hit: + 10
+  // A different bank is independent: no queueing.
+  EXPECT_EQ(dram.access(0, 0x0040, 100), 120u);
+}
+
+TEST(DramModel, AsidsMapToDistinctRowsAndBanks) {
+  DramModel dram(dram_cfg(), 64);
+  dram.access(0, 0x0000, 100);
+  // Same address, different asid: different row key — never an open-row hit
+  // (and the +asid bank swizzle sends it to another bank here).
+  dram.access(1, 0x0000, 100);
+  EXPECT_EQ(dram.stats().row_hits, 0u);
+  EXPECT_EQ(dram.stats().row_closed, 2u);
+}
+
+TEST(DramModel, RejectsNonPowerOfTwoGeometry) {
+  DramConfig bad = dram_cfg();
+  bad.banks = 3;
+  EXPECT_THROW(DramModel(bad, 64), CheckError);
+  bad = dram_cfg();
+  bad.row_bytes = 1000;
+  EXPECT_THROW(DramModel(bad, 64), CheckError);
+  // Row smaller than the fill line is meaningless.
+  bad = dram_cfg();
+  bad.row_bytes = 32;
+  EXPECT_THROW(DramModel(bad, 64), CheckError);
+}
+
+// --- SharedL2 -------------------------------------------------------------
+
+TEST(SharedL2, SecondTouchOfALineHits) {
+  L2Config cfg;
+  cfg.size_bytes = 4096;
+  cfg.assoc = 2;
+  cfg.line_bytes = 64;
+  cfg.hit_latency = 9;
+  SharedL2 l2(cfg);
+  EXPECT_FALSE(l2.access(0, 0x1000));
+  EXPECT_TRUE(l2.access(0, 0x1030));  // same line
+  EXPECT_FALSE(l2.access(1, 0x1000));  // other asid: distinct line
+  EXPECT_EQ(l2.hit_latency(), 9u);
+  EXPECT_EQ(l2.stats().hits, 1u);
+  EXPECT_EQ(l2.stats().misses, 2u);
+}
+
+// --- Backends -------------------------------------------------------------
+
+TEST(FixedLatencyBackend, FlatPenaltyAndNoEvents) {
+  MachineConfig cfg = MachineConfig::paper(2, Technique::smt());
+  FixedLatencyBackend be(cfg);
+  EXPECT_EQ(be.ifetch_miss(0, 0x100, 50), 50 + cfg.icache.miss_penalty);
+  EXPECT_EQ(be.dmem_miss(0, 0x100, false, 50), 50 + cfg.dcache.miss_penalty);
+  EXPECT_EQ(be.dmem_miss(0, 0x100, true, 50), 50 + cfg.dcache.miss_penalty);
+  EXPECT_EQ(be.next_event_after(0), MemoryBackend::kNoEvent);
+  EXPECT_FALSE(be.memory_stats().present);
+}
+
+TEST(HierarchyBackend, MissFillsThroughL2ThenDram) {
+  MachineConfig cfg = MachineConfig::paper(2, Technique::smt());
+  cfg.memory.backend = MemBackendKind::kHierarchy;
+  HierarchyBackend be(cfg);
+  const std::uint32_t lat_l2 = cfg.memory.l2.hit_latency;
+
+  // Cold miss: L2 misses too, so the fill goes to DRAM (closed row) behind
+  // the L2 lookup.
+  const std::uint64_t cold = be.dmem_miss(0, 0x4000, false, 100);
+  EXPECT_EQ(cold, 100 + lat_l2 + cfg.memory.dram.t_row_closed);
+  const MemoryStats after_cold = be.memory_stats();
+  EXPECT_TRUE(after_cold.present);
+  EXPECT_EQ(after_cold.dmshr.allocations, 1u);
+  EXPECT_EQ(after_cold.l2.misses, 1u);
+  EXPECT_EQ(after_cold.dram.row_closed, 1u);
+
+  // Same line while in flight: coalesced, same completion, no new fill.
+  EXPECT_EQ(be.dmem_miss(0, 0x4010, false, 101), cold);
+  EXPECT_EQ(be.memory_stats().dmshr.merges, 1u);
+
+  // Re-miss of the line after the fill completed (e.g. L1 evicted it): the
+  // L2 kept it — inclusive — so the fill stops at the L2 hit latency.
+  const std::uint64_t warm = be.dmem_miss(0, 0x4000, false, cold + 10);
+  EXPECT_EQ(warm, cold + 10 + lat_l2);
+  EXPECT_EQ(be.memory_stats().l2.hits, 1u);
+
+  // next_event_after tracks the in-flight fill and empties once it lands.
+  const std::uint64_t inflight = be.ifetch_miss(0, 0x8000, warm + 1);
+  EXPECT_EQ(be.next_event_after(warm + 1), inflight);
+  EXPECT_EQ(be.next_event_after(inflight), MemoryBackend::kNoEvent);
+}
+
+TEST(MakeBackend, SelectsByConfigKind) {
+  MachineConfig cfg = MachineConfig::paper(2, Technique::smt());
+  EXPECT_FALSE(make_backend(cfg)->memory_stats().present);
+  cfg.memory.backend = MemBackendKind::kHierarchy;
+  EXPECT_TRUE(make_backend(cfg)->memory_stats().present);
+}
+
+}  // namespace
+}  // namespace vexsim::mem
