@@ -21,12 +21,15 @@
 //        --mem fixed|hierarchy (memory backend; default fixed),
 //        --scale, --budget, --timeslice, --seed, --quick, --paper,
 //        --jobs N, --progress N, --json FILE, --cache[=DIR]/--no-cache,
-//        --timeout MS, --retries N, --check-quality.
+//        --timeout MS, --retries N, --check-quality, --shard I/N (run one
+//        round-robin slice and emit a shard document for tools/vexmerge;
+//        skips tables and the quality gate), --cache-gc SIZE.
 #include <iomanip>
 #include <iostream>
 #include <sstream>
 #include <vector>
 
+#include "harness/shard.hpp"
 #include "harness/sweep.hpp"
 #include "stats/table.hpp"
 #include "util/cli.hpp"
@@ -115,6 +118,12 @@ int main(int argc, char** argv) {
 
   const std::vector<RunResult> results =
       harness::run_sweep_and_dump(cli, "abl_compiler", points);
+
+  if (harness::ShardSpec::from_cli(cli).active) {
+    std::cout << "shard run: tables skipped; merge the shard JSONs with "
+                 "tools/vexmerge\n";
+    return 0;
+  }
 
   std::vector<std::string> headers{"workload"};
   for (const char* variant : kVariants) {

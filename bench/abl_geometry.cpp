@@ -13,11 +13,14 @@
 //        --mem fixed|hierarchy (memory backend; default fixed),
 //        --scale, --budget, --timeslice, --seed, --quick, --paper,
 //        --jobs N, --json FILE (default BENCH_sweep.json),
-//        --cache[=DIR]/--no-cache (result cache), --timeout MS, --retries N.
+//        --cache[=DIR]/--no-cache (result cache), --timeout MS, --retries N,
+//        --shard I/N (run one round-robin slice and emit a shard document
+//        for tools/vexmerge), --cache-gc SIZE (post-sweep cache eviction).
 #include <algorithm>
 #include <iostream>
 #include <vector>
 
+#include "harness/shard.hpp"
 #include "harness/sweep.hpp"
 #include "stats/table.hpp"
 #include "util/cli.hpp"
@@ -62,6 +65,12 @@ int main(int argc, char** argv) {
   }
   const std::vector<RunResult> results =
       harness::run_sweep_and_dump(cli, "abl_geometry", points);
+
+  if (harness::ShardSpec::from_cli(cli).active) {
+    std::cout << "shard run: tables skipped; merge the shard JSONs with "
+                 "tools/vexmerge\n";
+    return 0;
+  }
 
   Table table({"workload", "clusters", "issue/cluster", "CSMT IPC",
                "CCSI AS IPC", "CCSI gain"});

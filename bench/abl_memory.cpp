@@ -21,11 +21,14 @@
 //        --cc NAME, --cc-verify, --config FILE (base machine description),
 //        --scale, --budget, --timeslice, --seed, --quick, --paper, --csv,
 //        --jobs N, --progress N, --flush N, --json FILE,
-//        --cache[=DIR]/--no-cache (result cache), --timeout MS, --retries N.
+//        --cache[=DIR]/--no-cache (result cache), --timeout MS, --retries N,
+//        --shard I/N (run one round-robin slice and emit a shard document
+//        for tools/vexmerge), --cache-gc SIZE (post-sweep cache eviction).
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "harness/shard.hpp"
 #include "harness/sweep.hpp"
 #include "stats/table.hpp"
 #include "util/cli.hpp"
@@ -76,6 +79,12 @@ int main(int argc, char** argv) {
   }
   const std::vector<RunResult> results =
       harness::run_sweep_and_dump(cli, "abl_memory", points);
+
+  if (harness::ShardSpec::from_cli(cli).active) {
+    std::cout << "shard run: tables skipped; merge the shard JSONs with "
+                 "tools/vexmerge\n";
+    return 0;
+  }
 
   Table table({"workload", "IPC fixed", "IPC hier", "delta", "L1d miss%",
                "L2 hit%", "DRAM acc", "DRAM row-hit%", "MSHR stalls"});

@@ -10,10 +10,13 @@
 //        --mem fixed|hierarchy (memory backend; default fixed),
 //        --scale, --budget, --seed, --quick, --paper, --csv, --jobs N,
 //        --progress N, --json FILE (default BENCH_fig13_benchmarks.json),
-//        --cache[=DIR]/--no-cache (result cache), --timeout MS, --retries N.
+//        --cache[=DIR]/--no-cache (result cache), --timeout MS, --retries N,
+//        --shard I/N (run one round-robin slice and emit a shard document
+//        for tools/vexmerge), --cache-gc SIZE (post-sweep cache eviction).
 #include <iostream>
 #include <vector>
 
+#include "harness/shard.hpp"
 #include "harness/sweep.hpp"
 #include "stats/table.hpp"
 #include "util/cli.hpp"
@@ -42,6 +45,12 @@ int main(int argc, char** argv) {
   }
   const std::vector<RunResult> results =
       harness::run_sweep_and_dump(cli, "fig13_benchmarks", points);
+
+  if (harness::ShardSpec::from_cli(cli).active) {
+    std::cout << "shard run: tables skipped; merge the shard JSONs with "
+                 "tools/vexmerge\n";
+    return 0;
+  }
 
   Table table({"benchmark", "class", "IPCr", "IPCp", "paper IPCr",
                "paper IPCp", "IPCr/IPCp", "paper ratio"});

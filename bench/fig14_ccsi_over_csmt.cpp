@@ -10,10 +10,13 @@
 //        --mem fixed|hierarchy (memory backend; default fixed),
 //        --scale, --budget, --timeslice, --seed, --quick, --paper, --csv,
 //        --jobs N, --json FILE (default BENCH_sweep.json),
-//        --cache[=DIR]/--no-cache (result cache), --timeout MS, --retries N.
+//        --cache[=DIR]/--no-cache (result cache), --timeout MS, --retries N,
+//        --shard I/N (run one round-robin slice and emit a shard document
+//        for tools/vexmerge), --cache-gc SIZE (post-sweep cache eviction).
 #include <iostream>
 #include <vector>
 
+#include "harness/shard.hpp"
 #include "harness/sweep.hpp"
 #include "stats/table.hpp"
 #include "util/cli.hpp"
@@ -45,6 +48,12 @@ int main(int argc, char** argv) {
   }
   const std::vector<RunResult> results =
       harness::run_sweep_and_dump(cli, "fig14_ccsi_over_csmt", points);
+
+  if (harness::ShardSpec::from_cli(cli).active) {
+    std::cout << "shard run: tables skipped; merge the shard JSONs with "
+                 "tools/vexmerge\n";
+    return 0;
+  }
 
   Table table({"workload", "2T NS", "2T AS", "4T NS", "4T AS"});
   std::vector<double> avg(4, 0.0);

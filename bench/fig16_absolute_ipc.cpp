@@ -11,11 +11,14 @@
 //        --scale, --budget, --timeslice, --seed, --quick, --paper, --csv,
 //        --per-workload (print each mix's IPC too), --jobs N, --progress N,
 //        --json FILE (default BENCH_fig16_absolute_ipc.json),
-//        --cache[=DIR]/--no-cache (result cache), --timeout MS, --retries N.
+//        --cache[=DIR]/--no-cache (result cache), --timeout MS, --retries N,
+//        --shard I/N (run one round-robin slice and emit a shard document
+//        for tools/vexmerge), --cache-gc SIZE (post-sweep cache eviction).
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "harness/shard.hpp"
 #include "harness/sweep.hpp"
 #include "stats/table.hpp"
 #include "util/cli.hpp"
@@ -43,6 +46,12 @@ int main(int argc, char** argv) {
                           opt.machine(threads, t), spec.name, opt});
   const std::vector<RunResult> results =
       harness::run_sweep_and_dump(cli, "fig16_absolute_ipc", points);
+
+  if (harness::ShardSpec::from_cli(cli).active) {
+    std::cout << "shard run: tables skipped; merge the shard JSONs with "
+                 "tools/vexmerge\n";
+    return 0;
+  }
 
   Table table({"technique", "2T IPC", "4T IPC"});
   for (const Technique& t : Technique::kAll) {

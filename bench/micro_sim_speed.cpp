@@ -8,20 +8,36 @@
 // bit-identical statistics — checked here on every invocation — so the
 // speedup column is a pure wall-clock ratio at equal work.
 //
+// A second leg benchmarks the result-cache index (harness/result_cache.hpp):
+// it populates a scratch cache directory with N synthetic records, then
+// measures index load time, indexed warm-hit rate, indexed miss-probe rate
+// (pure map lookup, no I/O) and the unindexed miss baseline (one failed
+// open() per probe). Rates land in a top-level "cache_probe" array in the
+// JSON — integer records/sec, gated by probe_floors in the perf-floor
+// check — and the indexed path is self-checked against the unindexed one
+// (identical hits, including after an index delete + transparent rebuild).
+//
 // Flags: --reps N (timing repetitions, best-of), --config FILE (base
 //        machine description), --mem fixed|hierarchy (memory backend),
 //        --budget/--timeslice/
 //        --scale/--seed/--quick/--paper, --profile (append an untimed
 //        per-phase wall-clock breakdown for both engines to the JSON),
-//        --json FILE (default BENCH_sim_speed.json). The sweep result cache
-//        (--cache) does not apply here: this bench measures wall-clock, so
-//        every run must re-simulate.
+//        --probe-records N (single cache-probe size instead of the default
+//        1k/100k pair — 1k/10k under --quick), --probe-dir DIR (scratch
+//        cache directory, default sweep-probe-scratch, wiped before and
+//        after), --json FILE (default BENCH_sim_speed.json). The sweep
+//        result cache (--cache) does not apply here: this bench measures
+//        wall-clock, so every run must re-simulate.
+#include <algorithm>
 #include <chrono>
+#include <cstdint>
+#include <filesystem>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "harness/experiments.hpp"
+#include "harness/result_cache.hpp"
 #include "stats/json.hpp"
 #include "stats/table.hpp"
 #include "util/check.hpp"
@@ -104,6 +120,110 @@ void print_profile(const std::string& label, const char* engine,
             << pct(p.complete_seconds) << ", fast-forward "
             << pct(p.fast_forward_seconds) << " of " << Table::fmt(total, 3)
             << "s\n";
+}
+
+// Distinct, well-mixed synthetic fingerprints for the cache-probe leg.
+std::uint64_t probe_key(std::uint64_t i) {
+  std::uint64_t z = (i + 1) * 0x9E3779B97F4A7C15ull;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+// Result-cache probe benchmark: O(1)-index hit/miss rates vs the unindexed
+// open()-per-probe baseline, one entry per population size. `sample` is a
+// RunResult to clone into every synthetic record.
+Json run_cache_probe(const std::vector<std::uint64_t>& sizes,
+                     const std::string& scratch_dir,
+                     const std::string& workload, const RunResult& sample) {
+  namespace fs = std::filesystem;
+  using clock = std::chrono::steady_clock;
+  const auto seconds = [](clock::time_point a, clock::time_point b) {
+    return std::max(std::chrono::duration<double>(b - a).count(), 1e-9);
+  };
+  // Miss keys live in a disjoint stream from probe_key(i): the top bit is
+  // forced, and probe_key never produces 2^63 consecutive records.
+  const auto miss_key = [](std::uint64_t j) {
+    return probe_key(j + (1ull << 40)) | (1ull << 63);
+  };
+
+  Json arr = Json::array();
+  for (const std::uint64_t n : sizes) {
+    fs::remove_all(scratch_dir);
+    {
+      const harness::ResultCache writer(scratch_dir);
+      for (std::uint64_t i = 0; i < n; ++i)
+        writer.store(probe_key(i), workload, sample);
+    }
+
+    // Index load: what every shard process pays once at startup.
+    const auto t0 = clock::now();
+    const harness::ResultCache cache(scratch_dir);
+    const auto t1 = clock::now();
+    VEXSIM_CHECK_MSG(cache.index_size() == n,
+                     "cache-probe: index loaded " << cache.index_size()
+                                                  << " of " << n << " records");
+
+    // Warm hits through the index, sampled across the keyspace.
+    const std::uint64_t hit_samples = std::min<std::uint64_t>(n, 200);
+    const std::uint64_t stride = n / hit_samples;
+    const auto t2 = clock::now();
+    for (std::uint64_t s = 0; s < hit_samples; ++s)
+      VEXSIM_CHECK(cache.load(probe_key(s * stride)).has_value());
+    const auto t3 = clock::now();
+
+    // Indexed misses: pure in-memory lookup, the sweep pre-pass hot path.
+    const std::uint64_t miss_probes = 200'000;
+    const auto t4 = clock::now();
+    std::uint64_t false_hits = 0;
+    for (std::uint64_t j = 0; j < miss_probes; ++j)
+      false_hits += cache.probe(miss_key(j)) ? 1 : 0;
+    const auto t5 = clock::now();
+    VEXSIM_CHECK(false_hits == 0);
+
+    // Unindexed misses: the pre-index baseline, one failed open() each.
+    const std::uint64_t unindexed_probes = 2'000;
+    const auto t6 = clock::now();
+    for (std::uint64_t j = 0; j < unindexed_probes; ++j)
+      VEXSIM_CHECK(!cache.load_unindexed(miss_key(j)).has_value());
+    const auto t7 = clock::now();
+
+    // Self-check: the index changes probe cost, never hit results — also
+    // across an index delete + transparent rebuild.
+    for (std::uint64_t s = 0; s < std::min<std::uint64_t>(n, 5); ++s) {
+      const auto a = cache.load(probe_key(s));
+      const auto b = cache.load_unindexed(probe_key(s));
+      VEXSIM_CHECK(a && b && a->sim.cycles == b->sim.cycles &&
+                   a->sim.instructions_retired == b->sim.instructions_retired);
+    }
+    fs::remove(cache.index_path());
+    const harness::ResultCache rebuilt(scratch_dir);
+    VEXSIM_CHECK_MSG(rebuilt.index_size() == n,
+                     "cache-probe: rebuild after index delete found "
+                         << rebuilt.index_size() << " of " << n << " records");
+    VEXSIM_CHECK(rebuilt.load(probe_key(0)).has_value());
+
+    // Integer rates: the perf-floor gate compares them with CMake integer
+    // arithmetic, which cannot parse exponent-form doubles.
+    const auto rate = [&](std::uint64_t count, double secs) {
+      return static_cast<std::uint64_t>(static_cast<double>(count) / secs);
+    };
+    Json pj = Json::object();
+    pj.set("records", n)
+        .set("index_load_seconds", seconds(t0, t1))
+        .set("hit_per_sec", rate(hit_samples, seconds(t2, t3)))
+        .set("miss_probe_per_sec", rate(miss_probes, seconds(t4, t5)))
+        .set("miss_unindexed_per_sec",
+             rate(unindexed_probes, seconds(t6, t7)));
+    std::cout << "  cache-probe " << n << " records: index load "
+              << Table::fmt(seconds(t0, t1) * 1e3, 2) << "ms, warm hits "
+              << rate(hit_samples, seconds(t2, t3)) << "/s, indexed misses "
+              << rate(miss_probes, seconds(t4, t5)) << "/s, unindexed misses "
+              << rate(unindexed_probes, seconds(t6, t7)) << "/s\n";
+    arr.push(std::move(pj));
+  }
+  fs::remove_all(scratch_dir);
+  return arr;
 }
 
 }  // namespace
@@ -209,16 +329,32 @@ int main(int argc, char** argv) {
     arr.push(std::move(pj));
   }
 
+  std::cout << "\nResult-cache probe (index vs unindexed):\n";
+  std::vector<std::uint64_t> probe_sizes;
+  if (cli.has("probe-records")) {
+    const std::int64_t pr = cli.get_int("probe-records", 0);
+    VEXSIM_CHECK_MSG(pr >= 1, "--probe-records must be >= 1");
+    probe_sizes.push_back(static_cast<std::uint64_t>(pr));
+  } else if (cli.get_bool("quick", false)) {
+    probe_sizes = {1'000, 10'000};
+  } else {
+    probe_sizes = {1'000, 100'000};
+  }
+  Json probe_arr =
+      run_cache_probe(probe_sizes, cli.get("probe-dir", "sweep-probe-scratch"),
+                      points[0].workload, results[0].run);
+
   Json doc = Json::object();
   doc.set("experiment", "sim_speed")
       .set("budget", opt.budget)
       .set("timeslice", opt.timeslice)
       .set("scale", opt.scale)
       .set("reps", reps)
-      .set("points", std::move(arr));
+      .set("points", std::move(arr))
+      .set("cache_probe", std::move(probe_arr));
   write_json_file(cli.get("json", "BENCH_sim_speed.json"), std::move(doc));
 
-  std::cout << table.to_text();
+  std::cout << "\n" << table.to_text();
   if (profile) {
     std::cout << "\nPer-phase wall-clock breakdown (separate instrumented "
                  "runs):\n";

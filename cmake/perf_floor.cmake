@@ -40,3 +40,51 @@ endforeach()
 if(checked EQUAL 0)
   message(FATAL_ERROR "perf floor: no point matched any floor entry")
 endif()
+
+# Result-cache probe floors: the "cache_probe" array carries integer
+# records/sec rates per population size; each is gated against
+# probe_floors.records_<N>.<metric> with the same 20% tolerance. Every GET
+# here is ERROR_VARIABLE-guarded so older trajectories (no cache_probe
+# block) and partial floor files stay acceptable.
+string(JSON nprobe ERROR_VARIABLE probe_err LENGTH "${bench}" cache_probe)
+if(probe_err)
+  message(STATUS "perf floor: no cache_probe block in ${BENCH_JSON}, skipping")
+  set(nprobe 0)
+endif()
+if(nprobe GREATER 0)
+  set(probe_checked 0)
+  math(EXPR probe_last "${nprobe} - 1")
+  foreach(i RANGE ${probe_last})
+    string(JSON records GET "${bench}" cache_probe ${i} records)
+    foreach(metric hit_per_sec miss_probe_per_sec miss_unindexed_per_sec)
+      string(JSON rate ERROR_VARIABLE err
+             GET "${bench}" cache_probe ${i} ${metric})
+      if(err)
+        continue()
+      endif()
+      string(JSON floor ERROR_VARIABLE err
+             GET "${floors}" probe_floors "records_${records}" ${metric})
+      if(err)
+        message(STATUS
+                "perf floor: no probe floor for records_${records}.${metric},"
+                " skipping")
+        continue()
+      endif()
+      math(EXPR limit "${floor} * 8 / 10")
+      if(rate LESS limit)
+        message(FATAL_ERROR
+                "perf floor: cache probe records_${records}.${metric} "
+                "measured ${rate}/s, more than 20% below the floor ${floor} "
+                "(limit ${limit}). Cache probing is no longer O(1); see "
+                "tests/golden/sim_speed_floor.json.")
+      endif()
+      message(STATUS
+              "perf floor: records_${records}.${metric} ${rate}/s >= limit "
+              "${limit} (ok)")
+      math(EXPR probe_checked "${probe_checked} + 1")
+    endforeach()
+  endforeach()
+  if(probe_checked EQUAL 0)
+    message(STATUS "perf floor: cache_probe present but no floors matched")
+  endif()
+endif()

@@ -1,0 +1,91 @@
+# Sharded-sweep merge check: run the same sweep as N independent shard
+# processes for each N in SHARDS, fold the shard documents with vexmerge,
+# and require the merged trajectory to be byte-identical to the one-process
+# `--jobs 8` run. All legs share one result-cache directory, so every point
+# is simulated once (by whichever leg reaches it first) and the provenance
+# fields agree across legs; byte-identity then checks the shard/merge
+# plumbing, not cache behaviour (cmake/shard_cache.cmake covers the
+# uncached-vs-golden and cache-maintenance legs).
+#
+# For N > 1 the script also merges all shards but the last and requires
+# vexmerge to exit 1 with a resume manifest naming the missing points.
+#
+# Arguments: CMD (bench or vexplore executable), EXTRA_ARGS (space-separated
+#            flags appended to every run, e.g. "--quick" or
+#            "--template x.conf --sample 24"), MERGE (vexmerge executable),
+#            TAG (scratch-file prefix), OUT_DIR (scratch directory),
+#            SHARDS (semicolon list of shard counts, default "4").
+if(NOT TAG)
+  set(TAG "shard")
+endif()
+separate_arguments(EXTRA_ARGS UNIX_COMMAND "${EXTRA_ARGS}")
+if(NOT SHARDS)
+  set(SHARDS "4")
+endif()
+set(cache_dir "${OUT_DIR}/${TAG}_shard_cache")
+set(ref "${OUT_DIR}/${TAG}_shard_ref.json")
+file(REMOVE_RECURSE ${cache_dir})
+
+execute_process(COMMAND ${CMD} ${EXTRA_ARGS} --jobs 8 --cache ${cache_dir}
+                        --json ${ref}
+                RESULT_VARIABLE rc OUTPUT_QUIET ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "one-process reference run failed with ${rc}: ${err}")
+endif()
+
+foreach(count IN LISTS SHARDS)
+  set(shard_files "")
+  foreach(i RANGE 1 ${count})
+    set(shard_out "${OUT_DIR}/${TAG}_shard${i}of${count}.json")
+    execute_process(COMMAND ${CMD} ${EXTRA_ARGS} --jobs 2
+                            --cache ${cache_dir} --shard ${i}/${count}
+                            --json ${shard_out}
+                    RESULT_VARIABLE rc OUTPUT_QUIET ERROR_VARIABLE err)
+    if(NOT rc EQUAL 0)
+      message(FATAL_ERROR
+              "shard ${i}/${count} run failed with ${rc}: ${err}")
+    endif()
+    list(APPEND shard_files ${shard_out})
+  endforeach()
+
+  set(merged "${OUT_DIR}/${TAG}_merged_${count}.json")
+  execute_process(COMMAND ${MERGE} --out ${merged} ${shard_files}
+                  RESULT_VARIABLE rc OUTPUT_QUIET ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "vexmerge of ${count} shards failed with ${rc}: ${err}")
+  endif()
+
+  execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files ${merged} ${ref}
+                  RESULT_VARIABLE diff)
+  if(NOT diff EQUAL 0)
+    message(FATAL_ERROR
+            "merged ${count}-shard trajectory differs from the one-process "
+            "run — the shard/merge protocol is no longer byte-exact")
+  endif()
+  message(STATUS "${TAG}: ${count} shards merge byte-identical to one process")
+
+  if(count GREATER 1)
+    # Drop the last shard: vexmerge must refuse to emit a trajectory and
+    # write a resume manifest instead.
+    list(POP_BACK shard_files)
+    set(partial_out "${OUT_DIR}/${TAG}_partial_${count}.json")
+    set(resume_out "${OUT_DIR}/${TAG}_resume_${count}.json")
+    execute_process(COMMAND ${MERGE} --out ${partial_out}
+                            --resume ${resume_out} ${shard_files}
+                    RESULT_VARIABLE rc OUTPUT_QUIET ERROR_QUIET)
+    if(NOT rc EQUAL 1)
+      message(FATAL_ERROR
+              "vexmerge with a missing shard exited ${rc}, expected 1")
+    endif()
+    if(EXISTS ${partial_out})
+      message(FATAL_ERROR
+              "vexmerge wrote ${partial_out} despite missing points")
+    endif()
+    file(READ ${resume_out} resume)
+    if(NOT resume MATCHES "\"resume\": true" OR
+       NOT resume MATCHES "\"missing\"")
+      message(FATAL_ERROR
+              "resume manifest ${resume_out} lacks the resume/missing fields")
+    endif()
+  endif()
+endforeach()

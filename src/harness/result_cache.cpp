@@ -1,13 +1,17 @@
 #include "harness/result_cache.hpp"
 
+#include <fcntl.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <bit>
+#include <cctype>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <vector>
 
 #include "stats/json.hpp"
 #include "util/check.hpp"
@@ -117,11 +121,22 @@ std::string canonical_workload(const std::string& name) {
   return os.str();
 }
 
-std::string key_hex(std::uint64_t key) {
-  char buf[17];
-  std::snprintf(buf, sizeof buf, "%016llx",
-                static_cast<unsigned long long>(key));
-  return buf;
+// First line of the index file; anything else means "rebuild".
+constexpr std::string_view kIndexHeader = "vexsim-cache-index v1";
+
+bool is_hex16(std::string_view s) {
+  if (s.size() != 16) return false;
+  return std::all_of(s.begin(), s.end(), [](char c) {
+    return (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f');
+  });
+}
+
+std::uint64_t parse_hex16(std::string_view s) {
+  std::uint64_t v = 0;
+  for (const char c : s)
+    v = (v << 4) | static_cast<std::uint64_t>(
+                       c <= '9' ? c - '0' : c - 'a' + 10);
+  return v;
 }
 
 Json counters_json(const ThreadCounters& c) {
@@ -324,20 +339,121 @@ std::uint64_t point_fingerprint(const MachineConfig& cfg,
   return fp.finish();
 }
 
+std::string fingerprint_hex(std::uint64_t key) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(key));
+  return buf;
+}
+
+std::uint64_t parse_size_bytes(const std::string& spec) {
+  constexpr const char* kForm =
+      "expected a byte count like 1048576, 512K, 64M or 2G";
+  VEXSIM_CHECK_MSG(!spec.empty() && spec != "true",
+                   "empty size spec; " << kForm);
+  std::uint64_t mult = 1;
+  std::string digits = spec;
+  switch (std::tolower(static_cast<unsigned char>(spec.back()))) {
+    case 'k': mult = 1024ull; break;
+    case 'm': mult = 1024ull * 1024; break;
+    case 'g': mult = 1024ull * 1024 * 1024; break;
+    default: break;
+  }
+  if (mult != 1) digits.pop_back();
+  const bool numeric =
+      !digits.empty() && digits.size() <= 15 &&
+      std::all_of(digits.begin(), digits.end(), [](char c) {
+        return std::isdigit(static_cast<unsigned char>(c)) != 0;
+      });
+  VEXSIM_CHECK_MSG(numeric, "bad size spec '" << spec << "'; " << kForm);
+  return std::stoull(digits) * mult;
+}
+
 ResultCache::ResultCache(std::string dir) : dir_(std::move(dir)) {
   VEXSIM_CHECK_MSG(!dir_.empty(), "result cache directory must be non-empty");
   std::error_code ec;
   std::filesystem::create_directories(dir_, ec);
   VEXSIM_CHECK_MSG(!ec, "cannot create result cache directory " << dir_ << ": "
                                                                 << ec.message());
+  if (!read_index()) rebuild_index();
 }
 
 std::string ResultCache::entry_path(std::uint64_t key) const {
-  return dir_ + "/" + key_hex(key) + ".json";
+  return dir_ + "/" + fingerprint_hex(key) + ".json";
 }
 
-std::optional<RunResult> ResultCache::load(std::uint64_t key) const {
-  std::ifstream is(entry_path(key), std::ios::binary);
+std::string ResultCache::index_path() const { return dir_ + "/cache.index"; }
+
+bool ResultCache::probe(std::uint64_t key) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return index_.find(key) != index_.end();
+}
+
+std::size_t ResultCache::index_size() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return index_.size();
+}
+
+bool ResultCache::read_index() {
+  std::ifstream is(index_path(), std::ios::binary);
+  if (!is.good()) return false;
+  std::string line;
+  if (!std::getline(is, line) || line != kIndexHeader) return false;
+  std::map<std::uint64_t, std::string> loaded;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;  // a torn append leaves at most a blank tail
+    if (line.size() < 18 || line[16] != ' ') return false;
+    const std::string_view hex = std::string_view(line).substr(0, 16);
+    if (!is_hex16(hex)) return false;
+    std::string file = line.substr(17);
+    if (file.find('/') != std::string::npos) return false;
+    loaded[parse_hex16(hex)] = std::move(file);
+  }
+  const std::lock_guard<std::mutex> lock(mu_);
+  index_ = std::move(loaded);
+  return true;
+}
+
+void ResultCache::write_index_locked() const {
+  static std::atomic<std::uint64_t> counter{0};
+  std::ostringstream tmp_name;
+  tmp_name << index_path() << ".tmp." << ::getpid() << "."
+           << counter.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::ofstream os(tmp_name.str(), std::ios::binary | std::ios::trunc);
+    VEXSIM_CHECK_MSG(os.good(), "cannot write " << tmp_name.str());
+    os << kIndexHeader << "\n";
+    for (const auto& [key, file] : index_)
+      os << fingerprint_hex(key) << " " << file << "\n";
+    os.flush();
+    VEXSIM_CHECK_MSG(os.good(), "failed writing " << tmp_name.str());
+  }
+  VEXSIM_CHECK_MSG(
+      std::rename(tmp_name.str().c_str(), index_path().c_str()) == 0,
+      "failed to move " << tmp_name.str() << " over " << index_path());
+}
+
+void ResultCache::rebuild_index() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  index_.clear();
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir_, ec)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string name = entry.path().filename().string();
+    // Record files only: exactly "<16 lowercase hex>.json".
+    if (name.size() != 21 || name.substr(16) != ".json") continue;
+    const std::string_view hex = std::string_view(name).substr(0, 16);
+    if (!is_hex16(hex)) continue;
+    index_[parse_hex16(hex)] = name;
+  }
+  VEXSIM_CHECK_MSG(!ec, "cannot scan result cache directory " << dir_ << ": "
+                                                              << ec.message());
+  write_index_locked();
+}
+
+std::optional<RunResult> ResultCache::read_record(const std::string& path,
+                                                  std::uint64_t key) const {
+  std::ifstream is(path, std::ios::binary);
   if (!is.good()) return std::nullopt;  // plain miss
   std::string text((std::istreambuf_iterator<char>(is)),
                    std::istreambuf_iterator<char>());
@@ -346,7 +462,7 @@ std::optional<RunResult> ResultCache::load(std::uint64_t key) const {
     // A record from another simulator version (or another key that landed
     // on this path through tampering) is a miss, not an error.
     if (doc.at("version").as_string() != kSimVersionTag) return std::nullopt;
-    if (doc.at("key").as_string() != key_hex(key)) return std::nullopt;
+    if (doc.at("key").as_string() != fingerprint_hex(key)) return std::nullopt;
     RunResult r = result_from_json(doc.at("result"));
     r.cached = true;
     r.cache_hit = true;
@@ -356,13 +472,51 @@ std::optional<RunResult> ResultCache::load(std::uint64_t key) const {
   }
 }
 
+std::optional<RunResult> ResultCache::load(std::uint64_t key) const {
+  std::string path;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    const auto it = index_.find(key);
+    if (it == index_.end()) return std::nullopt;  // O(1), no I/O
+    path = dir_ + "/" + it->second;
+  }
+  std::optional<RunResult> r = read_record(path, key);
+  if (!r) {
+    // Indexed but unreadable (deleted or corrupt on disk): drop the entry so
+    // the next probe is an O(1) miss again.
+    const std::lock_guard<std::mutex> lock(mu_);
+    index_.erase(key);
+  }
+  return r;
+}
+
+std::optional<RunResult> ResultCache::load_unindexed(std::uint64_t key) const {
+  return read_record(entry_path(key), key);
+}
+
+void ResultCache::append_index_line(std::uint64_t key) const {
+  const std::string line = fingerprint_hex(key) + " " + fingerprint_hex(key) +
+                           ".json\n";
+  // One O_APPEND write per record: concurrent writers (threads or separate
+  // shard processes) interleave whole lines. O_CREAT only matters when the
+  // index vanished mid-run; the header-less file then fails validation on
+  // the next load and is rebuilt from the records, which all survive.
+  const int fd = ::open(index_path().c_str(),
+                        O_WRONLY | O_APPEND | O_CREAT | O_CLOEXEC, 0644);
+  VEXSIM_CHECK_MSG(fd >= 0, "cannot open " << index_path() << " for append");
+  const ssize_t n = ::write(fd, line.data(), line.size());
+  ::close(fd);
+  VEXSIM_CHECK_MSG(n == static_cast<ssize_t>(line.size()),
+                   "short write appending to " << index_path());
+}
+
 void ResultCache::store(std::uint64_t key, const std::string& workload,
                         const RunResult& r) const {
   VEXSIM_CHECK_MSG(!r.failed,
                    "refusing to cache a failed point (" << r.error << ")");
   Json doc = Json::object();
   doc.set("version", std::string(kSimVersionTag))
-      .set("key", key_hex(key))
+      .set("key", fingerprint_hex(key))
       .set("workload", workload)
       .set("result", result_json(r));
 
@@ -377,6 +531,64 @@ void ResultCache::store(std::uint64_t key, const std::string& workload,
   write_json_file(tmp.str(), doc);
   VEXSIM_CHECK_MSG(std::rename(tmp.str().c_str(), path.c_str()) == 0,
                    "failed to move " << tmp.str() << " over " << path);
+
+  bool fresh = false;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    fresh = index_.emplace(key, fingerprint_hex(key) + ".json").second;
+  }
+  // Only the first store of a key appends — a re-store (cache shared with a
+  // racing process) would otherwise grow the index without bound.
+  if (fresh) append_index_line(key);
+}
+
+CacheGcStats ResultCache::gc(std::uint64_t max_bytes) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  struct Entry {
+    std::filesystem::file_time_type mtime;
+    std::uint64_t bytes;
+    std::uint64_t key;
+  };
+  CacheGcStats stats;
+  std::vector<Entry> entries;
+  entries.reserve(index_.size());
+  std::vector<std::uint64_t> gone;
+  for (const auto& [key, file] : index_) {
+    const std::filesystem::path p = dir_ + "/" + file;
+    std::error_code ec;
+    const std::uint64_t bytes = std::filesystem::file_size(p, ec);
+    const auto mtime = std::filesystem::last_write_time(p, ec);
+    if (ec) {
+      gone.push_back(key);  // indexed but vanished: drop the entry
+      continue;
+    }
+    entries.push_back({mtime, bytes, key});
+    stats.bytes_before += bytes;
+  }
+  for (const std::uint64_t key : gone) index_.erase(key);
+  stats.records_before = entries.size();
+
+  // LRU by mtime (key as deterministic tie-break): evict oldest first until
+  // the survivors fit the budget.
+  std::sort(entries.begin(), entries.end(), [](const Entry& a, const Entry& b) {
+    if (a.mtime != b.mtime) return a.mtime < b.mtime;
+    return a.key < b.key;
+  });
+  std::uint64_t bytes_left = stats.bytes_before;
+  std::size_t evict = 0;
+  while (evict < entries.size() && bytes_left > max_bytes)
+    bytes_left -= entries[evict++].bytes;
+  for (std::size_t i = 0; i < evict; ++i) {
+    const auto it = index_.find(entries[i].key);
+    std::error_code ec;
+    std::filesystem::remove(dir_ + "/" + it->second, ec);
+    index_.erase(it);
+  }
+  stats.evicted = evict;
+  stats.records_after = entries.size() - evict;
+  stats.bytes_after = bytes_left;
+  write_index_locked();
+  return stats;
 }
 
 }  // namespace vexsim::harness

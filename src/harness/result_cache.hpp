@@ -15,9 +15,28 @@
 // re-simulation. Cached results are bit-identical to fresh runs: every
 // RunResult field the trajectory JSON or a bench table can observe is
 // round-tripped.
+//
+// Probing is O(1) in the record count via an **index file**
+// (<dir>/cache.index): one header line and one "<16-hex-key> <record file>"
+// line per record, loaded into an in-memory map at construction. The index
+// is maintained with the same crash-safe discipline as the records:
+//  * store() appends one line with a single O_APPEND write, so any number
+//    of concurrent shard processes (or sweep worker threads) sharing the
+//    directory interleave whole lines, never torn ones;
+//  * a missing, truncated, or otherwise corrupt index is rebuilt
+//    transparently by scanning the directory for record files — hit results
+//    are identical either way, the rebuild only restores O(1) probing;
+//  * gc() and rebuild_index() rewrite the index via temp file + rename, so
+//    readers never observe a half-written index.
+// The one benign race: an index rewrite can drop a line appended by a
+// concurrent writer. The record file itself survives, so the entry misses
+// once, re-simulates (or re-loads on rebuild), and is re-appended —
+// convergent, never corrupt.
 #pragma once
 
 #include <cstdint>
+#include <map>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -40,29 +59,83 @@ inline constexpr std::string_view kSimVersionTag = "vexsim-sim-pr9";
                                               const std::string& workload,
                                               const ExperimentOptions& opt);
 
+// Canonical 16-hex-digit spelling of a fingerprint (record file stem, index
+// lines, shard manifests).
+[[nodiscard]] std::string fingerprint_hex(std::uint64_t key);
+
+// Byte count from a human-friendly size spec: plain digits, or digits with
+// a K/M/G suffix (powers of 1024, case-insensitive). CheckError otherwise.
+[[nodiscard]] std::uint64_t parse_size_bytes(const std::string& spec);
+
+// gc() eviction summary.
+struct CacheGcStats {
+  std::uint64_t records_before = 0;
+  std::uint64_t records_after = 0;
+  std::uint64_t bytes_before = 0;
+  std::uint64_t bytes_after = 0;
+  std::uint64_t evicted = 0;
+};
+
 class ResultCache {
  public:
-  // Creates `dir` (and parents) when missing.
+  // Creates `dir` (and parents) when missing, then loads the index —
+  // rebuilding it from a directory scan when it is missing or corrupt.
   explicit ResultCache(std::string dir);
 
   [[nodiscard]] const std::string& dir() const { return dir_; }
 
   // Path of the record for `key`: <dir>/<16 hex digits>.json.
   [[nodiscard]] std::string entry_path(std::uint64_t key) const;
+  [[nodiscard]] std::string index_path() const;
+
+  // O(1), no I/O: whether `key` is in the index. The authoritative answer
+  // comes from load() — a probed record can still be corrupt on disk.
+  [[nodiscard]] bool probe(std::uint64_t key) const;
+
+  // Number of indexed records.
+  [[nodiscard]] std::size_t index_size() const;
 
   // The cached result for `key`, with `cached` and `cache_hit` set; or
   // nullopt on miss — including corrupt, stale-version, truncated, or
-  // key-mismatched records.
+  // key-mismatched records (which are also dropped from the index). An
+  // unindexed key costs no syscall at all.
   [[nodiscard]] std::optional<RunResult> load(std::uint64_t key) const;
 
+  // Pre-index probe path: opens <dir>/<key>.json directly, bypassing the
+  // index. Same hit results as load(); kept as the baseline the
+  // micro_sim_speed cache-probe benchmark compares the index against.
+  [[nodiscard]] std::optional<RunResult> load_unindexed(
+      std::uint64_t key) const;
+
   // Atomically persists a successful result (CheckError if `r.failed`:
-  // failures are environment-dependent and must re-run). Throws CheckError
-  // on I/O failure; run_sweep degrades to uncached operation in that case.
+  // failures are environment-dependent and must re-run), then appends the
+  // key to the index. Throws CheckError on I/O failure; run_sweep degrades
+  // to uncached operation in that case.
   void store(std::uint64_t key, const std::string& workload,
              const RunResult& r) const;
 
+  // Rescans the directory for record files and atomically rewrites the
+  // index. Load/store keep working against the rebuilt map.
+  void rebuild_index() const;
+
+  // LRU size-budget eviction: deletes oldest-mtime records until the
+  // indexed records total <= max_bytes, then atomically rewrites the index.
+  CacheGcStats gc(std::uint64_t max_bytes) const;
+
  private:
+  [[nodiscard]] bool read_index();
+  void append_index_line(std::uint64_t key) const;
+  // Writes index_ to disk (temp file + rename). Caller holds mu_.
+  void write_index_locked() const;
+  [[nodiscard]] std::optional<RunResult> read_record(const std::string& path,
+                                                     std::uint64_t key) const;
+
   std::string dir_;
+  // fingerprint -> record file name (relative to dir_). Ordered so index
+  // rewrites are deterministic. Guarded by mu_: sweep workers store() and
+  // load() concurrently.
+  mutable std::mutex mu_;
+  mutable std::map<std::uint64_t, std::string> index_;
 };
 
 }  // namespace vexsim::harness

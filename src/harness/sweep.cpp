@@ -15,6 +15,7 @@
 #include <thread>
 
 #include "harness/result_cache.hpp"
+#include "harness/shard.hpp"
 #include "util/check.hpp"
 
 namespace vexsim::harness {
@@ -41,6 +42,15 @@ SweepOptions SweepOptions::from_cli(const Cli& cli) {
     // Bare `--cache` parses as the boolean value "true"; map it to the
     // default directory.
     opts.cache_dir = (dir.empty() || dir == "true") ? "sweep-cache" : dir;
+  }
+  if (cli.has("cache-gc")) {
+    VEXSIM_CHECK_MSG(!opts.cache_dir.empty(),
+                     "--cache-gc needs an active result cache; add "
+                     "--cache[=DIR] (or drop --no-cache)");
+    const std::uint64_t budget = parse_size_bytes(cli.get("cache-gc", ""));
+    VEXSIM_CHECK_MSG(budget <= static_cast<std::uint64_t>(INT64_MAX),
+                     "--cache-gc budget too large");
+    opts.cache_gc_bytes = static_cast<std::int64_t>(budget);
   }
   opts.point_timeout_ms =
       static_cast<int>(cli.get_int("timeout", opts.point_timeout_ms));
@@ -315,6 +325,18 @@ std::vector<RunResult> run_sweep(const std::vector<SweepPoint>& points,
     if (n_failed > kMaxReported) msg << "; ...";
     throw CheckError(msg.str());
   }
+
+  // Post-sweep cache maintenance: evict down to the byte budget so a
+  // long-lived shared cache directory stays bounded. Runs after the sweep so
+  // this run's own records are the newest and survive preferentially.
+  if (cache != nullptr && opts.cache_gc_bytes >= 0) {
+    const CacheGcStats gc =
+        cache->gc(static_cast<std::uint64_t>(opts.cache_gc_bytes));
+    *progress_to << "sweep: cache-gc evicted " << gc.evicted << "/"
+                 << gc.records_before << " records (" << gc.bytes_before
+                 << " -> " << gc.bytes_after << " bytes, budget "
+                 << opts.cache_gc_bytes << ")" << std::endl;
+  }
   return results;
 }
 
@@ -434,6 +456,10 @@ Json point_json(const SweepPoint& p, const RunResult& r) {
 
 }  // namespace
 
+Json sweep_point_json(const SweepPoint& p, const RunResult& r) {
+  return point_json(p, r);
+}
+
 Json sweep_json(const std::string& experiment,
                 const std::vector<SweepPoint>& points,
                 const std::vector<RunResult>& results) {
@@ -477,7 +503,11 @@ const RunResult& result_for(const std::vector<SweepPoint>& points,
 std::vector<RunResult> run_sweep_and_dump(
     const Cli& cli, const std::string& experiment,
     const std::vector<SweepPoint>& points) {
-  const std::string path = cli.get("json", "BENCH_" + experiment + ".json");
+  const ShardSpec shard = ShardSpec::from_cli(cli);
+  const std::string path = cli.get(
+      "json", shard.active
+                  ? "BENCH_" + experiment + ".shard" + shard.tag() + ".json"
+                  : "BENCH_" + experiment + ".json");
   SweepOptions opts = SweepOptions::from_cli(cli);
   // Write-then-rename: a reader (or a crash) mid-write never sees a
   // truncated document at the target path — in particular, a failing final
@@ -488,18 +518,67 @@ std::vector<RunResult> run_sweep_and_dump(
     VEXSIM_CHECK_MSG(std::rename(tmp.c_str(), path.c_str()) == 0,
                      "failed to move " << tmp << " over " << path);
   };
-  // --flush N: overwrite the target file with the completed prefix every N
-  // points so a long sweep is inspectable (and partially salvageable)
-  // mid-run. The completed sweep rewrites the file in its final form below.
+
+  if (!shard.active) {
+    // --flush N: overwrite the target file with the completed prefix every N
+    // points so a long sweep is inspectable (and partially salvageable)
+    // mid-run. The completed sweep rewrites the file in its final form
+    // below.
+    if (opts.flush_every > 0) {
+      opts.flush_fn = [&points, &experiment, &write_atomically](
+                          const std::vector<RunResult>& partial,
+                          std::size_t prefix) {
+        write_atomically(
+            sweep_json_partial(experiment, points, partial, prefix));
+      };
+    }
+    const std::vector<RunResult> results = run_sweep(points, opts);
+    write_atomically(sweep_json(experiment, points, results));
+    return results;
+  }
+
+  // --shard i/N: enumerate the full manifest (identical in every shard
+  // process — point lists are a pure function of the bench flags), simulate
+  // only the owned round-robin slice, and emit a shard document for
+  // tools/vexmerge.
+  const std::vector<ManifestEntry> manifest = build_manifest(points);
+  std::vector<SweepPoint> mine;
+  std::vector<std::size_t> mine_index;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    if (!shard.owns(i)) continue;
+    mine.push_back(points[i]);
+    mine_index.push_back(i);
+  }
+  const auto shard_doc = [&](const std::vector<RunResult>& rs,
+                             std::size_t count, bool partial) {
+    std::vector<Json> docs;
+    std::vector<std::size_t> idx;
+    docs.reserve(count);
+    idx.reserve(count);
+    for (std::size_t k = 0; k < count; ++k) {
+      docs.push_back(sweep_point_json(mine[k], rs[k]));
+      idx.push_back(mine_index[k]);
+    }
+    return sweep_shard_json(experiment, shard, manifest, idx, docs, partial);
+  };
   if (opts.flush_every > 0) {
-    opts.flush_fn = [&points, &experiment, &write_atomically](
+    opts.flush_fn = [&shard_doc, &write_atomically](
                         const std::vector<RunResult>& partial,
                         std::size_t prefix) {
-      write_atomically(sweep_json_partial(experiment, points, partial, prefix));
+      write_atomically(shard_doc(partial, prefix, true));
     };
   }
-  const std::vector<RunResult> results = run_sweep(points, opts);
-  write_atomically(sweep_json(experiment, points, results));
+  const std::vector<RunResult> mine_results = run_sweep(mine, opts);
+  write_atomically(shard_doc(mine_results, mine_results.size(), false));
+  std::ostream* progress_to =
+      opts.progress_stream != nullptr ? opts.progress_stream : &std::cerr;
+  *progress_to << "sweep: shard " << shard.str() << " ran " << mine.size()
+               << "/" << points.size() << " points -> " << path << std::endl;
+
+  // Full-size result vector: owned slots filled, foreign slots default.
+  std::vector<RunResult> results(points.size());
+  for (std::size_t k = 0; k < mine.size(); ++k)
+    results[mine_index[k]] = mine_results[k];
   return results;
 }
 

@@ -63,6 +63,12 @@ struct SweepOptions {
   // *progress_stream ("sweep: served K/N points from result cache").
   std::string cache_dir;
 
+  // When >= 0 (--cache-gc SIZE), the cache directory is garbage-collected
+  // after the sweep completes: oldest-mtime records are evicted until the
+  // indexed bytes fit the budget, and the index is rewritten consistently.
+  // Requires cache_dir; a summary line goes to *progress_stream.
+  std::int64_t cache_gc_bytes = -1;
+
   // Wall-clock budget per simulation attempt; 0 = unlimited. A timed-out
   // attempt is abandoned (its worker thread is detached and its state
   // discarded) and the point is retried. Caveat: wall-clock timeouts are
@@ -87,9 +93,10 @@ struct SweepOptions {
   }
 
   // Applies --jobs/--progress/--flush/--cache[=DIR]/--no-cache/
-  // --timeout MS/--retries N. Bare `--cache` uses ./sweep-cache;
-  // --no-cache wins over --cache (so a wrapper script's cache can be
-  // disabled without editing it).
+  // --timeout MS/--retries N/--cache-gc SIZE. Bare `--cache` uses
+  // ./sweep-cache; --no-cache wins over --cache (so a wrapper script's
+  // cache can be disabled without editing it). --cache-gc accepts K/M/G
+  // suffixes and is an error without an active --cache.
   static SweepOptions from_cli(const Cli& cli);
 };
 
@@ -126,10 +133,21 @@ struct SweepOptions {
                                       const std::vector<RunResult>& results,
                                       std::size_t count);
 
+// One rendered trajectory entry (the per-point subtree of sweep_json).
+// Exposed for the shard layer, which embeds these subtrees in shard
+// documents so vexmerge can re-emit them byte-identically.
+[[nodiscard]] Json sweep_point_json(const SweepPoint& p, const RunResult& r);
+
 // Bench-binary entry point: runs the sweep with --jobs workers (progress
 // via --progress N) and writes the trajectory to --json (default
 // BENCH_<experiment>.json), returning the in-order results for table
 // rendering.
+//
+// Under --shard i/N only the owned round-robin slice is simulated and the
+// output becomes a shard document (default name
+// BENCH_<experiment>.shard<i>of<N>.json) for tools/vexmerge; the returned
+// vector still has one entry per point, with foreign points left
+// default-constructed — sharded benches should skip table rendering.
 [[nodiscard]] std::vector<RunResult> run_sweep_and_dump(
     const Cli& cli, const std::string& experiment,
     const std::vector<SweepPoint>& points);

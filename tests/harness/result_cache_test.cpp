@@ -2,11 +2,14 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "stats/json.hpp"
 #include "util/check.hpp"
@@ -186,9 +189,12 @@ TEST(ResultCache, CorruptAndStaleRecordsAreMisses) {
   write_file(path, moved.dump());
   EXPECT_FALSE(cache.load(key).has_value());
 
-  // Restoring the original record restores the hit.
+  // The corrupt loads dropped the key from this instance's index; restoring
+  // the record file restores the hit for a fresh instance (which re-reads
+  // the on-disk index, where the append survives).
   write_file(path, good);
-  EXPECT_TRUE(cache.load(key).has_value());
+  EXPECT_FALSE(cache.probe(key));
+  EXPECT_TRUE(ResultCache(cache.dir()).load(key).has_value());
 }
 
 TEST(ResultCache, RefusesToStoreFailedResults) {
@@ -262,6 +268,238 @@ TEST(ResultCache, RoundTripsCompileSummary) {
   EXPECT_EQ(loaded->compile.copies_inserted, 17u);
   EXPECT_EQ(loaded->compile.swp_loops, 2u);
   EXPECT_TRUE(loaded->compile.present);
+}
+
+// A small valid (non-failed) result to populate caches with in the index
+// tests; contents don't matter, only that store() accepts it and load()
+// round-trips it.
+RunResult synthetic_result(std::uint64_t cycles) {
+  RunResult r;
+  r.issue_width = 16;
+  r.sim.cycles = cycles;
+  r.sim.instructions_retired = cycles / 2;
+  return r;
+}
+
+TEST(CacheIndex, FingerprintHexIsCanonical) {
+  EXPECT_EQ(fingerprint_hex(0), "0000000000000000");
+  EXPECT_EQ(fingerprint_hex(0xdeadbeefcafef00dull), "deadbeefcafef00d");
+  EXPECT_EQ(fingerprint_hex(~0ull), "ffffffffffffffff");
+}
+
+TEST(CacheIndex, ParseSizeBytes) {
+  EXPECT_EQ(parse_size_bytes("0"), 0u);
+  EXPECT_EQ(parse_size_bytes("123"), 123u);
+  EXPECT_EQ(parse_size_bytes("4K"), 4096u);
+  EXPECT_EQ(parse_size_bytes("4k"), 4096u);
+  EXPECT_EQ(parse_size_bytes("2M"), 2u * 1024 * 1024);
+  EXPECT_EQ(parse_size_bytes("1G"), 1024u * 1024 * 1024);
+  EXPECT_THROW((void)parse_size_bytes(""), CheckError);
+  EXPECT_THROW((void)parse_size_bytes("true"), CheckError);  // bare flag
+  EXPECT_THROW((void)parse_size_bytes("K"), CheckError);
+  EXPECT_THROW((void)parse_size_bytes("12Q"), CheckError);
+  EXPECT_THROW((void)parse_size_bytes("1.5M"), CheckError);
+  EXPECT_THROW((void)parse_size_bytes("-1"), CheckError);
+}
+
+TEST(CacheIndex, ProbeAndIndexSizeTrackStores) {
+  const ResultCache cache(fresh_dir("index_probe"));
+  EXPECT_EQ(cache.index_size(), 0u);
+  EXPECT_FALSE(cache.probe(42));
+  cache.store(42, "llmm", synthetic_result(100));
+  cache.store(43, "llmm", synthetic_result(200));
+  EXPECT_TRUE(cache.probe(42));
+  EXPECT_TRUE(cache.probe(43));
+  EXPECT_FALSE(cache.probe(44));
+  EXPECT_EQ(cache.index_size(), 2u);
+  // Re-storing an existing key must not grow the index (or the file).
+  cache.store(42, "llmm", synthetic_result(100));
+  EXPECT_EQ(cache.index_size(), 2u);
+}
+
+TEST(CacheIndex, NewInstancePicksUpExistingIndex) {
+  const std::string dir = fresh_dir("index_reload");
+  {
+    const ResultCache writer(dir);
+    writer.store(7, "llmm", synthetic_result(700));
+    writer.store(8, "llmm", synthetic_result(800));
+  }
+  const ResultCache reader(dir);
+  EXPECT_EQ(reader.index_size(), 2u);
+  const auto loaded = reader.load(7);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->sim.cycles, 700u);
+}
+
+TEST(CacheIndex, DeletedIndexIsRebuiltWithIdenticalHits) {
+  const std::string dir = fresh_dir("index_rebuild");
+  {
+    const ResultCache writer(dir);
+    for (std::uint64_t k = 1; k <= 20; ++k)
+      writer.store(k, "llmm", synthetic_result(k * 10));
+  }
+  std::filesystem::remove(ResultCache(dir).index_path());
+  ASSERT_FALSE(std::filesystem::exists(dir + "/cache.index"));
+
+  const ResultCache rebuilt(dir);  // ctor rebuilds from the directory scan
+  EXPECT_EQ(rebuilt.index_size(), 20u);
+  EXPECT_TRUE(std::filesystem::exists(rebuilt.index_path()));
+  for (std::uint64_t k = 1; k <= 20; ++k) {
+    const auto loaded = rebuilt.load(k);
+    ASSERT_TRUE(loaded.has_value());
+    EXPECT_EQ(loaded->sim.cycles, k * 10);
+  }
+}
+
+TEST(CacheIndex, CorruptIndexIsRebuiltTransparently) {
+  const std::string dir = fresh_dir("index_corrupt");
+  {
+    const ResultCache writer(dir);
+    writer.store(5, "llmm", synthetic_result(500));
+    writer.store(6, "llmm", synthetic_result(600));
+  }
+  const std::string index_path = dir + "/cache.index";
+
+  // Garbage header.
+  write_file(index_path, "not an index\n");
+  EXPECT_EQ(ResultCache(dir).index_size(), 2u);
+
+  // Torn trailing line (simulated crash mid-append).
+  write_file(index_path,
+             "vexsim-cache-index v1\n" + fingerprint_hex(5) +
+                 " 0000000000000005.json\n" + fingerprint_hex(6).substr(0, 9));
+  const ResultCache rebuilt(dir);
+  EXPECT_EQ(rebuilt.index_size(), 2u);
+  const auto loaded = rebuilt.load(6);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->sim.cycles, 600u);
+
+  // Stray non-record files must not be indexed by the rebuild.
+  write_file(dir + "/notes.txt", "hello");
+  write_file(dir + "/zzzz.json", "{}");
+  std::filesystem::remove(index_path);
+  EXPECT_EQ(ResultCache(dir).index_size(), 2u);
+}
+
+TEST(CacheIndex, CorruptRecordIsDroppedFromIndexOnLoad) {
+  const ResultCache cache(fresh_dir("index_drop"));
+  cache.store(9, "llmm", synthetic_result(900));
+  EXPECT_TRUE(cache.probe(9));
+  write_file(cache.entry_path(9), "garbage");
+  EXPECT_FALSE(cache.load(9).has_value());
+  EXPECT_FALSE(cache.probe(9));  // the bad entry is forgotten
+}
+
+TEST(CacheIndex, ConcurrentWritersLoseNoRecords) {
+  // Two ResultCache instances (as two shard processes would have) store
+  // disjoint key ranges into one directory concurrently. Every record and
+  // every index line must survive: O_APPEND single-write appends interleave
+  // whole lines. Runs under the TSan preset via the suite filter.
+  const std::string dir = fresh_dir("index_concurrent");
+  constexpr std::uint64_t kPerWriter = 200;
+  const auto writer = [&dir](std::uint64_t base) {
+    const ResultCache cache(dir);
+    for (std::uint64_t i = 0; i < kPerWriter; ++i)
+      cache.store(base + i, "llmm", synthetic_result(base + i));
+  };
+  std::thread a(writer, 1'000);
+  std::thread b(writer, 2'000);
+  a.join();
+  b.join();
+
+  const ResultCache reader(dir);
+  EXPECT_EQ(reader.index_size(), 2 * kPerWriter);
+  for (std::uint64_t base : {1'000ull, 2'000ull})
+    for (std::uint64_t i = 0; i < kPerWriter; ++i) {
+      const auto loaded = reader.load(base + i);
+      ASSERT_TRUE(loaded.has_value());
+      EXPECT_EQ(loaded->sim.cycles, base + i);
+    }
+
+  // The index file itself must be exactly one header plus one whole,
+  // well-formed line per record — no torn interleavings.
+  std::ifstream is(reader.index_path());
+  std::string line;
+  ASSERT_TRUE(std::getline(is, line));
+  EXPECT_EQ(line, "vexsim-cache-index v1");
+  std::size_t lines = 0;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    ASSERT_EQ(line.size(), 16u + 1 + 21);
+    EXPECT_EQ(line[16], ' ');
+    ++lines;
+  }
+  EXPECT_EQ(lines, 2 * kPerWriter);
+}
+
+TEST(CacheGc, EvictsOldestUntilBudgetAndRewritesIndex) {
+  const std::string dir = fresh_dir("gc_lru");
+  const ResultCache cache(dir);
+  for (std::uint64_t k = 1; k <= 4; ++k)
+    cache.store(k, "llmm", synthetic_result(k));
+  // Explicit mtimes make LRU order deterministic: keys 1 and 2 are oldest.
+  namespace fs = std::filesystem;
+  const auto now = fs::file_time_type::clock::now();
+  using std::chrono::hours;
+  fs::last_write_time(cache.entry_path(1), now - hours(4));
+  fs::last_write_time(cache.entry_path(2), now - hours(3));
+  fs::last_write_time(cache.entry_path(3), now - hours(2));
+  fs::last_write_time(cache.entry_path(4), now - hours(1));
+
+  const std::uint64_t per_record =
+      static_cast<std::uint64_t>(fs::file_size(cache.entry_path(1)));
+  const CacheGcStats stats = cache.gc(2 * per_record + per_record / 2);
+  EXPECT_EQ(stats.records_before, 4u);
+  EXPECT_EQ(stats.evicted, 2u);
+  EXPECT_EQ(stats.records_after, 2u);
+  EXPECT_LE(stats.bytes_after, 2 * per_record + per_record / 2);
+
+  EXPECT_FALSE(cache.probe(1));
+  EXPECT_FALSE(cache.probe(2));
+  EXPECT_TRUE(cache.load(3).has_value());
+  EXPECT_TRUE(cache.load(4).has_value());
+  EXPECT_FALSE(fs::exists(cache.entry_path(1)));
+  EXPECT_FALSE(fs::exists(cache.entry_path(2)));
+
+  // A fresh instance reads a consistent rewritten index.
+  const ResultCache reader(dir);
+  EXPECT_EQ(reader.index_size(), 2u);
+  EXPECT_TRUE(reader.load(4).has_value());
+}
+
+TEST(CacheGc, ZeroBudgetEmptiesTheCache) {
+  const ResultCache cache(fresh_dir("gc_zero"));
+  cache.store(1, "llmm", synthetic_result(1));
+  cache.store(2, "llmm", synthetic_result(2));
+  const CacheGcStats stats = cache.gc(0);
+  EXPECT_EQ(stats.records_after, 0u);
+  EXPECT_EQ(stats.bytes_after, 0u);
+  EXPECT_EQ(cache.index_size(), 0u);
+  // The directory and index stay usable.
+  cache.store(3, "llmm", synthetic_result(3));
+  EXPECT_TRUE(cache.load(3).has_value());
+}
+
+TEST(CacheGc, LargeBudgetEvictsNothing) {
+  const ResultCache cache(fresh_dir("gc_noop"));
+  cache.store(1, "llmm", synthetic_result(1));
+  const CacheGcStats stats = cache.gc(1ull << 40);
+  EXPECT_EQ(stats.evicted, 0u);
+  EXPECT_EQ(stats.records_after, 1u);
+  EXPECT_TRUE(cache.load(1).has_value());
+}
+
+TEST(CacheIndex, LoadUnindexedMatchesIndexedLoad) {
+  const ResultCache cache(fresh_dir("index_bypass"));
+  cache.store(11, "llmm", synthetic_result(1100));
+  const auto indexed = cache.load(11);
+  const auto direct = cache.load_unindexed(11);
+  ASSERT_TRUE(indexed.has_value());
+  ASSERT_TRUE(direct.has_value());
+  EXPECT_EQ(indexed->sim.cycles, direct->sim.cycles);
+  EXPECT_EQ(indexed->sim.instructions_retired,
+            direct->sim.instructions_retired);
+  EXPECT_FALSE(cache.load_unindexed(12).has_value());
 }
 
 }  // namespace

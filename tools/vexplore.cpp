@@ -16,20 +16,25 @@
 //
 // Sampling is serial and pure in (template, --seed, index), and the report
 // carries no wall-clock or scheduling artifacts, so output bytes are
-// identical for any --jobs value and for cold vs warm caches.
+// identical for any --jobs value and for cold vs warm caches. Under
+// --shard i/N only the owned round-robin slice of accepted points is
+// simulated and the output is a shard document (default
+// VEXPLORE.shard<i>of<N>.json); tools/vexmerge folds the shards back into a
+// report byte-identical to the one-process run.
 //
 // Flags: --template FILE (required), --sample N (default 64), --seed S
 //        (default 7), --max-attempts M (default 32*N), --json FILE (default
 //        VEXPLORE.json), --quick, --scale X, --budget N, --timeslice N
 //        (override every sampled scenario),
 //        --jobs N, --progress N, --cache[=DIR]/--no-cache, --timeout MS,
-//        --retries N (sweep engine).
+//        --retries N, --shard I/N, --cache-gc SIZE (sweep engine).
 #include <algorithm>
 #include <iostream>
 #include <map>
 #include <string>
 #include <vector>
 
+#include "harness/shard.hpp"
 #include "harness/sweep.hpp"
 #include "mdes/dse.hpp"
 #include "stats/json.hpp"
@@ -69,38 +74,6 @@ void apply_cli_overrides(const Cli& cli, harness::ExperimentOptions& opt) {
       cli.get_int("timeslice", static_cast<std::int64_t>(opt.timeslice)));
 }
 
-// Strictly-improving sweep over points sorted by (issue asc, cycles asc):
-// the frontier of minimal (cycles, total issue slots).
-std::vector<std::string> pareto_labels(
-    const std::vector<harness::SweepPoint>& points,
-    const std::vector<RunResult>& results) {
-  struct Cand {
-    int issue;
-    std::uint64_t cycles;
-    std::string label;
-  };
-  std::vector<Cand> cands;
-  for (std::size_t i = 0; i < points.size(); ++i) {
-    if (results[i].failed) continue;
-    cands.push_back({points[i].cfg.total_issue_width(),
-                     results[i].sim.cycles, points[i].label});
-  }
-  std::sort(cands.begin(), cands.end(), [](const Cand& a, const Cand& b) {
-    if (a.issue != b.issue) return a.issue < b.issue;
-    if (a.cycles != b.cycles) return a.cycles < b.cycles;
-    return a.label < b.label;
-  });
-  std::vector<std::string> frontier;
-  std::uint64_t best = ~0ull;
-  for (const Cand& c : cands) {
-    if (c.cycles < best) {
-      frontier.push_back(c.label);
-      best = c.cycles;
-    }
-  }
-  return frontier;
-}
-
 // Deterministic bucket label for an axis value: choice and narrow int axes
 // bucket per value, wide int and real axes into 4 equal-width bins.
 std::string bucket_of(const mdes::DseAxis& axis, const mdes::Value& v) {
@@ -126,38 +99,6 @@ std::string bucket_of(const mdes::DseAxis& axis, const mdes::Value& v) {
     }
   }
   return v.str();
-}
-
-Json sensitivity_json(const mdes::DseTemplate& tmpl,
-                      const std::vector<Sampled>& accepted,
-                      const std::vector<RunResult>& results) {
-  Json out = Json::object();
-  for (std::size_t a = 0; a < tmpl.axes.size(); ++a) {
-    const mdes::DseAxis& axis = tmpl.axes[a];
-    // Bucket key -> (count, cycles sum, ipc sum); std::map keeps the bucket
-    // emission order independent of sample order.
-    std::map<std::string, std::tuple<std::uint64_t, double, double>> buckets;
-    for (std::size_t i = 0; i < accepted.size(); ++i) {
-      if (results[i].failed) continue;
-      const mdes::Value& v = accepted[i].point.bindings[a].second;
-      auto& [n, cycles, ipc] = buckets[bucket_of(axis, v)];
-      ++n;
-      cycles += static_cast<double>(results[i].sim.cycles);
-      ipc += results[i].ipc();
-    }
-    Json rows = Json::array();
-    for (const auto& [bucket, agg] : buckets) {
-      const auto& [n, cycles, ipc] = agg;
-      Json row = Json::object();
-      row.set("bucket", bucket)
-          .set("points", n)
-          .set("mean_cycles", cycles / static_cast<double>(n))
-          .set("mean_ipc", ipc / static_cast<double>(n));
-      rows.push(std::move(row));
-    }
-    out.set(axis.name, std::move(rows));
-  }
-  return out;
 }
 
 }  // namespace
@@ -212,10 +153,14 @@ int main(int argc, char** argv) {
                       s.point.machine, s.point.scenario.workload, opt});
   }
   harness::SweepOptions sweep_opts = harness::SweepOptions::from_cli(cli);
-  const std::vector<RunResult> results = harness::run_sweep(points, sweep_opts);
+  const harness::ShardSpec shard = harness::ShardSpec::from_cli(cli);
 
-  Json report = Json::object();
-  report.set("experiment", "vexplore")
+  // Everything below is a pure function of (template, seed, flags), so every
+  // shard process assembles the identical header, axis list, and per-point
+  // sensitivity bucket labels — dse_report then reproduces the one-process
+  // report from any complete set of shards.
+  Json header = Json::object();
+  header.set("experiment", "vexplore")
       .set("template", template_path)
       .set("seed", seed)
       .set("requested", sample)
@@ -223,12 +168,18 @@ int main(int argc, char** argv) {
       .set("accepted", static_cast<std::uint64_t>(accepted.size()));
   Json rejects = Json::object();
   for (const auto& [reason, n] : rejected) rejects.set(reason, n);
-  report.set("rejected", std::move(rejects));
+  header.set("rejected", std::move(rejects));
 
-  Json points_json = Json::array();
-  for (std::size_t i = 0; i < accepted.size(); ++i) {
+  std::vector<std::string> axes;
+  for (const mdes::DseAxis& axis : tmpl.axes) axes.push_back(axis.name);
+  std::vector<std::vector<std::string>> buckets(accepted.size());
+  for (std::size_t i = 0; i < accepted.size(); ++i)
+    for (std::size_t a = 0; a < tmpl.axes.size(); ++a)
+      buckets[i].push_back(
+          bucket_of(tmpl.axes[a], accepted[i].point.bindings[a].second));
+
+  const auto make_point_doc = [&](std::size_t i, const RunResult& r) {
     const Sampled& s = accepted[i];
-    const RunResult& r = results[i];
     Json bindings = Json::object();
     for (const auto& [name, value] : s.point.bindings)
       bindings.set(name, value_json(value));
@@ -248,20 +199,54 @@ int main(int argc, char** argv) {
           .set("instructions", r.sim.instructions_retired)
           .set("ipc", r.ipc());
     }
-    points_json.push(std::move(pj));
+    return pj;
+  };
+
+  if (!shard.active) {
+    const std::vector<RunResult> results =
+        harness::run_sweep(points, sweep_opts);
+    std::vector<Json> point_docs;
+    point_docs.reserve(accepted.size());
+    for (std::size_t i = 0; i < accepted.size(); ++i)
+      point_docs.push_back(make_point_doc(i, results[i]));
+    const Json report = harness::dse_report(header, axes, point_docs, buckets);
+
+    const std::string out_path = cli.get("json", "VEXPLORE.json");
+    write_json_file(out_path, report);
+    std::cout << "vexplore: frontier " << report.at("pareto").size() << " of "
+              << accepted.size() << " points; report in " << out_path << "\n";
+    return 0;
   }
-  report.set("points", std::move(points_json));
 
-  Json pareto = Json::array();
-  for (const std::string& label : pareto_labels(points, results))
-    pareto.push(label);
-  report.set("pareto", std::move(pareto));
-  report.set("sensitivity", sensitivity_json(tmpl, accepted, results));
-
-  const std::string out_path = cli.get("json", "VEXPLORE.json");
-  write_json_file(out_path, report);
-  std::cout << "vexplore: frontier " << report.at("pareto").size()
-            << " of " << accepted.size() << " points; report in " << out_path
-            << "\n";
+  // --shard i/N: simulate only the owned round-robin slice of accepted
+  // points and emit a shard document for tools/vexmerge.
+  const std::vector<harness::ManifestEntry> manifest =
+      harness::build_manifest(points);
+  std::vector<harness::SweepPoint> mine;
+  std::vector<std::size_t> mine_index;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    if (!shard.owns(i)) continue;
+    mine.push_back(points[i]);
+    mine_index.push_back(i);
+  }
+  const std::vector<RunResult> mine_results =
+      harness::run_sweep(mine, sweep_opts);
+  std::vector<Json> point_docs;
+  std::vector<std::vector<std::string>> mine_buckets;
+  point_docs.reserve(mine.size());
+  mine_buckets.reserve(mine.size());
+  for (std::size_t k = 0; k < mine.size(); ++k) {
+    point_docs.push_back(make_point_doc(mine_index[k], mine_results[k]));
+    mine_buckets.push_back(buckets[mine_index[k]]);
+  }
+  const Json doc =
+      harness::dse_shard_json("vexplore", shard, header, axes, manifest,
+                              mine_index, point_docs, mine_buckets, false);
+  const std::string out_path =
+      cli.get("json", "VEXPLORE.shard" + shard.tag() + ".json");
+  write_json_file(out_path, doc);
+  std::cout << "vexplore: shard " << shard.str() << " ran " << mine.size()
+            << "/" << accepted.size()
+            << " accepted points; shard document in " << out_path << "\n";
   return 0;
 }
